@@ -1,0 +1,199 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index).
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe table4     -- one experiment
+     dune exec bench/main.exe bechamel   -- Bechamel micro-measurements of
+                                            each experiment's hot kernel
+
+   Paper-reported values are printed alongside for comparison;
+   EXPERIMENTS.md records a full run with commentary. *)
+
+let section title = Printf.printf "\n=== %s ===\n%!" title
+
+let table1 () =
+  section "Table 1: prototype feature matrix";
+  print_string (Proto.Matrix.render ());
+  let violations = Proto.Matrix.validate () in
+  if violations = [] then
+    print_endline
+      "validation: OK (deps satisfied, monotone growth, all features motivated)"
+  else
+    List.iter
+      (fun v -> print_endline ("VIOLATION: " ^ Proto.Matrix.describe_violation v))
+      violations
+
+let fig7 () =
+  section "Figure 7: source code analysis";
+  print_string (Proto.Sloc.render (Proto.Sloc.analyze ()));
+  print_endline
+    "paper: kernel 2.5K (P1) -> ~33K (P5) SLoC, core 1K -> 8K; apps 260 -> 76K"
+
+let fig8 () =
+  section "Figure 8: kernel microbenchmarks";
+  print_string (Benchlib.Figures.render_fig8 (Benchlib.Figures.fig8 ()));
+  print_endline
+    "paper: syscall ~3us; IPC ~21us; FAT32 several hundred KB/s; ~6s to shell"
+
+let fig9 () =
+  section "Figure 9: OS microbenchmark comparison";
+  print_string (Benchlib.Figures.render_fig9 (Benchlib.Figures.fig9 ()));
+  print_endline
+    "paper: ours lower than xv6 on most; within 0.5x-2x of Linux/FreeBSD;";
+  print_endline "       fork much slower than production (eager page copy)"
+
+let table4 () =
+  section "Table 4: app throughput (FPS)";
+  print_string (Benchlib.Appbench.render (Benchlib.Appbench.run ()));
+  print_endline
+    "paper pi3/ours: DOOM 61.8, video480 26.7, video720 11.6, mario-noinput";
+  print_endline
+    "       108.1, mario-proc 114.7, mario-sdl 72.2; linux DOOM 31.9, freebsd 51.2"
+
+let fig10 () =
+  section "Figure 10: multicore scalability";
+  print_string (Benchlib.Scale.render (Benchlib.Scale.run ~seed:42L ()));
+  print_endline "paper: proportional growth to 4 cores, >95% core utilization"
+
+let fig11 () =
+  section "Figure 11: latency breakdowns";
+  print_string
+    (Benchlib.Latency.render
+       (Benchlib.Latency.render_all (), Benchlib.Latency.input_all ()));
+  print_endline
+    "paper: app logic dominates rendering; input latency 1-2 frames, polling";
+  print_endline "       dominates; pipe/WM indirection visible for mario-proc/sdl"
+
+let mem () =
+  section "Memory consumption (sec. 6.3)";
+  print_string (Benchlib.Memuse.render (Benchlib.Memuse.run ()));
+  print_endline "paper: 21-42 MB total OS memory (2-4% of 1 GB)"
+
+let fig12 () =
+  section "Figure 12: power and battery life";
+  print_string (Benchlib.Powerbench.render (Benchlib.Powerbench.run ()));
+  print_endline "paper: ~3 W at shell (3.7 h battery), ~4 W under load (~2.6 h)"
+
+let ablations () =
+  section "Ablations: the design choices DESIGN.md calls out";
+  print_string (Benchlib.Ablation.render (Benchlib.Ablation.run ()))
+
+let fig13 () =
+  section "Figure 13: pedagogical survey (synthetic respondent model)";
+  print_string (Benchlib.Survey.render (Benchlib.Survey.run ~seed:48L ()))
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("table4", table4);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("mem", mem);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("ablations", ablations);
+  ]
+
+(* ---- Bechamel: one Test.make per table/figure, timing that
+   experiment's hot kernel with the real measurement machinery ---- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let payload = Bytes.make 4096 's' in
+  let fat =
+    lazy
+      (let dev, _ = Fs.Blockdev.ramdisk ~name:"bench" ~sectors:65536 in
+       let io = Fs.Fat32.io_of_blockdev dev in
+       Fs.Fat32.mkfs io ~total_sectors:65536 ();
+       let fat = Result.get_ok (Fs.Fat32.mount io) in
+       (match Fs.Fat32.create fat "/x.dat" with Ok () -> () | Error e -> invalid_arg e);
+       ignore
+         (Result.get_ok
+            (Fs.Fat32.write_file fat "/x.dat" ~off:0 ~data:(Bytes.make 65536 'x')));
+       fat)
+  in
+  [
+    Test.make ~name:"table1.matrix-validate"
+      (Staged.stage (fun () -> ignore (Proto.Matrix.validate ())));
+    Test.make ~name:"fig7.sloc-analyze"
+      (Staged.stage (fun () -> ignore (Proto.Sloc.analyze ())));
+    Test.make ~name:"fig8.engine-event"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           ignore (Sim.Engine.schedule_after e 10L (fun () -> ()));
+           ignore (Sim.Engine.step e)));
+    Test.make ~name:"fig9.md5-4k"
+      (Staged.stage (fun () -> ignore (User.Md5.digest payload)));
+    Test.make ~name:"table4.doom-raycast"
+      (Staged.stage
+         (let st = Apps.Doom.fresh_state () in
+          fun () -> ignore (Apps.Doom.cast st 0.5)));
+    Test.make ~name:"fig10.sha256-4k"
+      (Staged.stage (fun () -> ignore (User.Sha256.digest payload)));
+    Test.make ~name:"fig11.trace-emit"
+      (Staged.stage
+         (let tr = Core.Ktrace.create ~capacity:1024 () in
+          fun () -> Core.Ktrace.emit tr ~ts_ns:0L ~core:0 Core.Ktrace.Kbd_report));
+    Test.make ~name:"mem.kalloc-cycle"
+      (Staged.stage
+         (let k =
+            Core.Kalloc.create ~dram_bytes:(64 * 1024 * 1024)
+              ~kernel_reserved_bytes:0
+          in
+          fun () ->
+            match Core.Kalloc.alloc_page k ~owner:"bench" with
+            | Some f -> Core.Kalloc.free_page k f
+            | None -> ()));
+    Test.make ~name:"fig12.power-model"
+      (Staged.stage (fun () ->
+           ignore
+             (Hw.Power.total_power Hw.Power.pi3_game_hat ~busy_cores:2.5
+                ~io_fraction:0.2 ~hat:true)));
+    Test.make ~name:"fig13.survey-sample"
+      (Staged.stage (fun () -> ignore (Benchlib.Survey.run ~seed:7L ())));
+    Test.make ~name:"fig8.fat32-range-read"
+      (Staged.stage (fun () ->
+           ignore
+             (Result.get_ok
+                (Fs.Fat32.read_file (Lazy.force fat) "/x.dat" ~off:0 ~len:65536))));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  section "Bechamel micro-measurements (ns per run)";
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.2) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let grouped = Test.make_grouped ~name:"vos" [ test ] in
+      let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] grouped in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some (t :: _) -> Printf.printf "  %-32s %12.1f ns/run\n%!" name t
+          | Some [] | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
+        results)
+    (bechamel_tests ())
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+      List.iter (fun (_, f) -> f ()) experiments;
+      print_endline "\nall experiments complete"
+  | [| _; "bechamel" |] -> run_bechamel ()
+  | [| _; name |] -> (
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s bechamel\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: main.exe [experiment|bechamel]\n";
+      exit 1

@@ -1,0 +1,1 @@
+bin/vos.ml: Arg Cmd Cmdliner Core Hw List Printf Proto Sim String Term

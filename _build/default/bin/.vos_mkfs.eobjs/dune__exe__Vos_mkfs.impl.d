@@ -1,0 +1,1 @@
+bin/vos_mkfs.ml: Array Bytes Filename Fs List Printf Result String Sys

@@ -1,0 +1,1 @@
+bin/vos_mkfs.mli:

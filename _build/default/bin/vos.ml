@@ -1,0 +1,132 @@
+(* vos — boot and drive the simulated OS from the command line.
+
+     vos run --prototype 5 --app doom --seconds 8 --ascii
+     vos run --app mario --args "mario sdl 0" --screenshot shot.ppm
+     vos shell --cmd "ls /" --cmd "uptime"
+     vos matrix
+     vos sloc
+     vos boot --platform qemu-wsl
+*)
+
+open Cmdliner
+
+let platform_of_name = function
+  | "pi3" -> Hw.Board.pi3
+  | "qemu-wsl" -> Hw.Board.qemu_wsl
+  | "qemu-vm" -> Hw.Board.qemu_vm
+  | name -> invalid_arg (Printf.sprintf "unknown platform %s" name)
+
+let platform_arg =
+  Arg.(value & opt string "pi3" & info [ "platform" ] ~doc:"pi3, qemu-wsl or qemu-vm")
+
+let prototype_arg =
+  Arg.(value & opt int 5 & info [ "prototype"; "p" ] ~doc:"prototype stage 1-5")
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let app_arg = Arg.(value & opt string "donut" & info [ "app" ] ~doc:"program name") in
+  let argv_arg =
+    Arg.(value & opt string "" & info [ "args" ] ~doc:"argv as one string")
+  in
+  let seconds = Arg.(value & opt int 5 & info [ "seconds"; "s" ] ~doc:"virtual seconds") in
+  let screenshot =
+    Arg.(value & opt (some string) None & info [ "screenshot" ] ~doc:"write a PPM")
+  in
+  let ascii = Arg.(value & flag & info [ "ascii" ] ~doc:"print the screen as ASCII") in
+  let run platform prototype app args seconds screenshot ascii =
+    let stage = Proto.Stage.boot ~platform:(platform_of_name platform) ~prototype () in
+    let kernel = stage.Proto.Stage.kernel in
+    Printf.printf "booted prototype %d on %s at t=%.2fs\n%!" prototype platform
+      (Sim.Engine.to_sec (Core.Kernel.now kernel));
+    let argv =
+      if String.equal args "" then [ app ]
+      else String.split_on_char ' ' args |> List.filter (fun s -> s <> "")
+    in
+    let task = Proto.Stage.start stage app argv in
+    Proto.Stage.run_for stage (Sim.Engine.sec seconds);
+    Printf.printf "after %d virtual seconds: %s, %d frames presented\n" seconds
+      (Core.Task.state_name task)
+      (Core.Sched.frames_presented kernel.Core.Kernel.sched ~pid:task.Core.Task.pid);
+    let console = Proto.Stage.uart stage in
+    if String.length console > 0 then Printf.printf "console:\n%s\n" console;
+    (match kernel.Core.Kernel.fb with
+    | Some fb ->
+        if ascii then print_string (Hw.Framebuffer.to_ascii fb ~cols:78 ~rows:24);
+        (match screenshot with
+        | Some path ->
+            let out = open_out_bin path in
+            output_string out (Hw.Framebuffer.to_ppm fb);
+            close_out out;
+            Printf.printf "screenshot written to %s\n" path
+        | None -> ())
+    | None -> ())
+  in
+  Cmd.v (Cmd.info "run" ~doc:"boot a prototype and run one app")
+    Term.(
+      const run $ platform_arg $ prototype_arg $ app_arg $ argv_arg $ seconds
+      $ screenshot $ ascii)
+
+(* ---- shell ---- *)
+
+let shell_cmd =
+  let cmds =
+    Arg.(value & opt_all string [] & info [ "cmd"; "c" ] ~doc:"command to type")
+  in
+  let run platform cmds =
+    let stage = Proto.Stage.boot ~platform:(platform_of_name platform) ~prototype:5 () in
+    let kernel = stage.Proto.Stage.kernel in
+    ignore (Proto.Stage.start stage "sh" [ "sh" ]);
+    Proto.Stage.run_for stage (Sim.Engine.sec 1);
+    List.iter
+      (fun cmd ->
+        Hw.Uart.inject_string kernel.Core.Kernel.board.Hw.Board.uart (cmd ^ "\n");
+        Proto.Stage.run_for stage (Sim.Engine.sec 3))
+      cmds;
+    print_string (Proto.Stage.uart stage)
+  in
+  Cmd.v
+    (Cmd.info "shell" ~doc:"boot prototype 5 and type commands at the shell")
+    Term.(const run $ platform_arg $ cmds)
+
+(* ---- matrix / sloc / boot ---- *)
+
+let matrix_cmd =
+  let run () =
+    print_string (Proto.Matrix.render ());
+    match Proto.Matrix.validate () with
+    | [] -> print_endline "validation: OK"
+    | vs ->
+        List.iter (fun v -> print_endline (Proto.Matrix.describe_violation v)) vs;
+        exit 1
+  in
+  Cmd.v (Cmd.info "matrix" ~doc:"print and validate the Table 1 feature matrix")
+    Term.(const run $ const ())
+
+let sloc_cmd =
+  let run () = print_string (Proto.Sloc.render (Proto.Sloc.analyze ())) in
+  Cmd.v (Cmd.info "sloc" ~doc:"source-line analysis (Figure 7)")
+    Term.(const run $ const ())
+
+let boot_cmd =
+  let run platform =
+    let stage = Proto.Stage.boot ~platform:(platform_of_name platform) ~prototype:5 () in
+    let kernel = stage.Proto.Stage.kernel in
+    Printf.printf "platform:         %s\n" platform;
+    Printf.printf "kernel ready:     %.2f s after power-on\n"
+      (Sim.Engine.to_sec kernel.Core.Kernel.boot_ready_ns);
+    ignore (Proto.Stage.start stage "sh" [ "sh" ]);
+    Proto.Stage.run_for stage (Sim.Engine.sec 2);
+    Printf.printf "shell prompt:     %.2f s after power-on\n"
+      (Sim.Engine.to_sec (Core.Kernel.now kernel));
+    Printf.printf "OS memory in use: %.1f MB\n"
+      (float_of_int (Core.Kernel.os_memory_bytes kernel) /. 1048576.0)
+  in
+  Cmd.v (Cmd.info "boot" ~doc:"boot and report timings") Term.(const run $ platform_arg)
+
+let () =
+  let doc = "VOS: an instructional OS on a simulated Raspberry Pi 3" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "vos" ~doc)
+          [ run_cmd; shell_cmd; matrix_cmd; sloc_cmd; boot_cmd ]))

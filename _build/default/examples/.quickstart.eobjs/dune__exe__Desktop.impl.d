@@ -1,0 +1,1 @@
+examples/desktop.ml: Core Hw Int64 List Option Printf Proto Sim

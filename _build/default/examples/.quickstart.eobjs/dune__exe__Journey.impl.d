@@ -1,0 +1,1 @@
+examples/journey.ml: Core Hw Int64 List Option Printf Proto Sim String User

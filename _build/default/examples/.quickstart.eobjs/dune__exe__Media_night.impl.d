@@ -1,0 +1,1 @@
+examples/media_night.ml: Array Core Hw Int64 Option Printf Proto Sim User

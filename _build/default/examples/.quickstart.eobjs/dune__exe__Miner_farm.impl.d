@@ -1,0 +1,1 @@
+examples/miner_farm.ml: Core Hw List Printf Proto Sim String

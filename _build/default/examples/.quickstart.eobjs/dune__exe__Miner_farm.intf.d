@@ -1,0 +1,1 @@
+examples/miner_farm.mli:

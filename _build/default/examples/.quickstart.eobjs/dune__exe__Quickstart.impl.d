@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Hw Option Printf Proto Sim

@@ -1,0 +1,1 @@
+lib/apps/blockchain.ml: Bytes List Printf Sha256 String User Usys Uthread

@@ -1,0 +1,1 @@
+lib/apps/buzzer.ml: Bytes Core User Usys

@@ -1,0 +1,1 @@
+lib/apps/donut.ml: Array Buffer Gfx String User Usys

@@ -1,0 +1,1 @@
+lib/apps/doom.ml: Array Bytes Core Float Gfx List Printf Uevents User Usys

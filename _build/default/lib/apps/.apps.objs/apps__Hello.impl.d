@@ -1,0 +1,1 @@
+lib/apps/hello.ml: User Usys

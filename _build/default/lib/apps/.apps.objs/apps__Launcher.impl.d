@@ -1,0 +1,1 @@
+lib/apps/launcher.ml: Gfx List Minisdl Uevents User Usys

@@ -1,0 +1,1 @@
+lib/apps/mario.ml: Array Bytes Core Float Gfx Hashtbl List Minisdl Printf Uevents User Usys

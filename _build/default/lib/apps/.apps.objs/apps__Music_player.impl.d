@@ -1,0 +1,1 @@
+lib/apps/music_player.ml: Adpcm Array Bmp Bytes Core Fs Gfx List Minisdl Pnglite String User Usys

@@ -1,0 +1,1 @@
+lib/apps/shell.ml: Buffer Bytes Core List String User Usys

@@ -1,0 +1,1 @@
+lib/apps/slider.ml: Array Bmp Buffer Bytes Core Gfx Giflite List Lzw Pnglite String Uevents User Usys

@@ -1,0 +1,1 @@
+lib/apps/sysmon.ml: Bytes Gfx Int64 List Option Printf String User Usys

@@ -1,0 +1,1 @@
+lib/apps/utils.ml: Buffer Bytes Core List String User Usys

@@ -1,0 +1,1 @@
+lib/apps/video_player.ml: Adpcm Array Bytes Core Gfx Mv1 Uenv User Usys

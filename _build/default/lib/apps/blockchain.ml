@@ -1,0 +1,94 @@
+(** blockchain — the multithreaded proof-of-work miner (§3), the paper's
+    multi-threaded scalability workload (Figure 10). Worker threads
+    (clone/CLONE_VM) partition the nonce space and double-SHA-256 block
+    headers against a leading-zero-bits difficulty target; a mutex guards
+    the shared chain. Hash throughput scales with cores. *)
+
+
+open User
+
+type block = {
+  index : int;
+  prev_hash : string;
+  nonce : int;
+  hash : string;
+}
+
+let header ~index ~prev_hash ~nonce =
+  Bytes.of_string (Printf.sprintf "%d|%s|%d" index prev_hash nonce)
+
+let pow_hash data =
+  (* bitcoin-style double SHA-256 *)
+  let first, b1 = Sha256.digest_with_blocks data in
+  let second, b2 = Sha256.digest_with_blocks first in
+  (second, (b1 + b2) * Sha256.cycles_per_block)
+
+(* argv: blockchain [threads] [difficulty_bits] [blocks] *)
+let main _env argv =
+  Usys.in_frame "blockchain_main" (fun () ->
+      let nthreads = match argv with _ :: t :: _ -> int_of_string t | _ -> 4 in
+      let difficulty =
+        match argv with _ :: _ :: d :: _ -> int_of_string d | _ -> 16
+      in
+      let target_blocks =
+        match argv with _ :: _ :: _ :: b :: _ -> int_of_string b | _ -> 3
+      in
+      let chain = ref [ { index = 0; prev_hash = "genesis"; nonce = 0; hash = "genesis" } ] in
+      let chain_lock = Uthread.Mutex.create () in
+      let total_hashes = ref 0 in
+      let stop = ref false in
+      let worker wid () =
+        let hashes = ref 0 in
+        while not !stop do
+          (* snapshot the tip under the lock *)
+          let tip = Uthread.Mutex.with_lock chain_lock (fun () -> List.hd !chain) in
+          let index = tip.index + 1 in
+          (* partitioned nonce space per worker *)
+          let nonce = ref (wid * 10_000_000) in
+          let found = ref None in
+          let batch = 64 in
+          while !found = None && not !stop do
+            for _ = 1 to batch do
+              let data = header ~index ~prev_hash:tip.hash ~nonce:!nonce in
+              let digest, cycles = pow_hash data in
+              Usys.burn cycles;
+              incr hashes;
+              if
+                !found = None
+                && Sha256.leading_zero_bits digest >= difficulty
+              then found := Some (!nonce, Sha256.hex digest);
+              incr nonce
+            done;
+            (* give the tip a chance to have moved *)
+            let current =
+              Uthread.Mutex.with_lock chain_lock (fun () -> List.hd !chain)
+            in
+            (* someone else extended the chain: abandon this height *)
+            if current.index >= index then found := Some (-1, "")
+          done;
+          match !found with
+          | Some (n, hex) when n >= 0 ->
+              Uthread.Mutex.with_lock chain_lock (fun () ->
+                  let tip' = List.hd !chain in
+                  if tip'.index = tip.index then begin
+                    chain :=
+                      { index; prev_hash = tip.hash; nonce = n; hash = hex }
+                      :: !chain;
+                    Usys.printf "[miner %d] block %d nonce=%d hash=%s\n" wid
+                      index n (String.sub hex 0 16);
+                    if index >= target_blocks then stop := true
+                  end)
+          | Some _ | None -> ()
+        done;
+        Uthread.Mutex.with_lock chain_lock (fun () ->
+            total_hashes := !total_hashes + !hashes);
+        0
+      in
+      let t0 = Usys.uptime_ms () in
+      let tids = List.init nthreads (fun wid -> Uthread.spawn (worker wid)) in
+      List.iter (fun tid -> ignore (Uthread.join tid)) tids;
+      let dt_ms = max 1 (Usys.uptime_ms () - t0) in
+      Usys.printf "mined %d blocks, %d hashes, %.1f kH/s\n"
+        (List.hd !chain).index !total_hashes
+        (float_of_int !total_hashes /. float_of_int dt_ms);
+      0)

@@ -1,0 +1,125 @@
+(** donut — a1k0n's spinning torus, the motivating app of Prototypes 1–2.
+
+    The real math: parametric torus points, two rotation angles advanced
+    per frame, perspective projection, z-buffer, Lambertian luminance. Two
+    renderers, matching the paper: textual characters (UART output) and
+    pixels (framebuffer). Each task renders at its own pace, so multiple
+    instances visualize scheduling — Prototype 2's whole point. *)
+
+
+open User
+
+let cycles_per_point = 36 (* ~9 fp ops + trig table lookups per point *)
+
+(* Render one frame of the torus into a z-buffered luminance grid. *)
+let render_luminance ~cols ~rows ~a ~b =
+  let zbuf = Array.make (cols * rows) 0.0 in
+  let lum = Array.make (cols * rows) (-1.0) in
+  let sin_a = sin a and cos_a = cos a in
+  let sin_b = sin b and cos_b = cos b in
+  let theta = ref 0.0 in
+  let points = ref 0 in
+  while !theta < 6.28 do
+    let sin_t = sin !theta and cos_t = cos !theta in
+    let phi = ref 0.0 in
+    while !phi < 6.28 do
+      let sin_p = sin !phi and cos_p = cos !phi in
+      (* torus: R2 + R1*cos(theta), rotated by A (x-axis) and B (z-axis) *)
+      let circle_x = 2.0 +. cos_t in
+      let x3 = (circle_x *. ((cos_b *. cos_p) +. (sin_a *. sin_b *. sin_p)))
+               -. (sin_t *. cos_a *. sin_b)
+      and y3 = (circle_x *. ((sin_b *. cos_p) -. (sin_a *. cos_b *. sin_p)))
+               +. (sin_t *. cos_a *. cos_b)
+      and z3 = (cos_a *. circle_x *. sin_p) +. (sin_t *. sin_a) +. 5.0 in
+      let ooz = 1.0 /. z3 in
+      let xp = int_of_float (float_of_int (cols / 2) +. (float_of_int cols *. 0.3 *. ooz *. x3)) in
+      let yp = int_of_float (float_of_int (rows / 2) -. (float_of_int rows *. 0.35 *. ooz *. y3)) in
+      let l =
+        (cos_p *. cos_t *. sin_b) -. (cos_a *. cos_t *. sin_p) -. (sin_a *. sin_t)
+        +. (cos_b *. ((cos_a *. sin_t) -. (cos_t *. sin_a *. sin_p)))
+      in
+      if xp >= 0 && xp < cols && yp >= 0 && yp < rows && ooz > zbuf.((yp * cols) + xp)
+      then begin
+        zbuf.((yp * cols) + xp) <- ooz;
+        lum.((yp * cols) + xp) <- l
+      end;
+      incr points;
+      phi := !phi +. 0.02
+    done;
+    theta := !theta +. 0.07
+  done;
+  (lum, !points)
+
+let ascii_ramp = ".,-~:;=!*#$@"
+
+let frame_to_text ~cols ~rows lum =
+  let buf = Buffer.create ((cols + 1) * rows) in
+  for y = 0 to rows - 1 do
+    for x = 0 to cols - 1 do
+      let l = lum.((y * cols) + x) in
+      if l < 0.0 then Buffer.add_char buf ' '
+      else begin
+        let idx = min 11 (int_of_float (l *. 8.0)) in
+        Buffer.add_char buf ascii_ramp.[max 0 idx]
+      end
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* argv: donut [text|pixels] [frames] [speed_mdeg] *)
+let main env argv =
+  Usys.in_frame "donut_main" (fun () ->
+      let mode = match argv with _ :: m :: _ -> m | _ -> "pixels" in
+      let frames =
+        match argv with _ :: _ :: f :: _ -> int_of_string f | _ -> 0
+      in
+      let speed =
+        match argv with _ :: _ :: _ :: s :: _ -> float_of_string s /. 1000.0 | _ -> 0.07
+      in
+      let a = ref 0.0 and b = ref 0.0 in
+      let n = ref 0 in
+      if String.equal mode "text" then begin
+        while frames = 0 || !n < frames do
+          let lum, points = render_luminance ~cols:60 ~rows:24 ~a:!a ~b:!b in
+          Usys.burn (points * cycles_per_point);
+          Usys.print ("\x1b[H" ^ frame_to_text ~cols:60 ~rows:24 lum);
+          a := !a +. speed;
+          b := !b +. (speed /. 2.0);
+          incr n;
+          ignore (Usys.sleep 33)
+        done;
+        0
+      end
+      else begin
+        match Gfx.direct env with
+        | Error e -> e
+        | Ok gfx ->
+            let cols = 200 and rows = 150 in
+            while frames = 0 || !n < frames do
+              let lum, points = render_luminance ~cols ~rows ~a:!a ~b:!b in
+              Usys.burn (points * cycles_per_point);
+              Gfx.fill gfx 0x000000;
+              for y = 0 to rows - 1 do
+                for x = 0 to cols - 1 do
+                  let l = lum.((y * cols) + x) in
+                  if l >= 0.0 then begin
+                    let shade = max 40 (min 255 (int_of_float (l *. 180.0) + 70)) in
+                    (* scale up 2x onto the framebuffer, offset to center *)
+                    let px = Gfx.rgb shade (shade / 2) (shade / 4) in
+                    let bx = 120 + (2 * x) and by = 90 + (2 * y) in
+                    Gfx.put gfx ~x:bx ~y:by px;
+                    Gfx.put gfx ~x:(bx + 1) ~y:by px;
+                    Gfx.put gfx ~x:bx ~y:(by + 1) px;
+                    Gfx.put gfx ~x:(bx + 1) ~y:(by + 1) px
+                  end
+                done
+              done;
+              Gfx.present gfx;
+              a := !a +. speed;
+              b := !b +. (speed /. 2.0);
+              incr n;
+              ignore (Usys.sleep 16)
+            done;
+            0
+      end)

@@ -1,0 +1,12 @@
+(** helloworld — the Prototype 1 staple; also exercises the "infant app"
+    path of Prototype 3 (tens of lines, PC-relative only). *)
+
+
+open User
+
+let main _env argv =
+  Usys.in_frame "hello_main" (fun () ->
+      let who = match argv with _ :: name :: _ -> name | _ -> "world" in
+      Usys.printf "hello, %s! (pid %d)\n" who (Usys.getpid ());
+      Usys.burn 5_000;
+      0)

@@ -1,0 +1,75 @@
+(** launcher — the GUI frontend (§3): an animated background with a menu
+    of installed programs; Enter forks and execs the selection, arrows
+    move the cursor. *)
+
+
+open User
+
+let entries =
+  [
+    ("donut", [ "donut"; "pixels"; "300" ]);
+    ("mario", [ "mario"; "sdl"; "600" ]);
+    ("doom", [ "doom"; "600" ]);
+    ("music", [ "music" ]);
+    ("video", [ "video" ]);
+    ("slider", [ "slider" ]);
+    ("sysmon", [ "sysmon"; "30" ]);
+    ("blockchain", [ "blockchain"; "4"; "12"; "2" ]);
+    ("sh", [ "sh" ]);
+  ]
+
+(* argv: launcher [iterations] *)
+let main env argv =
+  Usys.in_frame "launcher_main" (fun () ->
+      let iters = match argv with _ :: n :: _ -> int_of_string n | _ -> 0 in
+      match Minisdl.init env (Minisdl.Window { w = 300; h = 260; x = 20; y = 100; alpha = 255 }) with
+      | Error e -> e
+      | Ok sdl ->
+          let gfx = Minisdl.surface sdl in
+          let cursor = ref 0 in
+          let tick = ref 0 in
+          let running = ref true in
+          while !running && (iters = 0 || !tick < iters) do
+            incr tick;
+            (* animated background: drifting diagonal color bands *)
+            for y = 0 to gfx.Gfx.height - 1 do
+              for x = 0 to gfx.Gfx.width - 1 do
+                let v = (x + y + (!tick * 3)) mod 96 in
+                Gfx.put gfx ~x ~y (Gfx.rgb (16 + v / 4) (20 + v / 3) (48 + v / 2))
+              done
+            done;
+            Gfx.text gfx ~x:12 ~y:8 ~color:0xffffff "VOS LAUNCHER";
+            List.iteri
+              (fun i (name, _) ->
+                let y = 32 + (i * 22) in
+                if i = !cursor then
+                  Gfx.fill_rect gfx ~x:8 ~y:(y - 4) ~w:(gfx.Gfx.width - 16) ~h:18
+                    (Gfx.rgb 60 80 160);
+                Gfx.text gfx ~x:16 ~y ~color:0xffffff name)
+              entries;
+            Minisdl.present sdl;
+            List.iter
+              (fun ev ->
+                if ev.Uevents.pressed then
+                  match ev.Uevents.key with
+                  | Uevents.Up -> cursor := (max 0 (!cursor - 1))
+                  | Uevents.Down ->
+                      cursor := min (List.length entries - 1) (!cursor + 1)
+                  | Uevents.Enter ->
+                      let name, argv = List.nth entries !cursor in
+                      let pid =
+                        Usys.fork (fun () ->
+                            let rc = Usys.exec ("/" ^ name) argv in
+                            (* exec only returns on failure *)
+                            rc)
+                      in
+                      Usys.printf "[launcher] started %s as pid %d\n" name pid
+                  | Uevents.Escape -> running := false
+                  | Uevents.Left | Uevents.Right | Uevents.Tab | Uevents.Space
+                  | Uevents.Char _ | Uevents.Other _ ->
+                      ())
+              (Minisdl.poll_events sdl);
+            Minisdl.delay 33
+          done;
+          Minisdl.quit sdl;
+          0)

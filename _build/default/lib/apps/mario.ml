@@ -1,0 +1,355 @@
+(** mario — the LiteNES-substitute platformer, in the paper's three
+    variants (§6.3):
+
+    - [noinput] (Prototype 3): one task, direct rendering, no events; the
+      game autoplays (title-screen coin flash, then the bot runs the level).
+    - [proc] (Prototype 4): the main loop reads a shared pipe fed by two
+      forked processes — a tick producer and a blocking /dev/events reader
+      (§4.4 "IPC for Mario's event loop").
+    - [sdl] (Prototype 5): threads + the window manager, with newlib-class
+      library overhead.
+
+    The engine does real per-frame work (tile background, sprites, physics,
+    camera) at the NES's 256×240; on top of that each frame charges the
+    emulation cost of one LiteNES frame (6502 + PPU), with per-variant
+    constants reflecting the paper's attribution of the FPS differences to
+    the user-library stacks. *)
+
+
+open User
+
+let screen_w = 256
+let screen_h = 240
+let tile = 16
+let level_cols = 256
+let ground_row = 12
+
+(* LiteNES frame emulation cost (6502 CPU + PPU scanlines) per variant:
+   the minimal P3 library, the tuned P4 library, and newlib+minisdl. Table
+   4's mario FPS ordering (proc > noinput > sdl) follows from these plus
+   the render-path differences. *)
+let emu_cycles = function
+  | `Noinput -> 8_750_000
+  | `Proc -> 8_350_000
+  | `Sdl -> 13_600_000
+
+(* ---- level ---- *)
+
+type cell = Sky | Ground | Brick | Pipe | Coin
+
+let level =
+  Array.init level_cols (fun col ->
+      Array.init 15 (fun row ->
+          let gap = col mod 37 >= 35 in
+          let pipe_here = col mod 23 = 15 in
+          let brick_row = row = 8 && col mod 11 < 3 in
+          let coin_here = row = 7 && col mod 13 = 6 in
+          if row >= ground_row then if gap then Sky else Ground
+          else if pipe_here && row >= ground_row - 2 then Pipe
+          else if brick_row then Brick
+          else if coin_here then Coin
+          else Sky))
+
+let cell_at ~col ~row =
+  if col < 0 || col >= level_cols || row < 0 || row >= 15 then Sky
+  else level.(col).(row)
+
+let solid = function Ground | Brick | Pipe -> true | Sky | Coin -> false
+
+(* ---- game state ---- *)
+
+type state = {
+  mutable px : float;  (** player x in pixels (world) *)
+  mutable py : float;
+  mutable vx : float;
+  mutable vy : float;
+  mutable on_ground : bool;
+  mutable camera : int;
+  mutable coins : int;
+  mutable frame : int;
+  mutable title : bool;  (** title screen with the flashing coin *)
+  collected : (int * int, unit) Hashtbl.t;
+  goombas : (float ref * float ref) array;  (** x, direction *)
+}
+
+let fresh_state () =
+  {
+    px = 32.0;
+    py = float_of_int ((ground_row * tile) - tile);
+    vx = 0.0;
+    vy = 0.0;
+    on_ground = true;
+    camera = 0;
+    coins = 0;
+    frame = 0;
+    title = true;
+    collected = Hashtbl.create 32;
+    goombas =
+      Array.init 8 (fun i -> (ref (float_of_int (300 + (i * 350))), ref (-1.0)));
+  }
+
+type input = { left : bool; right : bool; jump : bool }
+
+let no_input = { left = false; right = false; jump = false }
+
+(* The autoplay bot: run right, jump at obstacles and gaps. *)
+let bot st =
+  let col = int_of_float st.px / tile + 1 in
+  let ahead_solid =
+    solid (cell_at ~col:(col + 1) ~row:(ground_row - 1))
+    || solid (cell_at ~col:(col + 1) ~row:(ground_row - 2))
+  in
+  let gap_ahead = cell_at ~col:(col + 1) ~row:ground_row = Sky in
+  { left = false; right = true; jump = (ahead_solid || gap_ahead) && st.on_ground }
+
+let step st input =
+  st.frame <- st.frame + 1;
+  if st.title then begin
+    (* flashing coin on the title screen; autoplay transition after 120
+       frames, or any input starts the game *)
+    if st.frame > 120 || input.right || input.jump then st.title <- false
+  end
+  else begin
+    let accel = 0.25 in
+    if input.right then st.vx <- Float.min 2.2 (st.vx +. accel)
+    else if input.left then st.vx <- Float.max (-2.2) (st.vx -. accel)
+    else st.vx <- st.vx *. 0.85;
+    if input.jump && st.on_ground then begin
+      st.vy <- -5.4;
+      st.on_ground <- false
+    end;
+    st.vy <- Float.min 6.0 (st.vy +. 0.3);
+    st.px <- st.px +. st.vx;
+    st.py <- st.py +. st.vy;
+    (* ground collision *)
+    let col = int_of_float (st.px +. 8.0) / tile in
+    let foot_row = int_of_float (st.py +. 16.0) / tile in
+    if st.vy >= 0.0 && solid (cell_at ~col ~row:foot_row) then begin
+      st.py <- float_of_int ((foot_row * tile) - tile);
+      st.vy <- 0.0;
+      st.on_ground <- true
+    end
+    else st.on_ground <- false;
+    (* fell into a gap: respawn *)
+    if st.py > 260.0 then begin
+      st.px <- 32.0;
+      st.py <- float_of_int ((ground_row * tile) - tile);
+      st.vy <- 0.0
+    end;
+    (* coin pickup *)
+    let row = int_of_float (st.py +. 8.0) / tile in
+    if cell_at ~col ~row = Coin && not (Hashtbl.mem st.collected (col, row))
+    then begin
+      Hashtbl.replace st.collected (col, row) ();
+      st.coins <- st.coins + 1
+    end;
+    (* wrap at level end *)
+    if st.px > float_of_int ((level_cols - 2) * tile) then st.px <- 32.0;
+    (* goombas patrol *)
+    Array.iter
+      (fun (x, dir) ->
+        x := !x +. (!dir *. 0.8);
+        let c = int_of_float !x / tile in
+        if not (solid (cell_at ~col:c ~row:ground_row)) then dir := -. !dir)
+      st.goombas;
+    st.camera <- max 0 (int_of_float st.px - 100)
+  end
+
+(* ---- rendering ---- *)
+
+let sky_color = Gfx.rgb 92 148 252
+let ground_color = Gfx.rgb 172 124 0
+let brick_color = Gfx.rgb 200 76 12
+let pipe_color = Gfx.rgb 0 168 0
+let coin_color = Gfx.rgb 252 188 60
+let mario_color = Gfx.rgb 216 40 0
+let goomba_color = Gfx.rgb 136 88 24
+
+let draw st gfx =
+  Gfx.fill gfx sky_color;
+  if st.title then begin
+    Gfx.text gfx ~x:70 ~y:80 ~color:0xffffff "SUPER MARIO";
+    Gfx.text gfx ~x:76 ~y:100 ~color:0xc0c0c0 "LITE NES";
+    (* the flashing coin *)
+    if st.frame / 15 mod 2 = 0 then
+      Gfx.fill_rect gfx ~x:124 ~y:130 ~w:8 ~h:12 coin_color
+  end
+  else begin
+    let first_col = st.camera / tile in
+    for screen_col = 0 to (screen_w / tile) + 1 do
+      let col = first_col + screen_col in
+      for row = 0 to 14 do
+        let x = (col * tile) - st.camera and y = row * tile in
+        match cell_at ~col ~row with
+        | Sky -> ()
+        | Ground ->
+            Gfx.fill_rect gfx ~x ~y ~w:tile ~h:tile ground_color;
+            Gfx.fill_rect gfx ~x ~y ~w:tile ~h:2 (Gfx.rgb 228 184 96)
+        | Brick ->
+            Gfx.fill_rect gfx ~x ~y ~w:tile ~h:tile brick_color;
+            Gfx.fill_rect gfx ~x ~y:(y + 7) ~w:tile ~h:1 0x000000
+        | Pipe -> Gfx.fill_rect gfx ~x ~y ~w:tile ~h:tile pipe_color
+        | Coin ->
+            if not (Hashtbl.mem st.collected (col, row)) then
+              Gfx.fill_rect gfx ~x:(x + 4) ~y:(y + 2) ~w:8 ~h:12 coin_color
+      done
+    done;
+    (* goombas *)
+    Array.iter
+      (fun (gx, _) ->
+        let x = int_of_float !gx - st.camera in
+        if x > -16 && x < screen_w then
+          Gfx.fill_rect gfx ~x ~y:((ground_row * tile) - 14) ~w:14 ~h:14
+            goomba_color)
+      st.goombas;
+    (* mario *)
+    Gfx.fill_rect gfx
+      ~x:(int_of_float st.px - st.camera)
+      ~y:(int_of_float st.py) ~w:14 ~h:16 mario_color;
+    Gfx.text gfx ~x:6 ~y:4 ~color:0xffffff
+      (Printf.sprintf "COINS %d" st.coins)
+  end
+
+(* ---- input decoding shared by the variants ---- *)
+
+let input_of_events events held =
+  List.iter
+    (fun ev ->
+      match ev.Uevents.key with
+      | Uevents.Left -> held := { !held with left = ev.Uevents.pressed }
+      | Uevents.Right -> held := { !held with right = ev.Uevents.pressed }
+      | Uevents.Space | Uevents.Up | Uevents.Char 'a' ->
+          held := { !held with jump = ev.Uevents.pressed }
+      | Uevents.Down | Uevents.Enter | Uevents.Escape | Uevents.Tab
+      | Uevents.Char _ | Uevents.Other _ ->
+          ())
+    events
+
+(* ---- variants ---- *)
+
+let run_noinput env frames =
+  ignore (Usys.sbrk (3 * 1024 * 1024)) (* engine + framebuffer staging *);
+  match Gfx.direct env with
+  | Error e -> e
+  | Ok gfx ->
+      let st = fresh_state () in
+      while frames = 0 || st.frame < frames do
+        step st (if st.title then no_input else bot st);
+        Usys.burn (emu_cycles `Noinput);
+        draw st gfx;
+        Gfx.present gfx
+      done;
+      0
+
+(* Prototype 4: two helper processes feed a pipe; the main loop blocks on
+   it. A 'T' byte is a tick, an 'E' byte is followed by a raw event. *)
+let run_proc env frames cap_ms =
+  match Usys.pipe () with
+  | Error e -> e
+  | Ok (rfd, wfd) ->
+      (* tick producer *)
+      let ticker =
+        Usys.fork (fun () ->
+            let rec loop () =
+              if cap_ms > 0 then ignore (Usys.sleep cap_ms)
+              else Usys.burn 4_000;
+              let n = Usys.write wfd (Bytes.of_string "T") in
+              if n >= 0 then loop () else 0
+            in
+            loop ())
+      in
+      (* blocking event reader *)
+      let reader =
+        Usys.fork (fun () ->
+            let fd = Usys.open_ "/dev/events" Core.Abi.o_rdonly in
+            if fd < 0 then 0
+            else begin
+              let rec loop () =
+                match Usys.read fd Core.Kbd.event_bytes with
+                | Ok ev when Bytes.length ev > 0 ->
+                    let msg = Bytes.create (1 + Bytes.length ev) in
+                    Bytes.set msg 0 'E';
+                    Bytes.blit ev 0 msg 1 (Bytes.length ev);
+                    let n = Usys.write wfd msg in
+                    if n >= 0 then loop () else 0
+                | Ok _ | Error _ -> 0
+              in
+              loop ()
+            end)
+      in
+      let result =
+        match Gfx.direct env with
+        | Error e -> e
+        | Ok gfx ->
+            let st = fresh_state () in
+            let held = ref no_input in
+            while frames = 0 || st.frame < frames do
+              (match Usys.read rfd 64 with
+              | Ok msg ->
+                  let i = ref 0 in
+                  let ticked = ref false in
+                  while !i < Bytes.length msg do
+                    match Bytes.get msg !i with
+                    | 'T' ->
+                        ticked := true;
+                        incr i
+                    | 'E' when !i + Core.Kbd.event_bytes < Bytes.length msg + 1 ->
+                        let ev =
+                          Uevents.decode_bytes
+                            (Bytes.sub msg (!i + 1) Core.Kbd.event_bytes)
+                        in
+                        input_of_events ev held;
+                        i := !i + 1 + Core.Kbd.event_bytes
+                    | _ -> incr i
+                  done;
+                  if !ticked then begin
+                    step st
+                      (if st.title then { !held with jump = !held.jump }
+                       else if !held.left || !held.right || !held.jump then !held
+                       else bot st);
+                    Usys.burn (emu_cycles `Proc);
+                    draw st gfx;
+                    Gfx.present gfx
+                  end
+              | Error _ -> st.frame <- max st.frame (frames - 1))
+            done;
+            0
+      in
+      ignore (Usys.kill ticker);
+      ignore (Usys.kill reader);
+      ignore (Usys.wait ());
+      ignore (Usys.wait ());
+      result
+
+let run_sdl env frames cap_ms =
+  ignore (Usys.sbrk (11 * 1024 * 1024)) (* newlib heap + minisdl surfaces *);
+  match Minisdl.init env (Minisdl.Window { w = screen_w; h = screen_h; x = 40; y = 40; alpha = 255 }) with
+  | Error e -> e
+  | Ok sdl ->
+      let gfx = Minisdl.surface sdl in
+      let st = fresh_state () in
+      let held = ref no_input in
+      while frames = 0 || st.frame < frames do
+        input_of_events (Minisdl.poll_events sdl) held;
+        step st
+          (if st.title then !held
+           else if !held.left || !held.right || !held.jump then !held
+           else bot st);
+        Usys.burn (emu_cycles `Sdl);
+        draw st gfx;
+        Minisdl.present sdl;
+        if cap_ms > 0 then Minisdl.delay cap_ms
+      done;
+      Minisdl.quit sdl;
+      0
+
+(* argv: mario [noinput|proc|sdl] [frames] [cap_ms] *)
+let main env argv =
+  Usys.in_frame "mario_main" (fun () ->
+      let variant = match argv with _ :: v :: _ -> v | _ -> "noinput" in
+      let frames = match argv with _ :: _ :: f :: _ -> int_of_string f | _ -> 0 in
+      let cap_ms = match argv with _ :: _ :: _ :: c :: _ -> int_of_string c | _ -> 0 in
+      match variant with
+      | "proc" -> run_proc env frames cap_ms
+      | "sdl" -> run_sdl env frames cap_ms
+      | _ -> run_noinput env frames)

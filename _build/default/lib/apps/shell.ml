@@ -1,0 +1,97 @@
+(** sh — the console shell ported from xv6 and enhanced with script
+    execution (§3): reads commands from the UART console (or a script
+    file), forks and execs programs from the root filesystem, supports
+    [&] background jobs, [;] sequences, and the cd/exit builtins. *)
+
+
+open User
+
+let prompt = "vos$ "
+
+let read_line fd =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match Usys.read fd 1 with
+    | Ok b when Bytes.length b = 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+    | Ok b ->
+        let c = Bytes.get b 0 in
+        if c = '\n' || c = '\r' then Some (Buffer.contents buf)
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+    | Error _ -> None
+  in
+  go ()
+
+let tokenize line =
+  String.split_on_char ' ' line |> List.filter (fun t -> String.length t > 0)
+
+let run_command tokens ~background =
+  match tokens with
+  | [] -> ()
+  | prog :: _ -> (
+      let path = if prog.[0] = '/' then prog else "/" ^ prog in
+      let pid =
+        Usys.fork (fun () ->
+            let rc = Usys.exec path tokens in
+            Usys.printf "sh: cannot exec %s\n" prog;
+            rc)
+      in
+      if pid < 0 then Usys.printf "sh: fork failed\n"
+      else if background then Usys.printf "[%d] %s &\n" pid prog
+      else ignore (Usys.wait ()))
+
+let execute_line line =
+  (* comments and sequences *)
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  List.iter
+    (fun cmd ->
+      let cmd = String.trim cmd in
+      if String.length cmd > 0 then begin
+        let background = String.length cmd > 0 && cmd.[String.length cmd - 1] = '&' in
+        let cmd = if background then String.trim (String.sub cmd 0 (String.length cmd - 1)) else cmd in
+        match tokenize cmd with
+        | [] -> ()
+        | [ "exit" ] -> Usys.exit 0
+        | "cd" :: dir :: _ ->
+            if Usys.chdir dir < 0 then Usys.printf "sh: cd: no such directory: %s\n" dir
+        | [ "cd" ] -> ignore (Usys.chdir "/")
+        | [ "help" ] ->
+            Usys.print "builtins: cd exit help; programs live in /\n"
+        | tokens -> run_command tokens ~background
+      end)
+    (String.split_on_char ';' line)
+
+let run_script path =
+  match Usys.slurp path with
+  | Error e ->
+      Usys.printf "sh: cannot open %s\n" path;
+      e
+  | Ok data ->
+      String.split_on_char '\n' (Bytes.to_string data)
+      |> List.iter execute_line;
+      0
+
+(* argv: sh [script] *)
+let main _env argv =
+  Usys.in_frame "sh_main" (fun () ->
+      match argv with
+      | _ :: script :: _ -> run_script script
+      | _ ->
+          let fd = Usys.open_ "/dev/console" Core.Abi.o_rdwr in
+          if fd < 0 then -fd
+          else begin
+            let running = ref true in
+            while !running do
+              Usys.print prompt;
+              match read_line fd with
+              | None -> running := false
+              | Some line -> execute_line line
+            done;
+            0
+          end)

@@ -1,0 +1,78 @@
+(** sysmon — the floating, semi-transparent CPU/memory overlay that rides
+    on top of every other window (§4.5, Figure 1(m)). Polls procfs and
+    redraws through the WM once a second. *)
+
+
+open User
+
+let parse_meminfo text =
+  let find key =
+    List.find_map
+      (fun line ->
+        match String.index_opt line ':' with
+        | Some i when String.equal (String.sub line 0 i) key ->
+            let rest = String.sub line (i + 1) (String.length line - i - 1) in
+            let digits = String.trim (String.map (fun c -> if c >= '0' && c <= '9' then c else ' ') rest) in
+            (match String.split_on_char ' ' (String.trim digits) with
+            | n :: _ when n <> "" -> int_of_string_opt n
+            | _ -> None)
+        | Some _ | None -> None)
+      (String.split_on_char '\n' text)
+  in
+  (Option.value ~default:0 (find "MemUsed"), Option.value ~default:1 (find "MemTotal"))
+
+let parse_busy text =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | Some i when String.length line > 7 && String.equal (String.sub line 0 7) "busy_ns" ->
+          Int64.of_string_opt (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+      | Some _ | None -> None)
+    (String.split_on_char '\n' text)
+
+let read_proc path =
+  match Usys.slurp path with Ok b -> Bytes.to_string b | Error _ -> ""
+
+(* argv: sysmon [iterations] *)
+let main _env argv =
+  Usys.in_frame "sysmon_main" (fun () ->
+      let iters = match argv with _ :: n :: _ -> int_of_string n | _ -> 0 in
+      match Gfx.windowed ~width:180 ~height:100 ~x:450 ~y:10 ~alpha:170 () with
+      | Error e -> e
+      | Ok gfx ->
+          let prev_busy = ref [] in
+          let n = ref 0 in
+          while iters = 0 || !n < iters do
+            let busy = parse_busy (read_proc "/proc/cpuinfo") in
+            let used_kb, total_kb = parse_meminfo (read_proc "/proc/meminfo") in
+            Gfx.fill gfx (Gfx.rgb 12 16 28);
+            Gfx.text gfx ~x:4 ~y:4 ~color:0xffffff "SYSMON";
+            (* per-core utilization bars from busy_ns deltas *)
+            List.iteri
+              (fun core now ->
+                let prev =
+                  match List.nth_opt !prev_busy core with Some p -> p | None -> 0L
+                in
+                let delta = Int64.to_float (Int64.sub now prev) in
+                let frac = min 1.0 (delta /. 1e9) in
+                let w = int_of_float (frac *. 120.0) in
+                let y = 16 + (core * 12) in
+                Gfx.fill_rect gfx ~x:30 ~y ~w:120 ~h:8 (Gfx.rgb 30 34 48);
+                Gfx.fill_rect gfx ~x:30 ~y ~w ~h:8 (Gfx.rgb 90 220 120);
+                Gfx.text gfx ~x:4 ~y ~color:0xa0a0a0 (Printf.sprintf "C%d" core))
+              busy;
+            prev_busy := busy;
+            let mem_frac = float_of_int used_kb /. float_of_int (max 1 total_kb) in
+            Gfx.fill_rect gfx ~x:30 ~y:70 ~w:120 ~h:8 (Gfx.rgb 30 34 48);
+            Gfx.fill_rect gfx ~x:30 ~y:70
+              ~w:(int_of_float (mem_frac *. 120.0))
+              ~h:8 (Gfx.rgb 240 180 70);
+            Gfx.text gfx ~x:4 ~y:70 ~color:0xa0a0a0 "MEM";
+            Gfx.text gfx ~x:4 ~y:86 ~color:0x808080
+              (Printf.sprintf "%d/%dMB" (used_kb / 1024) (total_kb / 1024));
+            Gfx.present gfx;
+            incr n;
+            ignore (Usys.sleep 1000)
+          done;
+          Gfx.close gfx;
+          0)

@@ -1,0 +1,176 @@
+(** Console utilities ported from xv6 (§3): ls, cat, echo, wc, mkdir, rm,
+    grep, kill, ps, uptime. Each is a registered program with the standard
+    argv convention. *)
+
+
+open User
+
+let ls_main _env argv =
+  let path = match argv with _ :: p :: _ -> p | _ -> "." in
+  let fd = Usys.open_ path Core.Abi.o_rdonly in
+  if fd < 0 then begin
+    Usys.printf "ls: cannot open %s\n" path;
+    1
+  end
+  else begin
+    match Usys.fstat fd with
+    | Error e ->
+        ignore (Usys.close fd);
+        e
+    | Ok st when st.Core.Abi.stat_type <> Core.Abi.T_dir ->
+        ignore (Usys.close fd);
+        Usys.printf "%s %d\n" path st.Core.Abi.stat_size;
+        0
+    | Ok _ ->
+        let buf = Buffer.create 256 in
+        let rec drain () =
+          match Usys.read fd 4096 with
+          | Ok b when Bytes.length b > 0 ->
+              Buffer.add_bytes buf b;
+              drain ()
+          | Ok _ | Error _ -> ()
+        in
+        drain ();
+        ignore (Usys.close fd);
+        String.split_on_char '\n' (Buffer.contents buf)
+        |> List.filter (fun n -> n <> "")
+        |> List.iter (fun name ->
+               let full = if String.equal path "/" then "/" ^ name else path ^ "/" ^ name in
+               let ffd = Usys.open_ full Core.Abi.o_rdonly in
+               if ffd < 0 then Usys.printf "%-20s ?\n" name
+               else begin
+                 (match Usys.fstat ffd with
+                 | Ok st ->
+                     let kind =
+                       match st.Core.Abi.stat_type with
+                       | Core.Abi.T_dir -> "d"
+                       | Core.Abi.T_file -> "-"
+                       | Core.Abi.T_dev -> "c"
+                     in
+                     Usys.printf "%s %-20s %8d\n" kind name st.Core.Abi.stat_size
+                 | Error _ -> Usys.printf "? %-20s\n" name);
+                 ignore (Usys.close ffd)
+               end);
+        0
+  end
+
+let cat_main _env argv =
+  match argv with
+  | _ :: files when files <> [] ->
+      List.fold_left
+        (fun rc file ->
+          match Usys.slurp file with
+          | Ok data ->
+              Usys.print (Bytes.to_string data);
+              rc
+          | Error _ ->
+              Usys.printf "cat: cannot open %s\n" file;
+              1)
+        0 files
+  | _ ->
+      Usys.print "usage: cat files...\n";
+      1
+
+let echo_main _env argv =
+  (match argv with
+  | _ :: words -> Usys.print (String.concat " " words ^ "\n")
+  | [] -> Usys.print "\n");
+  0
+
+let wc_main _env argv =
+  match argv with
+  | _ :: files when files <> [] ->
+      List.iter
+        (fun file ->
+          match Usys.slurp file with
+          | Error _ -> Usys.printf "wc: cannot open %s\n" file
+          | Ok data ->
+              let text = Bytes.to_string data in
+              let lines = List.length (String.split_on_char '\n' text) - 1 in
+              let words =
+                String.split_on_char ' ' (String.map (fun c -> if c = '\n' then ' ' else c) text)
+                |> List.filter (fun w -> w <> "")
+                |> List.length
+              in
+              Usys.printf "%d %d %d %s\n" lines words (Bytes.length data) file)
+        files;
+      0
+  | _ ->
+      Usys.print "usage: wc files...\n";
+      1
+
+let mkdir_main _env argv =
+  match argv with
+  | _ :: dirs when dirs <> [] ->
+      List.fold_left
+        (fun rc dir ->
+          if Usys.mkdir dir < 0 then begin
+            Usys.printf "mkdir: failed to create %s\n" dir;
+            1
+          end
+          else rc)
+        0 dirs
+  | _ ->
+      Usys.print "usage: mkdir dirs...\n";
+      1
+
+let rm_main _env argv =
+  match argv with
+  | _ :: files when files <> [] ->
+      List.fold_left
+        (fun rc file ->
+          if Usys.unlink file < 0 then begin
+            Usys.printf "rm: failed to delete %s\n" file;
+            1
+          end
+          else rc)
+        0 files
+  | _ ->
+      Usys.print "usage: rm files...\n";
+      1
+
+let grep_main _env argv =
+  match argv with
+  | _ :: pattern :: files when files <> [] ->
+      let matches line =
+        let n = String.length pattern and m = String.length line in
+        let rec at i = i + n <= m && (String.equal (String.sub line i n) pattern || at (i + 1)) in
+        at 0
+      in
+      List.iter
+        (fun file ->
+          match Usys.slurp file with
+          | Error _ -> Usys.printf "grep: cannot open %s\n" file
+          | Ok data ->
+              String.split_on_char '\n' (Bytes.to_string data)
+              |> List.iter (fun line -> if matches line then Usys.print (line ^ "\n")))
+        files;
+      0
+  | _ ->
+      Usys.print "usage: grep pattern files...\n";
+      1
+
+let kill_main _env argv =
+  match argv with
+  | _ :: pids when pids <> [] ->
+      List.iter
+        (fun pid ->
+          match int_of_string_opt pid with
+          | Some p -> ignore (Usys.kill p)
+          | None -> Usys.printf "kill: bad pid %s\n" pid)
+        pids;
+      0
+  | _ ->
+      Usys.print "usage: kill pids...\n";
+      1
+
+let ps_main _env _argv =
+  match Usys.slurp "/proc/tasks" with
+  | Ok data ->
+      Usys.print (Bytes.to_string data);
+      0
+  | Error e -> e
+
+let uptime_main _env _argv =
+  Usys.printf "up %d ms\n" (Usys.uptime_ms ());
+  0

@@ -1,0 +1,1 @@
+lib/bench/ablation.ml: Buffer Core Float Hw List Measure Micro Option Printf Proto Sim User

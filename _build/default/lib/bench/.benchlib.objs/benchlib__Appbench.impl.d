@@ -1,0 +1,1 @@
+lib/bench/appbench.ml: Buffer Hw List Measure Osmodel Printf Proto String

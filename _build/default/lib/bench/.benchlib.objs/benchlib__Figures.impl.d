@@ -1,0 +1,1 @@
+lib/bench/figures.ml: Buffer Core Float List Measure Micro Osmodel Printf String

@@ -1,0 +1,1 @@
+lib/bench/latency.ml: Appbench Buffer Core Float Hw Int64 List Measure Printf Proto Sim

@@ -1,0 +1,1 @@
+lib/bench/measure.ml: Core Hw Int64 List Proto Sim

@@ -1,0 +1,1 @@
+lib/bench/memuse.ml: Buffer Core List Printf Proto Sim

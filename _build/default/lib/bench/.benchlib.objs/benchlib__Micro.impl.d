@@ -1,0 +1,1 @@
+lib/bench/micro.ml: Array Bytes Core Hw Int64 Measure Proto Sim String User

@@ -1,0 +1,1 @@
+lib/bench/powerbench.ml: Array Buffer Core Hw Int64 List Printf Proto Sim

@@ -1,0 +1,1 @@
+lib/bench/scale.ml: Array Buffer Core Hw Int64 List Measure Printf Proto Sim User

@@ -1,0 +1,1 @@
+lib/bench/survey.ml: Array Buffer List Printf Sim

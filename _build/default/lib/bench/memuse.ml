@@ -1,0 +1,30 @@
+(** §6.3 memory consumption: boot Prototype 5, run each target app alone,
+    report total OS memory (static kernel + ramdisk + framebuffer + pages
+    + kmalloc) — the paper measures 21–42 MB of the Pi3's 1 GB. *)
+
+type sample = { app : string; mb : float }
+
+let measure_app ~prog ~argv =
+  let stage = Proto.Stage.boot ~prototype:5 () in
+  let kernel = stage.Proto.Stage.kernel in
+  ignore (Proto.Stage.start stage prog argv);
+  Proto.Stage.run_for stage (Sim.Engine.sec 3);
+  {
+    app = prog;
+    mb = float_of_int (Core.Kernel.os_memory_bytes kernel) /. 1048576.0;
+  }
+
+let run () =
+  [
+    measure_app ~prog:"mario" ~argv:[ "mario"; "sdl"; "0" ];
+    measure_app ~prog:"doom" ~argv:[ "doom"; "0" ];
+    measure_app ~prog:"video" ~argv:[ "video"; "/d/videos/clip480.mv1"; "0" ];
+  ]
+
+let render samples =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "total OS memory while running each app alone:\n";
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  %-8s %6.1f MB\n" s.app s.mb))
+    samples;
+  Buffer.contents buf

@@ -1,0 +1,80 @@
+(** Figure 13: the pedagogical survey, reproduced as a seeded respondent
+    model (DESIGN.md substitution: we cannot survey 48 students; the
+    figure is a distribution of Likert responses per principle, so we
+    regenerate data with the distributions the paper describes — "most
+    students found the interactive apps a strong motivator", "a majority
+    (64%) opted for real devices", etc. — and summarize it the same way). *)
+
+type principle = P1_apps | P2_demo | P3_incremental | P4_min_viable
+
+let principles = [ P1_apps; P2_demo; P3_incremental; P4_min_viable ]
+
+let name = function
+  | P1_apps -> "P1 appealing apps"
+  | P2_demo -> "P2 demonstrability"
+  | P3_incremental -> "P3 incremental prototyping"
+  | P4_min_viable -> "P4 minimum viable impl"
+
+(* Response-probability vectors over Likert 1..5, encoding the paper's
+   qualitative description of each principle's reception. *)
+let distribution = function
+  | P1_apps -> [| 0.00; 0.02; 0.08; 0.27; 0.63 |]
+  | P2_demo -> [| 0.02; 0.06; 0.17; 0.35; 0.40 |] (* setup/debug friction noted *)
+  | P3_incremental -> [| 0.00; 0.02; 0.10; 0.38; 0.50 |]
+  | P4_min_viable -> [| 0.00; 0.04; 0.15; 0.41; 0.40 |]
+
+let respondents = 48
+
+type summary = {
+  sprinciple : principle;
+  counts : int array;  (** index 0 = Likert 1 *)
+  mean : float;
+  agree_pct : float;  (** responses >= 4 *)
+}
+
+let sample_one rng dist =
+  let u = Sim.Rng.float rng 1.0 in
+  let rec pick i acc =
+    if i >= Array.length dist - 1 then i
+    else begin
+      let acc = acc +. dist.(i) in
+      if u < acc then i else pick (i + 1) acc
+    end
+  in
+  pick 0 0.0
+
+let run ~seed () =
+  let rng = Sim.Rng.create seed in
+  List.map
+    (fun p ->
+      let dist = distribution p in
+      let counts = Array.make 5 0 in
+      for _ = 1 to respondents do
+        let r = sample_one rng dist in
+        counts.(r) <- counts.(r) + 1
+      done;
+      let total = float_of_int respondents in
+      let mean =
+        Array.to_list counts
+        |> List.mapi (fun i c -> float_of_int ((i + 1) * c))
+        |> List.fold_left ( +. ) 0.0
+        |> fun s -> s /. total
+      in
+      let agree = float_of_int (counts.(3) + counts.(4)) /. total *. 100.0 in
+      { sprinciple = p; counts; mean; agree_pct = agree })
+    principles
+
+let render summaries =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-28s %3s %3s %3s %3s %3s  %5s %7s\n" "principle" "1"
+       "2" "3" "4" "5" "mean" "agree%");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-28s %3d %3d %3d %3d %3d  %5.2f %6.1f%%\n"
+           (name s.sprinciple) s.counts.(0) s.counts.(1) s.counts.(2)
+           s.counts.(3) s.counts.(4) s.mean s.agree_pct))
+    summaries;
+  Buffer.add_string buf (Printf.sprintf "  N=%d respondents (synthetic)\n" respondents);
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/core/audio.ml: Abi Array Bytes Hw Kcost Queue Sched

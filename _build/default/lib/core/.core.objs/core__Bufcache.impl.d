@@ -1,0 +1,1 @@
+lib/core/bufcache.ml: Bytes Fs Hashtbl Hw Kcost List Sched

@@ -1,0 +1,1 @@
+lib/core/console.ml: Abi Bytes Errno Hw Int64 Kcost Sched String

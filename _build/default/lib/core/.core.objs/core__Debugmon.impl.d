@@ -1,0 +1,1 @@
+lib/core/debugmon.ml: Int64 List Printf Sched String Task Unwind

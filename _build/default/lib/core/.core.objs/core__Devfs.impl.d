@@ -1,0 +1,1 @@
+lib/core/devfs.ml: Abi Array Audio Buffer Bytes Console Errno Fd Hw Kbd Kcost Ktrace List Queue Sched String Task Vm Wm

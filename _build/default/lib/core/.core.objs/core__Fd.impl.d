@@ -1,0 +1,1 @@
+lib/core/fd.ml: Array Bufcache Bytes Errno Fs Hashtbl Pipe Sched

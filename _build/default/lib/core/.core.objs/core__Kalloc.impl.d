@@ -1,0 +1,1 @@
+lib/core/kalloc.ml: Hashtbl List Printf Stack String

@@ -1,0 +1,1 @@
+lib/core/kbd.ml: Abi Buffer Bytes Errno Hw Int64 Kcost Ktrace List Queue Sched Task

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Audio Bufcache Bytes Console Debugmon Devfs Fd Fs Hw Int64 Kalloc Kbd Kconfig List Panic Proc Procfs Sched Sem Sim String Syscall Task Velf Vfs Vm Wm

@@ -1,0 +1,1 @@
+lib/core/ktrace.ml: Array Int64 List Printf

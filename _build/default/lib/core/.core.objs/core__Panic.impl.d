@@ -1,0 +1,1 @@
+lib/core/panic.ml: Array Buffer Console Hw Int64 Ktrace List Printf Queue Sched Sim Task Unwind

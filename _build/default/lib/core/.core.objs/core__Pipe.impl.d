@@ -1,0 +1,1 @@
+lib/core/pipe.ml: Abi Bytes Errno Kcost Printf Sched

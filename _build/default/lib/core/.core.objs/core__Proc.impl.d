@@ -1,0 +1,1 @@
+lib/core/proc.ml: Abi Errno Fd Hashtbl Hw Int64 Kalloc Kconfig Kcost List Option Printf Sched Sim Task Velf Vfs Vm

@@ -1,0 +1,1 @@
+lib/core/procfs.ml: Abi Buffer Bytes Errno Fd Hashtbl Hw Int64 Kalloc Kcost List Option Printf Sched Sim String Task

@@ -1,0 +1,1 @@
+lib/core/sched.ml: Abi Array Effect Hashtbl Hw Int64 Kalloc Kconfig Kcost Ktrace List Option Printexc Printf Queue Sim String Task Vm

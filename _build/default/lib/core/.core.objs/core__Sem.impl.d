@@ -1,0 +1,1 @@
+lib/core/sem.ml: Abi Errno Hashtbl Kcost Printf Sched

@@ -1,0 +1,1 @@
+lib/core/spinlock.ml: Hw Int64 Printf

@@ -1,0 +1,1 @@
+lib/core/syscall.ml: Abi Console Errno Fd Hw Kconfig Kcost Ktrace Proc Sched Sem Task Vfs Vm

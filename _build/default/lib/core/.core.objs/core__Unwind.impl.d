@@ -1,0 +1,1 @@
+lib/core/unwind.ml: List Printf Sched String Task

@@ -1,0 +1,1 @@
+lib/core/velf.ml: Bytes Kalloc String

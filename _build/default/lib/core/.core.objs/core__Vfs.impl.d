@@ -1,0 +1,1 @@
+lib/core/vfs.ml: Abi Bufcache Bytes Devfs Errno Fd Fs Hashtbl Kconfig Kcost List Pipe Procfs Sched String Task

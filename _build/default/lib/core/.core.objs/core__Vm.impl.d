@@ -1,0 +1,1 @@
+lib/core/vm.ml: Hashtbl Kalloc List Option Printf String

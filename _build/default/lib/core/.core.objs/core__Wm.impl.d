@@ -1,0 +1,1 @@
+lib/core/wm.ml: Abi Array Effect Hashtbl Hw Kbd Kcost Ktrace List Printf Queue Sched Task

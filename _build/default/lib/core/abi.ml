@@ -1,0 +1,127 @@
+(** The user/kernel ABI: VOS's 28 syscalls and the trap mechanism.
+
+    In the real VOS, user code at EL0 executes [svc #0] and the kernel
+    resumes it after the trap. Here the trap boundary is an OCaml effect:
+    user code [perform]s {!Sys}, the kernel captures the one-shot
+    continuation, runs the syscall path (charging simulated time), and
+    resumes — or parks — the continuation. {!Burn} is how user code accounts
+    for its own CPU work (every pixel pushed, hash computed, or sample
+    decoded costs cycles), and is also the kernel's preemption point.
+
+    Exactly 28 syscalls, in the paper's three categories (§3):
+    - tasks & time: fork exec exit wait kill getpid sleep uptime sbrk
+      cacheflush
+    - files: open close read write lseek dup pipe fstat mkdir unlink chdir
+      mmap
+    - threading & sync: clone join sem_open sem_post sem_wait sem_close
+
+    One concession to the host language: [fork] and [clone] carry the
+    child's body as a closure, because OCaml's one-shot continuations cannot
+    be duplicated the way a page table can. The kernel still performs (and
+    charges for) the full address-space copy; only the "return twice"
+    idiom is replaced by an explicit child entry point. *)
+
+(* open() flags, numerically compatible with xv6's fcntl.h *)
+let o_rdonly = 0x000
+let o_wronly = 0x001
+let o_rdwr = 0x002
+let o_create = 0x200
+let o_trunc = 0x400
+let o_nonblock = 0x800
+
+(* lseek whence *)
+let seek_set = 0
+let seek_cur = 1
+let seek_end = 2
+
+type ftype_tag = T_dir | T_file | T_dev
+
+type stat = {
+  stat_type : ftype_tag;
+  stat_size : int;
+  stat_nlink : int;
+  stat_ino : int;
+}
+
+(** What a syscall returns to userspace. Plain integers cover most calls
+    (negative = -errno, as in the C ABI); the data-bearing calls have their
+    own arms rather than copying through user pointers. *)
+type ret =
+  | R_int of int
+  | R_bytes of Bytes.t  (** read *)
+  | R_pair of int * int  (** pipe *)
+  | R_stat of stat  (** fstat *)
+  | R_mmap of int * int * int  (** mmap: address, width, height *)
+
+type syscall =
+  (* tasks & time *)
+  | Fork of (unit -> int)  (** child body; see note above *)
+  | Exec of string * string list
+  | Exit of int
+  | Wait
+  | Kill of int
+  | Getpid
+  | Sleep of int  (** milliseconds *)
+  | Uptime
+  | Sbrk of int  (** bytes, may be negative *)
+  | Cacheflush  (** clean the framebuffer range (§4.3) *)
+  (* files *)
+  | Open of string * int
+  | Close of int
+  | Read of int * int  (** fd, length *)
+  | Write of int * Bytes.t
+  | Lseek of int * int * int  (** fd, offset, whence *)
+  | Dup of int
+  | Pipe
+  | Fstat of int
+  | Mkdir of string
+  | Unlink of string
+  | Chdir of string
+  | Mmap of int  (** fd; only /dev/fb supports it *)
+  (* threading & sync *)
+  | Clone of (unit -> int)  (** CLONE_VM thread body *)
+  | Join of int
+  | Sem_open of int  (** initial value; returns sem id *)
+  | Sem_post of int
+  | Sem_wait of int
+  | Sem_close of int
+
+let syscall_count = 28
+
+let syscall_name = function
+  | Fork _ -> "fork"
+  | Exec _ -> "exec"
+  | Exit _ -> "exit"
+  | Wait -> "wait"
+  | Kill _ -> "kill"
+  | Getpid -> "getpid"
+  | Sleep _ -> "sleep"
+  | Uptime -> "uptime"
+  | Sbrk _ -> "sbrk"
+  | Cacheflush -> "cacheflush"
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Lseek _ -> "lseek"
+  | Dup _ -> "dup"
+  | Pipe -> "pipe"
+  | Fstat _ -> "fstat"
+  | Mkdir _ -> "mkdir"
+  | Unlink _ -> "unlink"
+  | Chdir _ -> "chdir"
+  | Mmap _ -> "mmap"
+  | Clone _ -> "clone"
+  | Join _ -> "join"
+  | Sem_open _ -> "sem_open"
+  | Sem_post _ -> "sem_post"
+  | Sem_wait _ -> "sem_wait"
+  | Sem_close _ -> "sem_close"
+
+type _ Effect.t +=
+  | Sys : syscall -> ret Effect.t
+        (** the trap: user → kernel *)
+  | Burn : int -> unit Effect.t
+        (** consume N CPU cycles of user work; preemptible *)
+  | Frame_mark : string -> unit Effect.t
+        (** shadow-stack push/pop for the unwinder; "" pops *)

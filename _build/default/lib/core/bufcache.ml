@@ -1,0 +1,189 @@
+(** The buffer cache, inherited from xv6: fixed-size, single-block
+    operations only (§5.2). That design suffices for xv6fs on ramdisk but
+    bottlenecks FAT32's multi-block accesses — so Prototype 5 adds a bypass
+    that sends range reads straight to the SD driver, cutting large-file
+    load latency 2–3x. Both paths live here; the bypass is switched by
+    {!Kconfig.range_io_bypass} so the ablation bench can compare them.
+
+    Time accounting: CPU cycles are charged to the current syscall context
+    ([with_ctx] scopes it); device time (the SD polling cost) is charged as
+    IO time. A ramdisk backing has no device time — only copy cycles. *)
+
+type backing =
+  | Ram of Bytes.t  (** the ramdisk image; sector-addressed *)
+  | Card of Hw.Sd.t * int  (** SD card + partition start lba *)
+  | Usb_msd of Hw.Usb.t  (** USB mass-storage bulk transfers *)
+
+type t = {
+  backing : backing;
+  board : Hw.Board.t;
+  block_sectors : int;  (** cached unit: 2 for xv6fs (1 KB), 1 for FAT *)
+  capacity : int;  (** blocks held; xv6's NBUF is 30 *)
+  cache : (int, Bytes.t) Hashtbl.t;
+  mutable lru : int list;  (** most recent first *)
+  mutable ctx : Sched.ctx option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable range_reads : int;
+}
+
+let create ~board ~backing ~block_sectors ?(capacity = 30) () =
+  {
+    backing;
+    board;
+    block_sectors;
+    capacity;
+    cache = Hashtbl.create 64;
+    lru = [];
+    ctx = None;
+    hits = 0;
+    misses = 0;
+    range_reads = 0;
+  }
+
+let with_ctx t ctx f =
+  let saved = t.ctx in
+  t.ctx <- Some ctx;
+  let finally () = t.ctx <- saved in
+  match f () with
+  | result ->
+      finally ();
+      result
+  | exception e ->
+      finally ();
+      raise e
+
+let charge_cycles t cycles =
+  match t.ctx with Some ctx -> Sched.charge ctx cycles | None -> ()
+
+let charge_io t ns =
+  match t.ctx with
+  | Some ctx -> Sched.charge_io ctx (Hw.Board.io_ns t.board ns)
+  | None -> ()
+
+let block_bytes t = t.block_sectors * Fs.Blockdev.sector_bytes
+
+(* raw device access in sectors *)
+let device_read t ~lba ~count =
+  match t.backing with
+  | Ram image ->
+      charge_cycles t (Kcost.copy_cycles ~bytes:(count * Fs.Blockdev.sector_bytes));
+      Bytes.sub image (lba * Fs.Blockdev.sector_bytes)
+        (count * Fs.Blockdev.sector_bytes)
+  | Card (sd, first) -> (
+      match Hw.Sd.read sd ~lba:(first + lba) ~count with
+      | Ok (data, cost) ->
+          charge_io t cost;
+          data
+      | Error e -> invalid_arg e)
+  | Usb_msd usb -> (
+      match Hw.Usb.msd_read usb ~lba ~count with
+      | Ok (data, cost) ->
+          charge_io t cost;
+          data
+      | Error e -> invalid_arg e)
+
+let device_write t ~lba data =
+  match t.backing with
+  | Ram image ->
+      charge_cycles t (Kcost.copy_cycles ~bytes:(Bytes.length data));
+      Bytes.blit data 0 image (lba * Fs.Blockdev.sector_bytes) (Bytes.length data)
+  | Card (sd, first) -> (
+      match Hw.Sd.write sd ~lba:(first + lba) ~data with
+      | Ok cost -> charge_io t cost
+      | Error e -> invalid_arg e)
+  | Usb_msd usb -> (
+      match Hw.Usb.msd_write usb ~lba ~data with
+      | Ok cost -> charge_io t cost
+      | Error e -> invalid_arg e)
+
+let touch_lru t n =
+  t.lru <- n :: List.filter (fun m -> m <> n) t.lru
+
+let evict_if_full t =
+  if Hashtbl.length t.cache >= t.capacity then begin
+    match List.rev t.lru with
+    | [] -> ()
+    | victim :: _ ->
+        (* write-through cache: eviction is free *)
+        Hashtbl.remove t.cache victim;
+        t.lru <- List.filter (fun m -> m <> victim) t.lru
+  end
+
+(* Single-block read through the cache (block number in cache units). *)
+let bread t n =
+  charge_cycles t Kcost.bufcache_hit;
+  match Hashtbl.find_opt t.cache n with
+  | Some data ->
+      t.hits <- t.hits + 1;
+      touch_lru t n;
+      Bytes.copy data
+  | None ->
+      t.misses <- t.misses + 1;
+      charge_cycles t Kcost.bufcache_miss_extra;
+      let data = device_read t ~lba:(n * t.block_sectors) ~count:t.block_sectors in
+      evict_if_full t;
+      Hashtbl.replace t.cache n (Bytes.copy data);
+      touch_lru t n;
+      data
+
+(* Write-through single-block write. *)
+let bwrite t n data =
+  assert (Bytes.length data = block_bytes t);
+  charge_cycles t Kcost.bufcache_hit;
+  evict_if_full t;
+  Hashtbl.replace t.cache n (Bytes.copy data);
+  touch_lru t n;
+  device_write t ~lba:(n * t.block_sectors) data
+
+(* The §5.2 bypass: a multi-sector read straight to the device, skipping
+   the cache entirely (and so paying the command overhead only once). *)
+let read_range_direct t ~lba ~count =
+  t.range_reads <- t.range_reads + 1;
+  device_read t ~lba ~count
+
+(* The pre-optimization path for ranges: sector-by-sector through the
+   cache, one device command each on a miss. *)
+let read_range_cached t ~lba ~count =
+  assert (t.block_sectors = 1);
+  let out = Bytes.create (count * Fs.Blockdev.sector_bytes) in
+  for i = 0 to count - 1 do
+    let sector = bread t (lba + i) in
+    Bytes.blit sector 0 out (i * Fs.Blockdev.sector_bytes)
+      Fs.Blockdev.sector_bytes
+  done;
+  out
+
+let write_range t ~lba data =
+  (* keep cached copies coherent, then push to the device in one command *)
+  let sectors = Bytes.length data / Fs.Blockdev.sector_bytes in
+  if t.block_sectors = 1 then
+    for i = 0 to sectors - 1 do
+      if Hashtbl.mem t.cache (lba + i) then
+        Hashtbl.replace t.cache (lba + i)
+          (Bytes.sub data (i * Fs.Blockdev.sector_bytes) Fs.Blockdev.sector_bytes)
+    done;
+  device_write t ~lba data
+
+(* ---- filesystem adapters ---- *)
+
+let xv6_io t : Fs.Xv6fs.io =
+  assert (t.block_sectors = 2);
+  { Fs.Xv6fs.bread = (fun n -> bread t n); bwrite = (fun n b -> bwrite t n b) }
+
+let fat_io t ~range_bypass : Fs.Fat32.io =
+  assert (t.block_sectors = 1);
+  let read ~lba ~count =
+    if count = 1 then bread t lba
+    else if range_bypass then read_range_direct t ~lba ~count
+    else read_range_cached t ~lba ~count
+  in
+  let write ~lba ~data =
+    if Bytes.length data = Fs.Blockdev.sector_bytes then bwrite t lba data
+    else write_range t ~lba data
+  in
+  { Fs.Fat32.read; write }
+
+let hits t = t.hits
+let misses t = t.misses
+let range_reads t = t.range_reads

@@ -1,0 +1,166 @@
+(** File objects and per-task descriptor tables — VOS's "file abstraction"
+    (Table 1), through which everything flows: xv6fs inodes, FAT32
+    pseudo-inodes, device files and pipes. *)
+
+(** Operations of a device file (/dev/...). Each callback must complete the
+    syscall via [Sched.finish] (possibly after blocking), mirroring how VOS
+    device drivers own their IO paths. *)
+type dev_ops = {
+  dev_name : string;
+  dev_read : Sched.ctx -> file -> len:int -> unit;
+  dev_write : Sched.ctx -> file -> Bytes.t -> unit;
+  dev_mmap : (Sched.ctx -> file -> unit) option;
+  dev_close : file -> unit;
+}
+
+(** FAT32 files are identified by path and carry a pseudo-inode holding the
+    cached stat, bridging FatFS's inode-less API to the VFS (§4.5). *)
+and fat_handle = { fat_path : string; mutable fat_size : int }
+
+and kind =
+  | K_xv6 of Fs.Xv6fs.t * Fs.Xv6fs.inode
+  | K_fat of Fs.Fat32.t * Bufcache.t * fat_handle
+  | K_dev of dev_ops
+  | K_pipe_read of Pipe.t
+  | K_pipe_write of Pipe.t
+
+and file = {
+  file_id : int;
+  kind : kind;
+  mutable off : int;
+  readable : bool;
+  writable : bool;
+  nonblock : bool;
+  mutable refs : int;
+  mutable dev_cookie : int;  (** per-open device state, e.g. surface id *)
+}
+
+let max_files = 32
+let next_file_id = ref 0
+
+let make_file ~kind ~readable ~writable ~nonblock =
+  incr next_file_id;
+  {
+    file_id = !next_file_id;
+    kind;
+    off = 0;
+    readable;
+    writable;
+    nonblock;
+    refs = 1;
+    dev_cookie = -1;
+  }
+
+(** Descriptor tables, keyed by pid. CLONE_VM threads share one table
+    (closing an fd in one thread closes it for all), processes get copies
+    with bumped refcounts. *)
+type fd_table = { slots : file option array; mutable sharers : int }
+
+type t = { sched : Sched.t; tables : (int, fd_table) Hashtbl.t }
+
+let create sched = { sched; tables = Hashtbl.create 32 }
+
+let table t pid =
+  match Hashtbl.find_opt t.tables pid with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = { slots = Array.make max_files None; sharers = 1 } in
+      Hashtbl.replace t.tables pid tbl;
+      tbl
+
+let get t ~pid ~fd =
+  if fd < 0 || fd >= max_files then None else (table t pid).slots.(fd)
+
+let alloc t ~pid file =
+  let arr = (table t pid).slots in
+  let rec scan fd =
+    if fd >= max_files then Error Errno.emfile
+    else if arr.(fd) = None then begin
+      arr.(fd) <- Some file;
+      Ok fd
+    end
+    else scan (fd + 1)
+  in
+  scan 0
+
+let drop_ref t file =
+  file.refs <- file.refs - 1;
+  if file.refs = 0 then begin
+    match file.kind with
+    | K_pipe_read p -> Pipe.close_read t.sched p
+    | K_pipe_write p -> Pipe.close_write t.sched p
+    | K_dev ops -> ops.dev_close file
+    | K_xv6 _ | K_fat _ -> ()
+  end
+
+let close t ~pid ~fd =
+  match get t ~pid ~fd with
+  | None -> Error Errno.ebadf
+  | Some file ->
+      (table t pid).slots.(fd) <- None;
+      drop_ref t file;
+      Ok ()
+
+let dup t ~pid ~fd =
+  match get t ~pid ~fd with
+  | None -> Error Errno.ebadf
+  | Some file -> (
+      match alloc t ~pid file with
+      | Error e -> Error e
+      | Ok newfd ->
+          file.refs <- file.refs + 1;
+          (match file.kind with
+          | K_pipe_read p -> Pipe.dup_read p
+          | K_pipe_write p -> Pipe.dup_write p
+          | K_xv6 _ | K_fat _ | K_dev _ -> ());
+          Ok newfd)
+
+(* fork: the child inherits a copy of the parent's table with bumped
+   refcounts. *)
+let clone_table t ~parent ~child =
+  let src = table t parent in
+  let dst =
+    Array.map
+      (fun slot ->
+        match slot with
+        | None -> None
+        | Some file ->
+            file.refs <- file.refs + 1;
+            (match file.kind with
+            | K_pipe_read p -> Pipe.dup_read p
+            | K_pipe_write p -> Pipe.dup_write p
+            | K_xv6 _ | K_fat _ | K_dev _ -> ());
+            Some file)
+      src.slots
+  in
+  Hashtbl.replace t.tables child { slots = dst; sharers = 1 }
+
+(* clone(CLONE_VM): the thread shares the very same table. *)
+let share_table t ~parent ~child =
+  let tbl = table t parent in
+  tbl.sharers <- tbl.sharers + 1;
+  Hashtbl.replace t.tables child tbl
+
+let close_all t ~pid =
+  match Hashtbl.find_opt t.tables pid with
+  | None -> ()
+  | Some tbl ->
+      tbl.sharers <- tbl.sharers - 1;
+      if tbl.sharers <= 0 then
+        Array.iteri
+          (fun fd slot ->
+            match slot with
+            | None -> ()
+            | Some file ->
+                tbl.slots.(fd) <- None;
+                drop_ref t file)
+          tbl.slots;
+      Hashtbl.remove t.tables pid
+
+let open_count t ~pid =
+  match Hashtbl.find_opt t.tables pid with
+  | None -> 0
+  | Some tbl ->
+      Array.fold_left
+        (fun n slot -> if slot = None then n else n + 1)
+        0 tbl.slots

@@ -1,0 +1,100 @@
+(** Kernel feature configuration.
+
+    Each prototype stage of VOS is this same kernel with a subset of
+    features switched on (Table 1). The stager in [lib/proto] constructs
+    these; [full] is Prototype 5. Feature checks at syscall entry return
+    ENOSYS for capabilities the stage lacks, which is also how the
+    feature-matrix validation of Table 1 is enforced mechanically. *)
+
+type t = {
+  stage : int;  (** prototype number, 1–5 *)
+  multitasking : bool;  (** P2+: scheduler with multiple tasks *)
+  user_separation : bool;  (** P3+: EL0/EL1 split, virtual memory *)
+  syscalls_tasks : bool;  (** P3+: fork/exit/sbrk/sleep/write *)
+  syscalls_files : bool;  (** P4+: the file table *)
+  syscalls_threads : bool;  (** P5: clone + semaphores *)
+  kmalloc : bool;  (** P4+: sub-page allocator (P2–3 are page-based) *)
+  filesystem : bool;  (** P4+: xv6fs on ramdisk *)
+  fat32 : bool;  (** P5: SD card FAT32 under /d *)
+  devfs : bool;  (** P4+ *)
+  procfs : bool;  (** P4+ *)
+  usb_keyboard : bool;  (** P4+ *)
+  sound : bool;  (** P4+: PWM + DMA audio *)
+  multicore : bool;  (** P5: all four cores *)
+  window_manager : bool;  (** P5 *)
+  nonblocking_io : bool;  (** P5: O_NONBLOCK on device files *)
+  range_io_bypass : bool;  (** P5 + §5.2: FAT32 range reads skip the cache *)
+  simd_pixel_ops : bool;  (** §5.2: NEON YUV conversion in the user lib *)
+  demand_paging : bool;  (** P3+: stacks fault in page by page *)
+}
+
+let full =
+  {
+    stage = 5;
+    multitasking = true;
+    user_separation = true;
+    syscalls_tasks = true;
+    syscalls_files = true;
+    syscalls_threads = true;
+    kmalloc = true;
+    filesystem = true;
+    fat32 = true;
+    devfs = true;
+    procfs = true;
+    usb_keyboard = true;
+    sound = true;
+    multicore = true;
+    window_manager = true;
+    nonblocking_io = true;
+    range_io_bypass = true;
+    simd_pixel_ops = true;
+    demand_paging = true;
+  }
+
+let rec prototype = function
+  | 1 ->
+      {
+        stage = 1;
+        multitasking = false;
+        user_separation = false;
+        syscalls_tasks = false;
+        syscalls_files = false;
+        syscalls_threads = false;
+        kmalloc = false;
+        filesystem = false;
+        fat32 = false;
+        devfs = false;
+        procfs = false;
+        usb_keyboard = false;
+        sound = false;
+        multicore = false;
+        window_manager = false;
+        nonblocking_io = false;
+        range_io_bypass = false;
+        simd_pixel_ops = false;
+        demand_paging = false;
+      }
+  | 2 -> { (prototype 1) with stage = 2; multitasking = true }
+  | 3 ->
+      {
+        (prototype 1) with
+        stage = 3;
+        multitasking = true;
+        user_separation = true;
+        syscalls_tasks = true;
+        demand_paging = true;
+      }
+  | 4 ->
+      {
+        full with
+        stage = 4;
+        syscalls_threads = false;
+        fat32 = false;
+        multicore = false;
+        window_manager = false;
+        nonblocking_io = false;
+        range_io_bypass = false;
+        simd_pixel_ops = false;
+      }
+  | 5 -> full
+  | k -> invalid_arg (Printf.sprintf "Kconfig.prototype: no prototype %d" k)

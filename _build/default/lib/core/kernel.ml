@@ -1,0 +1,435 @@
+(** Kernel assembly and boot (§3 "OS image", §4).
+
+    Booting mirrors the real flow: the GPU firmware loads the kernel image
+    from SD partition 1 (charged as firmware time), the kernel builds its
+    ramdisk root filesystem (xv6fs) with every user program packed as a
+    VELF executable, allocates the framebuffer through the mailbox, brings
+    up drivers per the prototype's feature set, mounts the FAT32 partition
+    under /d, releases secondary cores, and is then ready to spawn init. *)
+
+type program = {
+  prog_name : string;
+  prog_size : int;  (** VELF image size: drives exec load cost and memory *)
+  prog_main : string list -> int;
+}
+
+type spec = {
+  sp_platform : Hw.Board.platform;
+  sp_config : Kconfig.t;
+  sp_seed : int64;
+  sp_fb : (int * int) option;
+  sp_programs : program list;
+  sp_files : (string * Bytes.t) list;  (** extra ramdisk files *)
+  sp_fat_files : (string * Bytes.t) list;  (** files on the FAT partition *)
+  sp_usb_files : (string * Bytes.t) list option;
+      (** when [Some], a FAT32-formatted USB mass-storage stick with these
+          files is plugged in and mounted under /usb — the USB-class
+          extensibility §4.4 anticipates *)
+  sp_track_dirty : bool;
+  sp_sd_mib : int;
+}
+
+let default_spec =
+  {
+    sp_platform = Hw.Board.pi3;
+    sp_config = Kconfig.full;
+    sp_seed = 42L;
+    sp_fb = Some (640, 480);
+    sp_programs = [];
+    sp_files = [];
+    sp_fat_files = [];
+    sp_usb_files = None;
+    sp_track_dirty = true;
+    sp_sd_mib = 64;
+  }
+
+type t = {
+  spec : spec;
+  board : Hw.Board.t;
+  config : Kconfig.t;
+  kalloc : Kalloc.t;
+  sched : Sched.t;
+  fdt : Fd.t;
+  vfs : Vfs.t;
+  proc : Proc.t;
+  sems : Sem.t;
+  console : Console.t;
+  kbd : Kbd.t;
+  audio : Audio.t option;
+  wm : Wm.t option;
+  fb : Hw.Framebuffer.t option;
+  debugmon : Debugmon.t;
+  panic : Panic.t;
+  rootfs : Fs.Xv6fs.t;
+  root_bc : Bufcache.t;
+  fat_bc : Bufcache.t option;
+  devfs : Devfs.t;
+  kernel_reserved_bytes : int;
+  mutable boot_ready_ns : int64;
+}
+
+(* SD layout: partition 1 (kernel image) and partition 2 (FAT32 user
+   files), as in §3. *)
+let part1_lba = 2048
+let part1_sectors = 8192 (* 4 MiB kernel image *)
+let part2_lba = part1_lba + part1_sectors
+
+let mkdirs_xv6 fsys path =
+  let rec go built = function
+    | [] -> ()
+    | comp :: rest ->
+        let next = built ^ "/" ^ comp in
+        (match Fs.Xv6fs.lookup fsys next with
+        | Ok _ -> ()
+        | Error _ -> (
+            match Fs.Xv6fs.create fsys next Fs.Xv6fs.Dir with
+            | Ok _ -> ()
+            | Error e -> invalid_arg ("boot: " ^ e)));
+        go next rest
+  in
+  go "" (Fs.Vpath.split (Fs.Vpath.dirname path))
+
+let mkdirs_fat fat path =
+  let rec go built = function
+    | [] -> ()
+    | comp :: rest ->
+        let next = built ^ "/" ^ comp in
+        (match Fs.Fat32.stat fat next with
+        | Ok _ -> ()
+        | Error _ -> (
+            match Fs.Fat32.mkdir fat next with
+            | Ok () -> ()
+            | Error e -> invalid_arg ("boot: " ^ e)));
+        go next rest
+  in
+  go "" (Fs.Vpath.split (Fs.Vpath.dirname path))
+
+(* Build the ramdisk image holding every program as a VELF file plus the
+   extra files. Returns the raw image. *)
+let build_ramdisk spec =
+  let velfs =
+    List.map
+      (fun p ->
+        ( "/" ^ p.prog_name,
+          Velf.build
+            {
+              Velf.prog_name = p.prog_name;
+              code_bytes = (max 1024 p.prog_size * 3) / 4;
+              data_bytes = max 256 (p.prog_size / 4);
+            } ))
+      spec.sp_programs
+  in
+  let all_files = velfs @ spec.sp_files in
+  let content_bytes =
+    List.fold_left (fun acc (_, data) -> acc + Bytes.length data) 0 all_files
+  in
+  let total_blocks =
+    max 512 ((content_bytes * 3 / 2 / Fs.Xv6fs.block_bytes) + 256)
+  in
+  let ninodes = max 64 (List.length all_files * 2) in
+  let image = Fs.Xv6fs.mkfs ~total_blocks ~ninodes in
+  let fsys =
+    match Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image image) with
+    | Ok f -> f
+    | Error e -> invalid_arg ("boot: ramdisk " ^ e)
+  in
+  List.iter
+    (fun (path, data) ->
+      mkdirs_xv6 fsys path;
+      match Fs.Xv6fs.create fsys path Fs.Xv6fs.Reg with
+      | Error e -> invalid_arg ("boot: " ^ e)
+      | Ok node -> (
+          match Fs.Xv6fs.writei fsys node ~off:0 ~data with
+          | Ok _ -> ()
+          | Error e -> invalid_arg ("boot: " ^ path ^ ": " ^ e)))
+    all_files;
+  image
+
+let build_fat_partition board spec =
+  let sd = board.Hw.Board.sd in
+  let total = Hw.Sd.sectors sd in
+  let part2_sectors = total - part2_lba in
+  (match
+     Fs.Mbr.write
+       (Fs.Blockdev.of_sd sd ~name:"sd" ~first_lba:0 ~sectors:total ())
+       [|
+         {
+           Fs.Mbr.part_type = Fs.Mbr.native_type;
+           first_lba = part1_lba;
+           sectors = part1_sectors;
+         };
+         {
+           Fs.Mbr.part_type = Fs.Mbr.fat32_lba_type;
+           first_lba = part2_lba;
+           sectors = part2_sectors;
+         };
+       |]
+   with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("boot: mbr " ^ e));
+  let pdev =
+    Fs.Blockdev.of_sd sd ~name:"sd:p2" ~first_lba:part2_lba
+      ~sectors:part2_sectors ()
+  in
+  let io = Fs.Fat32.io_of_blockdev pdev in
+  Fs.Fat32.mkfs io ~total_sectors:part2_sectors ();
+  let fat =
+    match Fs.Fat32.mount io with
+    | Ok f -> f
+    | Error e -> invalid_arg ("boot: fat " ^ e)
+  in
+  List.iter
+    (fun (path, data) ->
+      mkdirs_fat fat path;
+      (match Fs.Fat32.create fat path with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("boot: " ^ e));
+      match Fs.Fat32.write_file fat path ~off:0 ~data with
+      | Ok _ -> ()
+      | Error e -> invalid_arg ("boot: " ^ path ^ ": " ^ e))
+    spec.sp_fat_files
+
+let boot spec =
+  let board =
+    Hw.Board.create ~platform:spec.sp_platform ~seed:spec.sp_seed
+      ~sd_mib:spec.sp_sd_mib ()
+  in
+  let engine = board.Hw.Board.engine in
+  (* firmware: load kernel image from SD partition 1 *)
+  Sim.Engine.advance_to engine spec.sp_platform.Hw.Board.firmware_boot_ns;
+  (* card init by our driver *)
+  Sim.Engine.advance_to engine
+    (Int64.add (Sim.Engine.now engine) (Hw.Board.io_ns board Hw.Sd.init_cost_ns));
+  (* framebuffer through the mailbox *)
+  let fb =
+    match spec.sp_fb with
+    | None -> None
+    | Some (w, h) -> (
+        match
+          Hw.Mailbox.call board.Hw.Board.mailbox
+            [
+              Hw.Mailbox.Set_physical_size (w, h);
+              Hw.Mailbox.Set_depth 32;
+              Hw.Mailbox.Allocate_buffer;
+            ]
+        with
+        | Ok (results, cost) ->
+            Sim.Engine.advance_to engine (Int64.add (Sim.Engine.now engine) cost);
+            List.find_map
+              (function Hw.Mailbox.Buffer fb -> Some fb | _ -> None)
+              results
+        | Error e -> invalid_arg ("boot: mailbox " ^ e))
+  in
+  (* root filesystem on ramdisk *)
+  let ramdisk = build_ramdisk spec in
+  let fb_bytes =
+    match fb with
+    | Some fb -> 4 * Hw.Framebuffer.width fb * Hw.Framebuffer.height fb
+    | None -> 0
+  in
+  let kernel_reserved = (6 * 1024 * 1024) + Bytes.length ramdisk + fb_bytes in
+  let kalloc =
+    Kalloc.create
+      ~dram_bytes:(948 * 1024 * 1024)
+      ~kernel_reserved_bytes:kernel_reserved
+  in
+  let sched = Sched.create board spec.sp_config kalloc in
+  let root_bc =
+    Bufcache.create ~board ~backing:(Bufcache.Ram ramdisk) ~block_sectors:2 ()
+  in
+  let rootfs =
+    match Fs.Xv6fs.mount (Bufcache.xv6_io root_bc) with
+    | Ok f -> f
+    | Error e -> invalid_arg ("boot: root mount " ^ e)
+  in
+  let console = Console.create board sched in
+  let kbd = Kbd.create board sched in
+  let audio =
+    if spec.sp_config.Kconfig.sound then Some (Audio.create board sched)
+    else None
+  in
+  let wm =
+    match (spec.sp_config.Kconfig.window_manager, fb) with
+    | true, Some fb ->
+        let wm = Wm.create board sched fb ~track_dirty:spec.sp_track_dirty in
+        Kbd.set_sink kbd (fun ev -> Wm.key_sink wm ev);
+        Some wm
+    | _, (Some _ | None) -> None
+  in
+  let devfs = Devfs.create ~board ~sched ~console ~kbd ~audio ~wm ~fb in
+  let procfs = Procfs.create ~board ~sched ~kalloc in
+  let fdt = Fd.create sched in
+  let vfs = Vfs.create ~sched ~config:spec.sp_config ~fdt ~root:rootfs ~root_bc ~devfs ~procfs in
+  (* FAT32 partition under /d *)
+  let fat_bc =
+    if spec.sp_config.Kconfig.fat32 then begin
+      build_fat_partition board spec;
+      let bc =
+        Bufcache.create ~board
+          ~backing:(Bufcache.Card (board.Hw.Board.sd, part2_lba))
+          ~block_sectors:1 ~capacity:64 ()
+      in
+      let io =
+        Bufcache.fat_io bc
+          ~range_bypass:spec.sp_config.Kconfig.range_io_bypass
+      in
+      (match Fs.Fat32.mount io with
+      | Ok fat -> Vfs.mount_fat vfs ~at:"/d" fat bc
+      | Error e -> invalid_arg ("boot: fat mount " ^ e));
+      Some bc
+    end
+    else None
+  in
+  (* USB mass-storage stick: format a FAT image, attach it to the hub,
+     and mount it under /usb through the same FatFS + buffer cache path *)
+  (match spec.sp_usb_files with
+  | None -> ()
+  | Some files ->
+      if not spec.sp_config.Kconfig.fat32 then
+        invalid_arg "boot: USB storage needs the FAT32 feature";
+      let sectors = 32768 (* a 16 MiB stick *) in
+      let image = Bytes.make (sectors * Fs.Blockdev.sector_bytes) '\000' in
+      let raw_io = Fs.Fat32.io_of_blockdev (Fs.Blockdev.of_image ~name:"usb0" image) in
+      Fs.Fat32.mkfs raw_io ~total_sectors:sectors ();
+      (let fat0 =
+         match Fs.Fat32.mount raw_io with
+         | Ok f -> f
+         | Error e -> invalid_arg ("boot: usb mkfs " ^ e)
+       in
+       List.iter
+         (fun (path, data) ->
+           mkdirs_fat fat0 path;
+           (match Fs.Fat32.create fat0 path with
+           | Ok () -> ()
+           | Error e -> invalid_arg ("boot: usb " ^ e));
+           match Fs.Fat32.write_file fat0 path ~off:0 ~data with
+           | Ok _ -> ()
+           | Error e -> invalid_arg ("boot: usb " ^ path ^ ": " ^ e))
+         files);
+      Hw.Usb.attach_msd board.Hw.Board.usb image;
+      let bc =
+        Bufcache.create ~board ~backing:(Bufcache.Usb_msd board.Hw.Board.usb)
+          ~block_sectors:1 ~capacity:64 ()
+      in
+      let io =
+        Bufcache.fat_io bc ~range_bypass:spec.sp_config.Kconfig.range_io_bypass
+      in
+      match Fs.Fat32.mount io with
+      | Ok fat -> Vfs.mount_fat vfs ~at:"/usb" fat bc
+      | Error e -> invalid_arg ("boot: usb mount " ^ e));
+  let sems = Sem.create sched in
+  let proc = Proc.create ~sched ~fdt ~vfs ~kalloc ~config:spec.sp_config in
+  List.iter
+    (fun p -> Proc.register_program proc p.prog_name p.prog_main)
+    spec.sp_programs;
+  Syscall.install
+    {
+      Syscall.s_sched = sched;
+      s_config = spec.sp_config;
+      s_vfs = vfs;
+      s_proc = proc;
+      s_sems = sems;
+      s_console = console;
+      s_fb = fb;
+    };
+  let debugmon = Debugmon.create sched in
+  let panic = Panic.install sched console in
+  (* task teardown hooks *)
+  sched.Sched.on_task_exit <-
+    [
+      (fun task -> Fd.close_all fdt ~pid:task.Task.pid);
+      (fun task ->
+        match (wm, task.Task.wm_surface) with
+        | Some wm, Some sid -> Wm.remove_surface wm sid
+        | (Some _ | None), (Some _ | None) -> ());
+    ];
+  Sched.start sched;
+  (match wm with Some wm -> Wm.start wm | None -> ());
+  (* peripheral bring-up: USB enumeration dominates (§6.2's boot-time
+     analysis); run the clock through it so the system is ready *)
+  if spec.sp_config.Kconfig.usb_keyboard then begin
+    Hw.Usb.power_on board.Hw.Board.usb;
+    Sched.run_until sched
+      (Int64.add (Sim.Engine.now engine) (Int64.add Hw.Usb.init_cost_ns 1_000_000L))
+  end
+  else
+    Sched.run_until sched (Int64.add (Sim.Engine.now engine) 50_000_000L);
+  let t =
+    {
+      spec;
+      board;
+      config = spec.sp_config;
+      kalloc;
+      sched;
+      fdt;
+      vfs;
+      proc;
+      sems;
+      console;
+      kbd;
+      audio;
+      wm;
+      fb;
+      debugmon;
+      panic;
+      rootfs;
+      root_bc;
+      fat_bc;
+      devfs;
+      kernel_reserved_bytes = kernel_reserved;
+      boot_ready_ns = Sim.Engine.now engine;
+    }
+  in
+  t
+
+(* ---- conveniences ---- *)
+
+(* Give a fresh process the xv6 convention: console on fds 0, 1 and 2
+   (init opens the console and dups it twice). *)
+let setup_std_fds t ~pid =
+  if t.config.Kconfig.devfs then
+    match Devfs.lookup t.devfs "console" with
+    | None -> ()
+    | Some ops ->
+        let file =
+          Fd.make_file ~kind:(Fd.K_dev ops) ~readable:true ~writable:true
+            ~nonblock:false
+        in
+        (match Fd.alloc t.fdt ~pid file with
+        | Ok 0 ->
+            ignore (Fd.dup t.fdt ~pid ~fd:0);
+            ignore (Fd.dup t.fdt ~pid ~fd:0)
+        | Ok _ | Error _ -> ())
+
+let spawn_user t ~name main =
+  let size =
+    match
+      List.find_opt (fun p -> String.equal p.prog_name name) t.spec.sp_programs
+    with
+    | Some p -> p.prog_size
+    | None -> 64 * 1024
+  in
+  let pages = (size / Kalloc.page_bytes) + 1 in
+  match Vm.create t.kalloc ~code_pages:pages with
+  | Error e -> invalid_arg ("spawn: " ^ e)
+  | Ok vm ->
+      let task = Sched.spawn t.sched ~name ~kind:Task.User ~vm main in
+      setup_std_fds t ~pid:task.Task.pid;
+      task
+
+let spawn_kernel t ~name main = Sched.spawn t.sched ~name ~kind:Task.Kernel main
+
+let run_for t ns =
+  Sched.run_until t.sched (Int64.add (Sim.Engine.now t.board.Hw.Board.engine) ns)
+
+let run_until t time = Sched.run_until t.sched time
+
+let now t = Hw.Board.now t.board
+
+(* Total OS memory footprint (§6.3): static kernel + ramdisk + fb, plus
+   dynamically allocated pages and kmalloc. *)
+let os_memory_bytes t =
+  t.kernel_reserved_bytes + Kalloc.used_bytes t.kalloc
+  + Kalloc.kmalloc_bytes t.kalloc
+
+let uart_output t = Hw.Uart.output t.board.Hw.Board.uart

@@ -1,0 +1,69 @@
+(** ftrace-style event tracing (§5.1).
+
+    A fixed-size ring buffer of timestamped events that all cores write
+    with negligible overhead; dumped on demand to diagnose scheduler and
+    concurrency issues, and mined by the Figure 11 latency-breakdown
+    benchmark. *)
+
+type event =
+  | Syscall_enter of int * string  (** pid, name *)
+  | Syscall_exit of int * string
+  | Ctx_switch of int * int  (** from pid, to pid *)
+  | Irq_enter of string
+  | Irq_exit of string
+  | Sched_wakeup of int  (** pid made runnable *)
+  | Kbd_report  (** USB report arrived in the driver *)
+  | Event_delivered of int  (** pid that read the input event *)
+  | Frame_present of int  (** pid that pushed a frame *)
+  | Wm_composite
+  | Custom of string
+
+type entry = { ts_ns : int64; core : int; ev : event }
+
+type t = {
+  ring : entry option array;
+  mutable head : int;
+  mutable written : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 262144) () =
+  { ring = Array.make capacity None; head = 0; written = 0; enabled = true }
+
+let set_enabled t on = t.enabled <- on
+
+let emit t ~ts_ns ~core ev =
+  if t.enabled then begin
+    t.ring.(t.head) <- Some { ts_ns; core; ev };
+    t.head <- (t.head + 1) mod Array.length t.ring;
+    t.written <- t.written + 1
+  end
+
+let written t = t.written
+
+(* Entries oldest-first. *)
+let dump t =
+  let cap = Array.length t.ring in
+  let n = min t.written cap in
+  let start = (t.head - n + cap) mod cap in
+  List.filter_map
+    (fun i -> t.ring.((start + i) mod cap))
+    (List.init n (fun i -> i))
+
+let describe ev =
+  match ev with
+  | Syscall_enter (pid, name) -> Printf.sprintf "sys_enter pid=%d %s" pid name
+  | Syscall_exit (pid, name) -> Printf.sprintf "sys_exit pid=%d %s" pid name
+  | Ctx_switch (a, b) -> Printf.sprintf "ctx_switch %d->%d" a b
+  | Irq_enter line -> "irq_enter " ^ line
+  | Irq_exit line -> "irq_exit " ^ line
+  | Sched_wakeup pid -> Printf.sprintf "wakeup pid=%d" pid
+  | Kbd_report -> "kbd_report"
+  | Event_delivered pid -> Printf.sprintf "event_delivered pid=%d" pid
+  | Frame_present pid -> Printf.sprintf "frame_present pid=%d" pid
+  | Wm_composite -> "wm_composite"
+  | Custom s -> s
+
+let format_entry e =
+  Printf.sprintf "[%10.3f us] core%d %s" (Int64.to_float e.ts_ns /. 1e3) e.core
+    (describe e.ev)

@@ -1,0 +1,53 @@
+(** The panic button (§5.1).
+
+    A GPIO line is reserved as FIQ — unmaskable, delivered round-robin —
+    so that even a deadlocked kernel with IRQs off can be made to dump
+    every core's state: the task each core runs, its call stack from the
+    unwinder, run-queue depths, pending interrupts, and the tail of the
+    trace ring. *)
+
+type t = { sched : Sched.t; console : Console.t; mutable dumps : int }
+
+let render t ~fiq_core =
+  let sched = t.sched in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "\n=== PANIC BUTTON (FIQ on core %d, t=%.3f ms) ===\n"
+       fiq_core
+       (Sim.Engine.to_ms (Hw.Board.now sched.Sched.board)));
+  Array.iteri
+    (fun i core ->
+      let who =
+        match core.Sched.current with
+        | Some task ->
+            Printf.sprintf "pid %d (%s)" task.Task.pid task.Task.name
+        | None -> "idle (WFI)"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "core %d: %s, runq=%d, busy=%.2f ms\n" i who
+           (Queue.length core.Sched.queue)
+           (Int64.to_float core.Sched.busy_ns /. 1e6)))
+    sched.Sched.cores;
+  Buffer.add_string buf (Unwind.dump_all sched);
+  let recent = Ktrace.dump sched.Sched.trace in
+  let tail =
+    let n = List.length recent in
+    List.filteri (fun i _ -> i >= n - 10) recent
+  in
+  Buffer.add_string buf "trace tail:\n";
+  List.iter
+    (fun e -> Buffer.add_string buf ("  " ^ Ktrace.format_entry e ^ "\n"))
+    tail;
+  Buffer.add_string buf "=== END PANIC DUMP ===\n";
+  Buffer.contents buf
+
+let install sched console =
+  let t = { sched; console; dumps = 0 } in
+  sched.Sched.on_panic <-
+    Some
+      (fun fiq_core ->
+        t.dumps <- t.dumps + 1;
+        Console.printk console (render t ~fiq_core));
+  t
+
+let dumps t = t.dumps

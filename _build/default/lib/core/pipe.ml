@@ -1,0 +1,106 @@
+(** Pipes, ported from xv6 essentially unchanged — which is the point:
+    Figure 11 shows this simplistic design (512-byte buffer, byte-wise
+    copies, wakeup on every operation) becoming the latency bottleneck
+    even for 10-byte keyboard events in mario-proc. *)
+
+let buffer_bytes = Kcost.pipe_buffer_bytes
+
+type t = {
+  pipe_id : int;
+  data : Bytes.t;
+  mutable rpos : int;
+  mutable wpos : int;  (** count of bytes ever read/written; w-r = fill *)
+  mutable readers : int;
+  mutable writers : int;
+  rchan : string;
+  wchan : string;
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  let id = !next_id in
+  {
+    pipe_id = id;
+    data = Bytes.create buffer_bytes;
+    rpos = 0;
+    wpos = 0;
+    readers = 1;
+    writers = 1;
+    rchan = Printf.sprintf "pipe:%d:r" id;
+    wchan = Printf.sprintf "pipe:%d:w" id;
+  }
+
+let fill t = t.wpos - t.rpos
+let space t = buffer_bytes - fill t
+
+let push_byte t c =
+  Bytes.set t.data (t.wpos mod buffer_bytes) c;
+  t.wpos <- t.wpos + 1
+
+let pop_byte t =
+  let c = Bytes.get t.data (t.rpos mod buffer_bytes) in
+  t.rpos <- t.rpos + 1;
+  c
+
+(* Write all of [data]; blocks while the buffer is full, like xv6's
+   pipewrite. Fails with EPIPE-ish -EINVAL when no reader remains. *)
+let write ctx t data =
+  let sched = ctx.Sched.sched in
+  let len = Bytes.length data in
+  let sent = ref 0 in
+  let rec step () =
+    if t.readers = 0 then Sched.finish ctx (Abi.R_int (-Errno.einval))
+    else if !sent >= len then begin
+      Sched.charge ctx Kcost.wakeup;
+      Sched.wake_all sched t.rchan;
+      Sched.finish ctx (Abi.R_int len)
+    end
+    else if space t = 0 then begin
+      (* wake readers to drain, then sleep on write space *)
+      Sched.wake_all sched t.rchan;
+      Sched.block ctx ~chan:t.wchan ~retry:step
+    end
+    else begin
+      let n = min (len - !sent) (space t) in
+      for i = 0 to n - 1 do
+        push_byte t (Bytes.get data (!sent + i))
+      done;
+      Sched.charge ctx (Kcost.pipe_per_byte * n);
+      sent := !sent + n;
+      step ()
+    end
+  in
+  step ()
+
+(* Read up to [len] bytes; blocks while empty and writers remain. *)
+let read ctx t ~len ~nonblock =
+  let sched = ctx.Sched.sched in
+  let rec step () =
+    if fill t > 0 then begin
+      let n = min len (fill t) in
+      let out = Bytes.create n in
+      for i = 0 to n - 1 do
+        Bytes.set out i (pop_byte t)
+      done;
+      Sched.charge ctx ((Kcost.pipe_per_byte * n) + Kcost.wakeup);
+      Sched.wake_all sched t.wchan;
+      Sched.finish ctx (Abi.R_bytes out)
+    end
+    else if t.writers = 0 then Sched.finish ctx (Abi.R_bytes Bytes.empty)
+    else if nonblock then Sched.finish ctx (Abi.R_int (-Errno.eagain))
+    else Sched.block ctx ~chan:t.rchan ~retry:step
+  in
+  step ()
+
+let close_read sched t =
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Sched.wake_all sched t.wchan
+
+let close_write sched t =
+  t.writers <- t.writers - 1;
+  if t.writers = 0 then Sched.wake_all sched t.rchan
+
+let dup_read t = t.readers <- t.readers + 1
+let dup_write t = t.writers <- t.writers + 1

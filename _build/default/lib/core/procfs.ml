@@ -1,0 +1,92 @@
+(** procfs: /proc/cpuinfo, /proc/meminfo, /proc/uptime, /proc/tasks.
+
+    Files are snapshots rendered at open time (like Linux's seq_file, one
+    generation per open) and then read as ordinary byte streams; sysmon
+    polls these to draw its overlay. *)
+
+type t = {
+  board : Hw.Board.t;
+  sched : Sched.t;
+  kalloc : Kalloc.t;
+  snapshots : (int, string) Hashtbl.t;  (** file_id -> rendered content *)
+}
+
+let create ~board ~sched ~kalloc =
+  { board; sched; kalloc; snapshots = Hashtbl.create 16 }
+
+let render_cpuinfo t =
+  let buf = Buffer.create 256 in
+  let plat = t.board.Hw.Board.platform in
+  for core = 0 to plat.Hw.Board.num_cores - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "processor\t: %d\nmodel name\t: ARMv8 Cortex-A53 (sim)\nBogoMIPS\t: %.2f\nbusy_ns\t: %Ld\n\n"
+         core
+         (float_of_int plat.Hw.Board.cpu_hz /. 1e6)
+         (Sched.core_busy_ns t.sched core))
+  done;
+  Buffer.contents buf
+
+let render_meminfo t =
+  let total_kb = Kalloc.total_pages t.kalloc * Kalloc.page_bytes / 1024 in
+  let used_kb = Kalloc.used_bytes t.kalloc / 1024 in
+  Printf.sprintf
+    "MemTotal:\t%d kB\nMemUsed:\t%d kB\nMemFree:\t%d kB\nKmalloc:\t%d B\nPeak:\t%d kB\n"
+    total_kb used_kb (total_kb - used_kb)
+    (Kalloc.kmalloc_bytes t.kalloc)
+    (Kalloc.peak_bytes t.kalloc / 1024)
+
+let render_uptime t =
+  Printf.sprintf "%.3f\n" (Sim.Engine.to_sec (Hw.Board.now t.board))
+
+let render_tasks t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "PID\tSTATE\t\tCPU_MS\tNAME\n";
+  List.iter
+    (fun task ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d\t%-12s\t%.1f\t%s\n" task.Task.pid
+           (Task.state_name task)
+           (Int64.to_float task.Task.cpu_ns /. 1e6)
+           task.Task.name))
+    (Sched.all_tasks t.sched);
+  Buffer.contents buf
+
+let render t name =
+  match name with
+  | "cpuinfo" -> Some (render_cpuinfo t)
+  | "meminfo" -> Some (render_meminfo t)
+  | "uptime" -> Some (render_uptime t)
+  | "tasks" -> Some (render_tasks t)
+  | _ -> None
+
+let names = [ "cpuinfo"; "meminfo"; "uptime"; "tasks" ]
+
+(* Build dev_ops for one opened proc file. *)
+let ops t name =
+  match render t name with
+  | None -> None
+  | Some _ ->
+      Some
+        {
+          Fd.dev_name = "proc:" ^ name;
+          dev_read =
+            (fun ctx file ~len ->
+              let content =
+                match Hashtbl.find_opt t.snapshots file.Fd.file_id with
+                | Some c -> c
+                | None ->
+                    let c = Option.value ~default:"" (render t name) in
+                    Hashtbl.replace t.snapshots file.Fd.file_id c;
+                    c
+              in
+              let off = file.Fd.off in
+              let n = max 0 (min len (String.length content - off)) in
+              file.Fd.off <- off + n;
+              Sched.charge ctx (Kcost.copy_cycles ~bytes:n + 500);
+              Sched.finish ctx (Abi.R_bytes (Bytes.of_string (String.sub content off n))));
+          dev_write =
+            (fun ctx _ _ -> Sched.finish ctx (Abi.R_int (-Errno.erofs)));
+          dev_mmap = None;
+          dev_close = (fun file -> Hashtbl.remove t.snapshots file.Fd.file_id);
+        }

@@ -1,0 +1,665 @@
+(** The scheduler and trap machinery — the center of the kernel.
+
+    Tasks are OCaml computations running under an effect handler. When a
+    task performs {!Abi.Sys} the handler captures the one-shot continuation
+    and runs the syscall dispatcher; when it performs {!Abi.Burn} the task
+    occupies its core for that many cycles of simulated time, preemptible
+    by the per-core timer tick. All kernel work is accounted in cycles and
+    applied as simulated delays, so every latency the benchmarks observe is
+    the composition of these charges plus genuine queueing.
+
+    Structure per the paper: a single run queue suffices up to Prototype 4
+    (one core); Prototype 5 gives each core its own queue (§4.5), with idle
+    cores stealing work so a multiprogrammed load scales (Figure 10). IRQs
+    from devices are routed to core 0; each core receives its own generic
+    timer tick. *)
+
+type ctx = {
+  sched : t;
+  task : Task.t;
+  call : Abi.syscall;
+  mutable charge_cycles : int;
+  mutable charge_io : int64;  (** device time in ns, added on top of CPU *)
+  kont : (Abi.ret, unit) Effect.Deep.continuation;
+  mutable done_ : bool;
+}
+
+and core_state = {
+  core_id : int;
+  queue : Task.t Queue.t;
+  mutable current : Task.t option;
+  mutable burn_started : int64;
+  mutable burn_until : int64;
+  mutable burn_event : Sim.Engine.event_id option;
+  mutable burn_after : (unit -> unit) option;
+  mutable busy_ns : int64;
+  mutable io_busy_ns : int64;
+  mutable switches : int;
+}
+
+and t = {
+  board : Hw.Board.t;
+  config : Kconfig.t;
+  kalloc : Kalloc.t;
+  trace : Ktrace.t;
+  cores : core_state array;
+  active_cores : int;
+  tasks : (int, Task.t) Hashtbl.t;
+  mutable dispatch : ctx -> unit;
+  mutable irq_drivers : (Hw.Irq.line * (unit -> unit)) list;
+  wait_chans : (string, (Task.t * (unit -> unit)) Queue.t) Hashtbl.t;
+  frame_counts : (int, int) Hashtbl.t;
+      (** frames presented per pid; survives trace-ring wraparound *)
+  mutable on_task_exit : (Task.t -> unit) list;
+  mutable on_panic : (int -> unit) option;  (** core id of the FIQ *)
+  mutable frame_hook : (Task.t -> string -> bool) option;
+      (** debug monitor: stop on frame entry? *)
+  mutable syscall_hook : (Task.t -> string -> bool) option;
+      (** debug monitor: stop on syscall entry? *)
+  mutable tick_interval_ms : int;
+  mutable started : bool;
+}
+
+let engine t = t.board.Hw.Board.engine
+let now t = Sim.Engine.now (engine t)
+let cyc t n = Hw.Board.cycles_to_ns t.board n
+
+let create board config kalloc =
+  let active =
+    if config.Kconfig.multicore then board.Hw.Board.platform.Hw.Board.num_cores
+    else 1
+  in
+  let t =
+    {
+      board;
+      config;
+      kalloc;
+      trace = Ktrace.create ();
+      cores =
+        Array.init board.Hw.Board.platform.Hw.Board.num_cores (fun core_id ->
+            {
+              core_id;
+              queue = Queue.create ();
+              current = None;
+              burn_started = 0L;
+              burn_until = 0L;
+              burn_event = None;
+              burn_after = None;
+              busy_ns = 0L;
+              io_busy_ns = 0L;
+              switches = 0;
+            });
+      active_cores = active;
+      tasks = Hashtbl.create 64;
+      dispatch = (fun _ -> invalid_arg "sched: no syscall dispatcher installed");
+      irq_drivers = [];
+      wait_chans = Hashtbl.create 32;
+      frame_counts = Hashtbl.create 16;
+      on_task_exit = [];
+      on_panic = None;
+      frame_hook = None;
+      syscall_hook = None;
+      tick_interval_ms = 1;
+      started = false;
+    }
+  in
+  t
+
+let trace_emit t ev =
+  (match ev with
+  | Ktrace.Frame_present pid ->
+      Hashtbl.replace t.frame_counts pid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.frame_counts pid))
+  | _ -> ());
+  Ktrace.emit t.trace ~ts_ns:(now t) ~core:0 ev
+
+let trace_emit_core t ~core ev = Ktrace.emit t.trace ~ts_ns:(now t) ~core ev
+
+let is_zombie task = task.Task.state = Task.Zombie
+
+(* ---- busy accounting ---- *)
+
+let add_busy core ns =
+  core.busy_ns <- Int64.add core.busy_ns ns
+
+let add_io_busy core ns = core.io_busy_ns <- Int64.add core.io_busy_ns ns
+
+(* ---- burns: occupying a core for simulated time ---- *)
+
+let core_of_task t task =
+  match task.Task.state with
+  | Task.Running c -> t.cores.(c)
+  | Task.Runnable | Task.Blocked _ | Task.Zombie ->
+      invalid_arg
+        (Printf.sprintf "sched: task %d (%s) not running" task.Task.pid
+           (Task.state_name task))
+
+(* Run [after] once [task] has burned [ns] of CPU on its current core. *)
+let rec start_burn t task ns after =
+  let core = core_of_task t task in
+  if Int64.compare ns 1L < 0 then after ()
+  else begin
+    assert (core.burn_event = None);
+    let start = now t in
+    core.burn_started <- start;
+    core.burn_until <- Int64.add start ns;
+    core.burn_after <- Some after;
+    core.burn_event <-
+      Some
+        (Sim.Engine.schedule_at (engine t) core.burn_until (fun () ->
+             core.burn_event <- None;
+             core.burn_after <- None;
+             let elapsed = Int64.sub (now t) core.burn_started in
+             add_busy core elapsed;
+             task.Task.cpu_ns <- Int64.add task.Task.cpu_ns elapsed;
+             if task.Task.killed then raise_exit t task (-1) else after ()))
+  end
+
+(* Interrupt handlers steal cycles from whatever burn is in flight. *)
+and steal_cycles t core ns =
+  match core.burn_event with
+  | None -> add_busy core ns
+  | Some id ->
+      Sim.Engine.cancel (engine t) id;
+      core.burn_until <- Int64.add core.burn_until ns;
+      let after = Option.get core.burn_after in
+      let task = Option.get core.current in
+      core.burn_event <-
+        Some
+          (Sim.Engine.schedule_at (engine t) core.burn_until (fun () ->
+               core.burn_event <- None;
+               core.burn_after <- None;
+               let elapsed = Int64.sub (now t) core.burn_started in
+               add_busy core elapsed;
+               task.Task.cpu_ns <- Int64.add task.Task.cpu_ns elapsed;
+               if task.Task.killed then raise_exit t task (-1) else after ()))
+
+(* ---- run queues ---- *)
+
+and pick_target_core t task =
+  ignore task;
+  if t.active_cores = 1 then t.cores.(0)
+  else begin
+    (* prefer an idle core, else the shortest queue *)
+    let best = ref t.cores.(0) in
+    let score c =
+      (match c.current with None -> 0 | Some _ -> 1000)
+      + Queue.length c.queue
+    in
+    for i = 1 to t.active_cores - 1 do
+      if score t.cores.(i) < score !best then best := t.cores.(i)
+    done;
+    !best
+  end
+
+and enqueue_task t task =
+  assert (task.Task.state = Task.Runnable);
+  assert (task.Task.resume <> None);
+  let core = pick_target_core t task in
+  Queue.add task core.queue;
+  if core.current = None && core.burn_event = None then schedule_core t core
+
+(* Steal a task from the back of the longest other queue. *)
+and try_steal t thief =
+  if t.active_cores = 1 then None
+  else begin
+    let victim = ref None in
+    for i = 0 to t.active_cores - 1 do
+      let c = t.cores.(i) in
+      if c.core_id <> thief.core_id && Queue.length c.queue > 0 then
+        match !victim with
+        | Some v when Queue.length v.queue >= Queue.length c.queue -> ()
+        | Some _ | None -> victim := Some c
+    done;
+    match !victim with
+    | Some v -> Queue.take_opt v.queue
+    | None -> None
+  end
+
+and schedule_core t core =
+  if core.current = None && core.burn_event = None then begin
+    let next =
+      match Queue.take_opt core.queue with
+      | Some task -> Some task
+      | None -> try_steal t core
+    in
+    match next with
+    | None -> () (* WFI idle *)
+    | Some task ->
+        if is_zombie task || task.Task.resume = None then schedule_core t core
+        else begin
+          core.current <- Some task;
+          core.switches <- core.switches + 1;
+          task.Task.state <- Task.Running core.core_id;
+          task.Task.quantum_left <- Task.default_quantum;
+          let resume = Option.get task.Task.resume in
+          task.Task.resume <- None;
+          trace_emit_core t ~core:core.core_id
+            (Ktrace.Ctx_switch (0, task.Task.pid));
+          (* the context-switch cost precedes the task's first instruction *)
+          let switch_ns = cyc t (Kcost.ctx_switch + Kcost.sched_pick) in
+          add_busy core switch_ns;
+          ignore
+            (Sim.Engine.schedule_after (engine t) switch_ns (fun () ->
+                 if task.Task.killed && task.Task.kind = Task.User then
+                   raise_exit t task (-1)
+                 else resume ()))
+        end
+  end
+
+(* Release the core a task occupies (it blocked or exited). *)
+and release_core t task =
+  match task.Task.state with
+  | Task.Running c ->
+      let core = t.cores.(c) in
+      (match core.burn_event with
+      | Some id ->
+          (* should not happen: blocking always occurs between burns *)
+          Sim.Engine.cancel (engine t) id;
+          core.burn_event <- None;
+          core.burn_after <- None
+      | None -> ());
+      core.current <- None;
+      schedule_core t core
+  | Task.Runnable | Task.Blocked _ | Task.Zombie -> ()
+
+(* ---- task exit ---- *)
+
+and raise_exit t task code =
+  (* Terminate from within the task's execution context: run teardown and
+     hand the core over. The task's continuation is abandoned. *)
+  do_exit t task code
+
+and do_exit t task code =
+  if not (is_zombie task) then begin
+    task.Task.exit_code <- code;
+    let was_running = match task.Task.state with Task.Running _ -> true | Task.Runnable | Task.Blocked _ | Task.Zombie -> false in
+    List.iter (fun hook -> hook task) t.on_task_exit;
+    (match task.Task.vm with
+    | Some vm ->
+        Vm.destroy vm;
+        task.Task.vm <- None
+    | None -> ());
+    (* reparent children to init (pid 1) *)
+    List.iter
+      (fun child_pid ->
+        match Hashtbl.find_opt t.tasks child_pid with
+        | Some child -> child.Task.parent <- 1
+        | None -> ())
+      task.Task.children;
+    let charge = cyc t Kcost.exit_teardown in
+    let finish_exit () =
+      if was_running then begin
+        (match task.Task.state with
+        | Task.Running c ->
+            t.cores.(c).current <- None;
+            task.Task.state <- Task.Zombie;
+            wake_all t (Printf.sprintf "exit:%d" task.Task.pid);
+            wake_all t (Printf.sprintf "children:%d" task.Task.parent);
+            schedule_core t t.cores.(c)
+        | Task.Runnable | Task.Blocked _ | Task.Zombie -> ())
+      end
+      else begin
+        task.Task.state <- Task.Zombie;
+        wake_all t (Printf.sprintf "exit:%d" task.Task.pid);
+        wake_all t (Printf.sprintf "children:%d" task.Task.parent)
+      end
+    in
+    match task.Task.state with
+    | Task.Running _ when Int64.compare charge 0L > 0 ->
+        ignore (Sim.Engine.schedule_after (engine t) charge finish_exit)
+    | Task.Running _ | Task.Runnable | Task.Blocked _ | Task.Zombie ->
+        finish_exit ()
+  end
+
+(* ---- wait channels ---- *)
+
+and chan_queue t chan =
+  match Hashtbl.find_opt t.wait_chans chan with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.wait_chans chan q;
+      q
+
+and wake_all t chan =
+  match Hashtbl.find_opt t.wait_chans chan with
+  | None -> ()
+  | Some q ->
+      let entries = Queue.to_seq q |> List.of_seq in
+      Queue.clear q;
+      List.iter
+        (fun (task, retry) ->
+          if not (is_zombie task) then begin
+            task.Task.state <- Task.Runnable;
+            task.Task.resume <- Some retry;
+            trace_emit t (Ktrace.Sched_wakeup task.Task.pid);
+            enqueue_task t task
+          end)
+        entries
+
+let wake_one t chan =
+  match Hashtbl.find_opt t.wait_chans chan with
+  | None -> false
+  | Some q -> (
+      match Queue.take_opt q with
+      | None -> false
+      | Some (task, retry) ->
+          if is_zombie task then false
+          else begin
+            task.Task.state <- Task.Runnable;
+            task.Task.resume <- Some retry;
+            trace_emit t (Ktrace.Sched_wakeup task.Task.pid);
+            enqueue_task t task;
+            true
+          end)
+
+(* ---- the syscall context API (used by the dispatcher in Syscall) ---- *)
+
+let charge ctx cycles = ctx.charge_cycles <- ctx.charge_cycles + cycles
+
+let charge_io ctx ns = ctx.charge_io <- Int64.add ctx.charge_io ns
+
+let finish ctx ret =
+  assert (not ctx.done_);
+  ctx.done_ <- true;
+  let t = ctx.sched in
+  let task = ctx.task in
+  let cpu_cycles =
+    ctx.charge_cycles
+    + if task.Task.kind = Task.User then Kcost.syscall_exit else 0
+  in
+  let total = Int64.add (cyc t cpu_cycles) ctx.charge_io in
+  (match task.Task.state with
+  | Task.Running c ->
+      if Int64.compare ctx.charge_io 0L > 0 then
+        add_io_busy t.cores.(c) ctx.charge_io
+  | Task.Runnable | Task.Blocked _ | Task.Zombie -> ());
+  start_burn t task total (fun () ->
+      trace_emit t
+        (Ktrace.Syscall_exit (task.Task.pid, Abi.syscall_name ctx.call));
+      Effect.Deep.continue ctx.kont ret)
+
+(* Block the calling task on [chan]; [retry] re-enters the syscall path
+   when the channel is woken. *)
+let block ctx ~chan ~retry =
+  let t = ctx.sched in
+  let task = ctx.task in
+  (match task.Task.state with
+  | Task.Running _ -> ()
+  | Task.Runnable | Task.Blocked _ | Task.Zombie ->
+      invalid_arg "sched: blocking a task that is not running");
+  let q = chan_queue t chan in
+  release_core t task;
+  task.Task.state <- Task.Blocked chan;
+  Queue.add (task, retry) q
+
+(* Park the task and deliver [ret] after [delay_ns] (sleep, timed IO). *)
+let finish_after ctx ~delay_ns ret =
+  let t = ctx.sched in
+  let task = ctx.task in
+  release_core t task;
+  task.Task.state <- Task.Blocked "sleep";
+  ignore
+    (Sim.Engine.schedule_after (engine t) delay_ns (fun () ->
+         if not (is_zombie task) then begin
+           task.Task.state <- Task.Runnable;
+           task.Task.resume <- Some (fun () -> finish ctx ret);
+           enqueue_task t task
+         end))
+
+(* ---- running tasks under the effect handler ---- *)
+
+(* Debug monitor stop: park the running task on its debug channel;
+   Debugmon.resume wakes it. *)
+let park_for_debug t task thunk =
+  let chan = Printf.sprintf "debug:%d" task.Task.pid in
+  let q = chan_queue t chan in
+  release_core t task;
+  task.Task.state <- Task.Blocked chan;
+  Queue.add (task, thunk) q
+
+let rec run_computation t task main () =
+  let open Effect.Deep in
+  match_with
+    (fun () ->
+      let code = main () in
+      code)
+    ()
+    {
+      retc = (fun code -> do_exit t task code);
+      exnc =
+        (fun exn ->
+          trace_emit t
+            (Ktrace.Custom
+               (Printf.sprintf "task %d (%s) uncaught exception: %s"
+                  task.Task.pid task.Task.name (Printexc.to_string exn)));
+          do_exit t task (-2));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Abi.Sys call ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  handle_trap t task call
+                    (k : (Abi.ret, unit) continuation))
+          | Abi.Burn cycles ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let ns = cyc t (max 1 cycles) in
+                  start_burn t task ns (fun () -> continue k ()))
+          | Abi.Frame_mark label ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if String.equal label "" then begin
+                    (match task.Task.shadow_stack with
+                    | [] -> ()
+                    | _ :: rest -> task.Task.shadow_stack <- rest);
+                    continue k ()
+                  end
+                  else begin
+                    task.Task.shadow_stack <- label :: task.Task.shadow_stack;
+                    match t.frame_hook with
+                    | Some hook when hook task label ->
+                        park_for_debug t task (fun () -> continue k ())
+                    | Some _ | None -> continue k ()
+                  end)
+          | _ -> None);
+    }
+
+and handle_trap t task call k =
+  task.Task.syscall_count <- task.Task.syscall_count + 1;
+  trace_emit t (Ktrace.Syscall_enter (task.Task.pid, Abi.syscall_name call));
+  let entry_cycles =
+    if task.Task.kind = Task.User then
+      Kcost.syscall_entry + Kcost.syscall_dispatch
+    else 300 (* kernel threads call in directly *)
+  in
+  let ctx =
+    {
+      sched = t;
+      task;
+      call;
+      charge_cycles = entry_cycles;
+      charge_io = 0L;
+      kont = k;
+      done_ = false;
+    }
+  in
+  match t.syscall_hook with
+  | Some hook when hook task (Abi.syscall_name call) ->
+      park_for_debug t task (fun () -> t.dispatch ctx)
+  | Some _ | None -> t.dispatch ctx
+
+(* ---- spawning ---- *)
+
+let spawn t ~name ~kind ?vm ?(parent = 0) main =
+  let task = Task.create ~name ~kind ?vm ~parent () in
+  Hashtbl.replace t.tasks task.Task.pid task;
+  (match Hashtbl.find_opt t.tasks parent with
+  | Some p -> p.Task.children <- task.Task.pid :: p.Task.children
+  | None -> ());
+  task.Task.resume <- Some (run_computation t task main);
+  enqueue_task t task;
+  task
+
+(* Replace the running task's computation (exec). The old continuation is
+   abandoned; the new main starts when the task is next scheduled. *)
+let replace_computation t task main =
+  task.Task.resume <- Some (run_computation t task main);
+  task.Task.state <- Task.Runnable;
+  enqueue_task t task
+
+(* exec(2): burn the accumulated syscall charge, abandon the trapping
+   continuation, and restart the task with [main]. *)
+let exec_replace ctx main =
+  assert (not ctx.done_);
+  ctx.done_ <- true;
+  let t = ctx.sched in
+  let task = ctx.task in
+  let total = Int64.add (cyc t ctx.charge_cycles) ctx.charge_io in
+  start_burn t task total (fun () ->
+      match task.Task.state with
+      | Task.Running c ->
+          t.cores.(c).current <- None;
+          task.Task.state <- Task.Runnable;
+          task.Task.resume <- Some (run_computation t task main);
+          task.Task.shadow_stack <- [];
+          enqueue_task t task;
+          schedule_core t t.cores.(c)
+      | Task.Runnable | Task.Blocked _ | Task.Zombie -> ())
+
+(* Kill a task that is not currently on a CPU: pull it out of whatever
+   wait channel holds it and terminate it. Running tasks die at their next
+   preemption point via the [killed] flag. *)
+let force_kill t task =
+  task.Task.killed <- true;
+  match task.Task.state with
+  | Task.Running _ -> () (* dies at the next burn completion *)
+  | Task.Zombie -> ()
+  | Task.Runnable | Task.Blocked _ ->
+      (* remove from wait channels; queued Runnable entries are skipped by
+         schedule_core once the task is a zombie *)
+      Hashtbl.iter
+        (fun _ q ->
+          let entries = Queue.to_seq q |> List.of_seq in
+          Queue.clear q;
+          List.iter
+            (fun ((waiting, _) as entry) ->
+              if waiting.Task.pid <> task.Task.pid then Queue.add entry q)
+            entries)
+        t.wait_chans;
+      do_exit t task (-1)
+
+(* ---- timer ticks and preemption ---- *)
+
+let preempt t core =
+  match (core.current, core.burn_event) with
+  | Some task, Some id ->
+      Sim.Engine.cancel (engine t) id;
+      let elapsed = Int64.sub (now t) core.burn_started in
+      add_busy core elapsed;
+      task.Task.cpu_ns <- Int64.add task.Task.cpu_ns elapsed;
+      let remaining = Int64.sub core.burn_until (now t) in
+      let after = Option.get core.burn_after in
+      core.burn_event <- None;
+      core.burn_after <- None;
+      core.current <- None;
+      task.Task.state <- Task.Runnable;
+      task.Task.resume <-
+        Some (fun () -> start_burn t task remaining after);
+      (* go to the back of this core's own queue *)
+      Queue.add task core.queue;
+      schedule_core t core
+  | Some _, None | None, _ -> ()
+
+let rec tick t core_id =
+  let core = t.cores.(core_id) in
+  steal_cycles t core (cyc t Kcost.timer_tick_work);
+  (match core.current with
+  | Some task ->
+      task.Task.quantum_left <- task.Task.quantum_left - 1;
+      if
+        task.Task.quantum_left <= 0
+        && (Queue.length core.queue > 0
+           || (t.active_cores > 1 && try_steal_peek t core))
+      then preempt t core
+  | None -> schedule_core t core);
+  Hw.Timer.arm_core_timer t.board.Hw.Board.timer ~core:core_id
+    ~delta_ns:(Sim.Engine.ms t.tick_interval_ms)
+
+and try_steal_peek t thief =
+  let found = ref false in
+  for i = 0 to t.active_cores - 1 do
+    let c = t.cores.(i) in
+    if c.core_id <> thief.core_id && Queue.length c.queue > 0 then found := true
+  done;
+  !found
+
+(* ---- interrupts ---- *)
+
+let register_irq t line handler =
+  t.irq_drivers <- (line, handler) :: t.irq_drivers;
+  Hw.Intc.route t.board.Hw.Board.intc line ~core:0
+
+let on_irq t core_id line =
+  let core = t.cores.(core_id) in
+  trace_emit_core t ~core:core_id (Ktrace.Irq_enter (Hw.Irq.describe line));
+  steal_cycles t core (cyc t (Kcost.irq_entry + Kcost.irq_exit));
+  (match line with
+  | Hw.Irq.Core_timer c -> tick t c
+  | Hw.Irq.Fiq_button -> (
+      match t.on_panic with Some f -> f core_id | None -> ())
+  | Hw.Irq.Sys_timer | Hw.Irq.Uart_rx | Hw.Irq.Usb_hc | Hw.Irq.Dma_channel _
+  | Hw.Irq.Gpio_bank | Hw.Irq.Sd_card -> (
+      match
+        List.find_opt (fun (l, _) -> Hw.Irq.equal l line) t.irq_drivers
+      with
+      | Some (_, handler) -> handler ()
+      | None ->
+          trace_emit t
+            (Ktrace.Custom ("spurious irq " ^ Hw.Irq.describe line))));
+  trace_emit_core t ~core:core_id (Ktrace.Irq_exit (Hw.Irq.describe line))
+
+(* Install interrupt entry points and start ticking. *)
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    for c = 0 to Array.length t.cores - 1 do
+      Hw.Intc.set_handler t.board.Hw.Board.intc ~core:c (fun line ->
+          on_irq t c line)
+    done;
+    for c = 0 to t.active_cores - 1 do
+      Hw.Timer.arm_core_timer t.board.Hw.Board.timer ~core:c
+        ~delta_ns:(Sim.Engine.ms t.tick_interval_ms)
+    done
+  end
+
+(* ---- inspection ---- *)
+
+let task_by_pid t pid = Hashtbl.find_opt t.tasks pid
+
+let all_tasks t =
+  Hashtbl.fold (fun _ task acc -> task :: acc) t.tasks []
+  |> List.sort (fun a b -> compare a.Task.pid b.Task.pid)
+
+let reap t task =
+  assert (is_zombie task);
+  Hashtbl.remove t.tasks task.Task.pid;
+  (match Hashtbl.find_opt t.tasks task.Task.parent with
+  | Some p ->
+      p.Task.children <-
+        List.filter (fun pid -> pid <> task.Task.pid) p.Task.children
+  | None -> ())
+
+let frames_presented t ~pid =
+  Option.value ~default:0 (Hashtbl.find_opt t.frame_counts pid)
+
+let core_busy_ns t core_id = t.cores.(core_id).busy_ns
+let core_io_ns t core_id = t.cores.(core_id).io_busy_ns
+
+let utilization t ~core_id ~window_ns =
+  if Int64.compare window_ns 0L <= 0 then 0.0
+  else Int64.to_float t.cores.(core_id).busy_ns /. Int64.to_float window_ns
+
+let run_until t time = Sim.Engine.run (engine t) ~until:time ()

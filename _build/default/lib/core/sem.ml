@@ -1,0 +1,66 @@
+(** Kernel semaphores (Prototype 5, §4.5).
+
+    The primitive behind the threading syscalls: user-level mutexes and
+    condition variables are built on these in the user library, exactly as
+    the paper describes. *)
+
+type sem = {
+  sem_id : int;
+  mutable value : int;
+  mutable refs : int;
+  chan : string;
+}
+
+type t = {
+  sched : Sched.t;
+  sems : (int, sem) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create sched = { sched; sems = Hashtbl.create 16; next_id = 1 }
+
+let sem_open t ~value =
+  if value < 0 then Error Errno.einval
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.sems id
+      { sem_id = id; value; refs = 1; chan = Printf.sprintf "sem:%d" id };
+    Ok id
+  end
+
+let find t id = Hashtbl.find_opt t.sems id
+
+let post ctx t id =
+  Sched.charge ctx Kcost.sem_op;
+  match find t id with
+  | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
+  | Some sem ->
+      sem.value <- sem.value + 1;
+      Sched.charge ctx Kcost.wakeup;
+      ignore (Sched.wake_one t.sched sem.chan);
+      Sched.finish ctx (Abi.R_int 0)
+
+let wait ctx t id =
+  Sched.charge ctx Kcost.sem_op;
+  match find t id with
+  | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
+  | Some sem ->
+      let rec attempt () =
+        if sem.value > 0 then begin
+          sem.value <- sem.value - 1;
+          Sched.finish ctx (Abi.R_int 0)
+        end
+        else Sched.block ctx ~chan:sem.chan ~retry:attempt
+      in
+      attempt ()
+
+let close ctx t id =
+  match find t id with
+  | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
+  | Some sem ->
+      sem.refs <- sem.refs - 1;
+      if sem.refs <= 0 then Hashtbl.remove t.sems id;
+      Sched.finish ctx (Abi.R_int 0)
+
+let live_count t = Hashtbl.length t.sems

@@ -1,0 +1,75 @@
+(** Spinlocks, with the Prototype 1 evolution the paper describes (§4.1).
+
+    The simulation is single-threaded, so a spinlock can never actually be
+    contended at the instant of acquisition — but the {e discipline} is
+    enforced (no recursive acquisition, release-by-owner) and acquisition
+    counts and hold times are recorded, which the scheduler uses for its
+    contention accounting and tests use to verify locking protocols.
+
+    [irq_guard] is the single-core reduction: reference-counted interrupt
+    disable (xv6's pushcli/popcli), which is what Prototype 1 settles on. *)
+
+type t = {
+  name : string;
+  mutable owner : int option;  (** core id *)
+  mutable acquisitions : int;
+  mutable acquired_at : int64;
+  mutable total_held_ns : int64;
+}
+
+let create name =
+  {
+    name;
+    owner = None;
+    acquisitions = 0;
+    acquired_at = 0L;
+    total_held_ns = 0L;
+  }
+
+let acquire t ~core ~now_ns =
+  (match t.owner with
+  | Some held_by ->
+      invalid_arg
+        (Printf.sprintf "spinlock %s: core %d acquiring while core %d holds"
+           t.name core held_by)
+  | None -> ());
+  t.owner <- Some core;
+  t.acquisitions <- t.acquisitions + 1;
+  t.acquired_at <- now_ns
+
+let release t ~core ~now_ns =
+  (match t.owner with
+  | Some held_by when held_by = core -> ()
+  | Some held_by ->
+      invalid_arg
+        (Printf.sprintf "spinlock %s: core %d releasing core %d's lock" t.name
+           core held_by)
+  | None -> invalid_arg (Printf.sprintf "spinlock %s: release when free" t.name));
+  t.owner <- None;
+  t.total_held_ns <- Int64.add t.total_held_ns (Int64.sub now_ns t.acquired_at)
+
+let holding t ~core = t.owner = Some core
+let acquisitions t = t.acquisitions
+let total_held_ns t = t.total_held_ns
+
+(** Reference-counted interrupt on/off, the single-core substitute. *)
+module Irq_guard = struct
+  type guard = {
+    intc : Hw.Intc.t;
+    core : int;
+    mutable depth : int;
+  }
+
+  let create intc ~core = { intc; core; depth = 0 }
+
+  let push g =
+    if g.depth = 0 then Hw.Intc.mask g.intc ~core:g.core;
+    g.depth <- g.depth + 1
+
+  let pop g =
+    if g.depth <= 0 then invalid_arg "irq_guard: pop without push";
+    g.depth <- g.depth - 1;
+    if g.depth = 0 then Hw.Intc.unmask g.intc ~core:g.core
+
+  let depth g = g.depth
+end

@@ -1,0 +1,128 @@
+(** The syscall dispatch table — all 28 entries (§3), gated by the
+    prototype's feature configuration: a call a stage lacks returns
+    -ENOSYS, which is how Table 1's feature matrix is mechanically
+    enforced. *)
+
+type services = {
+  s_sched : Sched.t;
+  s_config : Kconfig.t;
+  s_vfs : Vfs.t;
+  s_proc : Proc.t;
+  s_sems : Sem.t;
+  s_console : Console.t;
+  s_fb : Hw.Framebuffer.t option;
+}
+
+let err ctx e = Sched.finish ctx (Abi.R_int (-e))
+
+let dispatch s ctx =
+  let cfg = s.s_config in
+  let need cond k = if cond then k () else err ctx Errno.enosys in
+  match ctx.Sched.call with
+  (* ---- tasks & time ---- *)
+  | Abi.Fork child ->
+      need cfg.Kconfig.syscalls_tasks (fun () -> Proc.sys_fork ctx s.s_proc child)
+  | Abi.Exec (path, argv) ->
+      need (cfg.Kconfig.syscalls_tasks && cfg.Kconfig.syscalls_files) (fun () ->
+          Proc.sys_exec ctx s.s_proc path argv)
+  | Abi.Exit code ->
+      ctx.Sched.done_ <- true;
+      Sched.do_exit ctx.Sched.sched ctx.Sched.task code
+  | Abi.Wait ->
+      need cfg.Kconfig.syscalls_tasks (fun () -> Proc.sys_wait ctx s.s_proc)
+  | Abi.Kill pid ->
+      need cfg.Kconfig.syscalls_tasks (fun () -> Proc.sys_kill ctx s.s_proc pid)
+  | Abi.Getpid -> Sched.finish ctx (Abi.R_int ctx.Sched.task.Task.pid)
+  | Abi.Sleep ms ->
+      need cfg.Kconfig.multitasking (fun () -> Proc.sys_sleep ctx ms)
+  | Abi.Uptime -> Proc.sys_uptime ctx s.s_proc
+  | Abi.Sbrk delta ->
+      need cfg.Kconfig.syscalls_tasks (fun () -> Proc.sys_sbrk ctx delta)
+  | Abi.Cacheflush -> (
+      match s.s_fb with
+      | None -> err ctx Errno.enosys
+      | Some fb ->
+          let rows = Hw.Framebuffer.stale_rows fb in
+          Sched.charge ctx (Kcost.cache_flush_per_row * max 1 rows);
+          Hw.Framebuffer.flush fb;
+          Sched.trace_emit ctx.Sched.sched
+            (Ktrace.Frame_present ctx.Sched.task.Task.pid);
+          Sched.finish ctx (Abi.R_int rows))
+  (* ---- files ---- *)
+  | Abi.Open (path, flags) ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_open ctx s.s_vfs path flags)
+  | Abi.Close fd ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_close ctx s.s_vfs fd)
+  | Abi.Read (fd, len) ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_read ctx s.s_vfs fd len)
+  | Abi.Write (fd, data) ->
+      (* Prototype 3's write() is hardwired to the UART (§4.3); with files
+         enabled, fd 1 falls back to the console when not opened. *)
+      if not cfg.Kconfig.syscalls_files then
+        if cfg.Kconfig.syscalls_tasks && fd = 1 then
+          Console.write ctx s.s_console data
+        else err ctx Errno.enosys
+      else if
+        fd = 1
+        && Fd.get s.s_vfs.Vfs.fdt ~pid:ctx.Sched.task.Task.pid ~fd = None
+      then Console.write ctx s.s_console data
+      else Vfs.op_write ctx s.s_vfs fd data
+  | Abi.Lseek (fd, off, whence) ->
+      need cfg.Kconfig.syscalls_files (fun () ->
+          Vfs.op_lseek ctx s.s_vfs fd off whence)
+  | Abi.Dup fd ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_dup ctx s.s_vfs fd)
+  | Abi.Pipe ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_pipe ctx s.s_vfs)
+  | Abi.Fstat fd ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_fstat ctx s.s_vfs fd)
+  | Abi.Mkdir path ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_mkdir ctx s.s_vfs path)
+  | Abi.Unlink path ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_unlink ctx s.s_vfs path)
+  | Abi.Chdir path ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_chdir ctx s.s_vfs path)
+  | Abi.Mmap fd ->
+      need cfg.Kconfig.user_separation (fun () ->
+          if fd >= 0 && cfg.Kconfig.syscalls_files then
+            Vfs.op_mmap ctx s.s_vfs fd
+          else begin
+            (* Prototype 3 has no device files: mmap is hardwired to the
+               framebuffer, as exec() hardcodes the fb args (par 4.3) *)
+            match s.s_fb with
+            | None -> err ctx Errno.enosys
+            | Some fb ->
+                (match ctx.Sched.task.Task.vm with
+                | Some vm ->
+                    ignore
+                      (Vm.add_mapping vm ~name:"fb"
+                         ~bytes:(4 * Hw.Framebuffer.width fb * Hw.Framebuffer.height fb)
+                         ~cached:true)
+                | None -> ());
+                Sched.charge ctx (Kcost.sbrk_per_page * 16);
+                Sched.finish ctx
+                  (Abi.R_mmap
+                     ( Vm.fb_bus_address,
+                       Hw.Framebuffer.width fb,
+                       Hw.Framebuffer.height fb ))
+          end)
+  (* ---- threading & sync ---- *)
+  | Abi.Clone body ->
+      need cfg.Kconfig.syscalls_threads (fun () ->
+          Proc.sys_clone ctx s.s_proc body)
+  | Abi.Join tid ->
+      need cfg.Kconfig.syscalls_threads (fun () ->
+          Proc.sys_join ctx s.s_proc tid)
+  | Abi.Sem_open value ->
+      need cfg.Kconfig.syscalls_threads (fun () ->
+          match Sem.sem_open s.s_sems ~value with
+          | Ok id -> Sched.finish ctx (Abi.R_int id)
+          | Error e -> err ctx e)
+  | Abi.Sem_post id ->
+      need cfg.Kconfig.syscalls_threads (fun () -> Sem.post ctx s.s_sems id)
+  | Abi.Sem_wait id ->
+      need cfg.Kconfig.syscalls_threads (fun () -> Sem.wait ctx s.s_sems id)
+  | Abi.Sem_close id ->
+      need cfg.Kconfig.syscalls_threads (fun () -> Sem.close ctx s.s_sems id)
+
+let install s = s.s_sched.Sched.dispatch <- (fun ctx -> dispatch s ctx)

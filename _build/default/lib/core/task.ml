@@ -1,0 +1,75 @@
+(** Tasks: processes, user threads (CLONE_VM) and kernel threads.
+
+    The continuation machinery lives in {!Sched}; a task here is the kernel
+    object — identity, state, address space, file table, tree links, and
+    accounting. [resume] is "how to give this task the CPU": a thunk that
+    either continues a captured effect continuation or re-arms the remainder
+    of a preempted burn. *)
+
+type kind = User | Kernel
+
+type state =
+  | Runnable
+  | Running of int  (** core id *)
+  | Blocked of string  (** wait channel name, for dumps *)
+  | Zombie  (** exited, not yet reaped *)
+
+type t = {
+  pid : int;
+  mutable name : string;
+  kind : kind;
+  mutable state : state;
+  mutable vm : Vm.t option;  (** kernel tasks have none *)
+  mutable resume : (unit -> unit) option;
+  mutable parent : int;  (** pid; 0 = orphan/init *)
+  mutable children : int list;
+  mutable exit_code : int;
+  mutable killed : bool;
+  mutable cwd : string;
+  (* accounting *)
+  mutable cpu_ns : int64;
+  mutable quantum_left : int;  (** scheduler ticks until preemption *)
+  mutable syscall_count : int;
+  mutable shadow_stack : string list;  (** unwinder's view of the call stack *)
+  mutable wm_surface : int option;  (** surface id when drawing via the WM *)
+}
+(* The per-task file table lives in {!Fd}, keyed by pid, to avoid a
+   dependency cycle between the task structure and the VFS. *)
+
+let default_quantum = 10 (* ticks *)
+
+let next_pid = ref 0
+
+let create ~name ~kind ?vm ?(parent = 0) () =
+  incr next_pid;
+  {
+    pid = !next_pid;
+    name;
+    kind;
+    state = Runnable;
+    vm;
+    resume = None;
+    parent;
+    children = [];
+    exit_code = 0;
+    killed = false;
+    cwd = "/";
+    cpu_ns = 0L;
+    quantum_left = default_quantum;
+    syscall_count = 0;
+    shadow_stack = [];
+    wm_surface = None;
+  }
+
+let is_runnable t = t.state = Runnable
+
+let state_name t =
+  match t.state with
+  | Runnable -> "runnable"
+  | Running c -> Printf.sprintf "running/cpu%d" c
+  | Blocked chan -> "blocked:" ^ chan
+  | Zombie -> "zombie"
+
+(* Reset the pid counter — used only by test fixtures that need stable pids
+   across cases. *)
+let reset_pids_for_tests () = next_pid := 0

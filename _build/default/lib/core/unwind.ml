@@ -1,0 +1,23 @@
+(** Stack unwinder (§5.1).
+
+    The real VOS ports a simplified ARMv8 frame-pointer walker that prints
+    raw callsite addresses for offline symbolization. Here the equivalent
+    substrate is the shadow stack the user library maintains through
+    {!Abi.Frame_mark} effects: the unwinder renders any task's kernel/user
+    call chain on demand — the payload of panic dumps and the debug
+    monitor's backtrace command. *)
+
+let backtrace task =
+  match task.Task.shadow_stack with
+  | [] -> [ Printf.sprintf "pid %d (%s): <no frames>" task.Task.pid task.Task.name ]
+  | frames ->
+      Printf.sprintf "pid %d (%s): call stack, innermost first:" task.Task.pid
+        task.Task.name
+      :: List.mapi (fun i frame -> Printf.sprintf "  #%d %s" i frame) frames
+
+let render_task task =
+  String.concat "\n" (backtrace task) ^ "\n"
+
+let dump_all sched =
+  let tasks = Sched.all_tasks sched in
+  String.concat "" (List.map render_task tasks)

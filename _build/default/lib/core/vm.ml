@@ -1,0 +1,180 @@
+(** Virtual memory: per-app address spaces (§3, §4.3).
+
+    The layout matches VOS: user space starts at 0x0 (code+data, then the
+    sbrk heap), the stack sits below 16 MB growing down, and mmap'd device
+    regions (the framebuffer) are identity-mapped to their bus addresses for
+    debugging ease. Kernel mappings use 1 MB blocks and are global; user
+    mappings are 4 KB pages.
+
+    Only the user stack is demand-paged (§3): it starts with one page and
+    grows on faults. A task that faults repeatedly at the same address is
+    terminated by the kernel — [record_fault] implements that policy.
+
+    Page frames come from {!Kalloc}, so address-space size is visible in the
+    memory accounting. With CLONE_VM (Prototype 5 threads) several tasks
+    share one address space via reference counting. *)
+
+let page_bytes = Kalloc.page_bytes
+let stack_top = 0x0100_0000 (* 16 MB *)
+let max_stack_pages = 256 (* 1 MB of stack *)
+let fb_bus_address = 0x3c10_0000
+let fault_kill_threshold = 3
+
+type mapping = {
+  map_name : string;
+  map_base : int;
+  map_bytes : int;
+  map_cached : bool;
+}
+
+type t = {
+  asid : int;
+  owner_tag : string;
+  kalloc : Kalloc.t;
+  mutable code_pages : int;
+  mutable brk : int;  (** heap break, bytes from heap base *)
+  heap_base : int;
+  mutable stack_pages : int;
+  mutable mappings : mapping list;
+  mutable refcount : int;  (** CLONE_VM sharers *)
+  faults : (int, int) Hashtbl.t;  (** addr -> consecutive fault count *)
+  mutable total_faults : int;
+}
+
+let next_asid = ref 0
+
+let heap_pages t = (t.brk + page_bytes - 1) / page_bytes
+
+let resident_pages t = t.code_pages + heap_pages t + t.stack_pages
+
+let alloc_frames t n =
+  match Kalloc.alloc_pages t.kalloc ~owner:t.owner_tag n with
+  | Some _ -> Ok ()
+  | None -> Error "vm: out of memory"
+
+let free_frames t n =
+  (* Frames are interchangeable; release any n owned by this space. *)
+  let released = ref 0 in
+  let to_free = ref [] in
+  Hashtbl.iter
+    (fun frame tag ->
+      if !released < n && String.equal tag t.owner_tag then begin
+        to_free := frame :: !to_free;
+        incr released
+      end)
+    t.kalloc.Kalloc.allocated;
+  List.iter (Kalloc.free_page t.kalloc) !to_free
+
+let create kalloc ~code_pages =
+  incr next_asid;
+  let asid = !next_asid in
+  let t =
+    {
+      asid;
+      owner_tag = Printf.sprintf "as%d" asid;
+      kalloc;
+      code_pages = 0;
+      brk = 0;
+      heap_base = 0;
+      stack_pages = 0;
+      mappings = [];
+      refcount = 1;
+      faults = Hashtbl.create 8;
+      total_faults = 0;
+    }
+  in
+  (* demand paging (P3+): map the code and exactly one stack page *)
+  match alloc_frames t (code_pages + 1) with
+  | Ok () ->
+      t.code_pages <- code_pages;
+      t.stack_pages <- 1;
+      Ok t
+  | Error e -> Error e
+
+let share t =
+  t.refcount <- t.refcount + 1;
+  t
+
+(* Eager copy, the paper's fork (§6.2): every resident page is duplicated. *)
+let fork_copy t =
+  let pages = resident_pages t in
+  match create t.kalloc ~code_pages:t.code_pages with
+  | Error e -> Error e
+  | Ok child -> (
+      (* match heap and stack shape *)
+      let extra = heap_pages t + (t.stack_pages - child.stack_pages) in
+      match alloc_frames child extra with
+      | Error e -> Error e
+      | Ok () ->
+          child.brk <- t.brk;
+          child.stack_pages <- t.stack_pages;
+          child.mappings <- t.mappings;
+          Ok (child, pages))
+
+let sbrk t delta =
+  let old_brk = t.brk in
+  let new_brk = t.brk + delta in
+  if new_brk < 0 then Error "vm: negative break"
+  else begin
+    let old_pages = heap_pages t in
+    let new_pages = (new_brk + page_bytes - 1) / page_bytes in
+    if new_pages > old_pages then
+      match alloc_frames t (new_pages - old_pages) with
+      | Ok () ->
+          t.brk <- new_brk;
+          Ok (old_brk, new_pages - old_pages)
+      | Error e -> Error e
+    else begin
+      if new_pages < old_pages then free_frames t (old_pages - new_pages);
+      t.brk <- new_brk;
+      Ok (old_brk, 0)
+    end
+  end
+
+(* A stack fault: grow by one page, or report why the task must die. *)
+let fault_stack t ~addr =
+  t.total_faults <- t.total_faults + 1;
+  let count = 1 + Option.value ~default:0 (Hashtbl.find_opt t.faults addr) in
+  Hashtbl.replace t.faults addr count;
+  if count >= fault_kill_threshold then `Kill_repeated_fault
+  else if t.stack_pages >= max_stack_pages then `Kill_stack_overflow
+  else begin
+    match alloc_frames t 1 with
+    | Ok () ->
+        t.stack_pages <- t.stack_pages + 1;
+        `Grown
+    | Error _ -> `Kill_oom
+  end
+
+let total_faults t = t.total_faults
+
+let add_mapping t ~name ~bytes ~cached =
+  let base =
+    match name with
+    | "fb" -> fb_bus_address (* identity map, as §4.3 describes *)
+    | _ ->
+        (* other mappings stack above the framebuffer window *)
+        List.fold_left
+          (fun top m -> max top (m.map_base + m.map_bytes))
+          (fb_bus_address + 0x0100_0000)
+          t.mappings
+  in
+  let m = { map_name = name; map_base = base; map_bytes = bytes; map_cached = cached } in
+  t.mappings <- m :: t.mappings;
+  m
+
+let find_mapping t ~name =
+  List.find_opt (fun m -> String.equal m.map_name name) t.mappings
+
+let destroy t =
+  t.refcount <- t.refcount - 1;
+  if t.refcount = 0 then begin
+    let pages = resident_pages t in
+    free_frames t pages;
+    t.code_pages <- 0;
+    t.brk <- 0;
+    t.stack_pages <- 0
+  end
+
+let refcount t = t.refcount
+let asid t = t.asid

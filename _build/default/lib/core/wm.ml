@@ -1,0 +1,274 @@
+(** The window manager (§4.5): a kernel thread that composites app
+    surfaces onto the hardware framebuffer.
+
+    Running the WM in the kernel (rather than as a user process, as
+    Android does) avoids shared-memory IPC for frame exchange — the
+    paper's simplicity tradeoff. Apps render {e indirectly}: they open
+    /dev/surface, declare geometry, and write whole frames; the WM tracks
+    z-order, dirty windows, the focus window (which alone receives input
+    through /dev/event1), alpha for floating overlays like sysmon, and
+    ctrl-key combinations for switching and moving windows.
+
+    Dirty tracking is the paper's efficiency point: composition rounds
+    that find no dirty window are free, and a round repaints only the rows
+    dirty windows cover. [track_dirty:false] disables this for the
+    ablation bench. *)
+
+type surface = {
+  surf_id : int;
+  owner_pid : int;
+  width : int;
+  height : int;
+  pixels : int array;
+  mutable sx : int;
+  mutable sy : int;
+  mutable alpha : int;  (** 255 = opaque *)
+  mutable dirty : bool;
+  mutable always_on_top : bool;
+  events : Kbd.event Queue.t;
+  ev_chan : string;
+  mutable frames : int;
+}
+
+type t = {
+  board : Hw.Board.t;
+  sched : Sched.t;
+  fb : Hw.Framebuffer.t;
+  surfaces : (int, surface) Hashtbl.t;
+  mutable zorder : int list;  (** bottom first; top = focus candidates last *)
+  mutable focus : int option;
+  mutable next_id : int;
+  track_dirty : bool;
+  mutable composites : int;
+  mutable skipped_rounds : int;
+  mutable pixels_composited : int;
+  mutable running : bool;
+  compose_row : int array;  (** scratch row buffer *)
+}
+
+let create board sched fb ~track_dirty =
+  {
+    board;
+    sched;
+    fb;
+    surfaces = Hashtbl.create 16;
+    zorder = [];
+    focus = None;
+    next_id = 1;
+    track_dirty;
+    composites = 0;
+    skipped_rounds = 0;
+    pixels_composited = 0;
+    running = false;
+    compose_row = Array.make (Hw.Framebuffer.width fb) 0;
+  }
+
+let surface t id = Hashtbl.find_opt t.surfaces id
+
+let focused t =
+  match t.focus with None -> None | Some id -> surface t id
+
+(* z-order with always-on-top surfaces forced above the rest *)
+let stacking t =
+  let layers = List.filter_map (surface t) t.zorder in
+  let normal, floating = List.partition (fun s -> not s.always_on_top) layers in
+  normal @ floating
+
+let create_surface t ~owner_pid ~width ~height ~x ~y ~alpha =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let s =
+    {
+      surf_id = id;
+      owner_pid;
+      width;
+      height;
+      pixels = Array.make (width * height) 0;
+      sx = x;
+      sy = y;
+      alpha;
+      dirty = true;
+      always_on_top = alpha < 255;
+      events = Queue.create ();
+      ev_chan = Printf.sprintf "wm:ev:%d" id;
+      frames = 0;
+    }
+  in
+  Hashtbl.replace t.surfaces id s;
+  t.zorder <- t.zorder @ [ id ];
+  t.focus <- Some id;
+  s
+
+let remove_surface t id =
+  match surface t id with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove t.surfaces id;
+      t.zorder <- List.filter (fun z -> z <> id) t.zorder;
+      (if t.focus = Some id then
+         t.focus <-
+           (match List.rev t.zorder with top :: _ -> Some top | [] -> None));
+      (* expose what was underneath *)
+      Hashtbl.iter (fun _ other -> other.dirty <- true) t.surfaces;
+      ignore s
+
+let rotate_focus t =
+  match t.zorder with
+  | [] -> ()
+  | ids ->
+      let n = List.length ids in
+      let cur =
+        match t.focus with
+        | Some f ->
+            let rec index i = function
+              | [] -> 0
+              | x :: rest -> if x = f then i else index (i + 1) rest
+            in
+            index 0 ids
+        | None -> 0
+      in
+      t.focus <- Some (List.nth ids ((cur + 1) mod n))
+
+let move_focused t ~dx ~dy =
+  match focused t with
+  | None -> ()
+  | Some s ->
+      s.sx <- s.sx + dx;
+      s.sy <- s.sy + dy;
+      s.dirty <- true;
+      (* movement exposes the background of every window below *)
+      Hashtbl.iter (fun _ other -> other.dirty <- true) t.surfaces
+
+(* The keyboard sink: special combos are the WM's; everything else goes to
+   the focus window. ctrl is modifier bit 0x01. *)
+let rec key_sink t ev =
+  let ctrl = ev.Kbd.ev_modifiers land 0x01 <> 0 in
+  if ctrl && ev.Kbd.ev_pressed then begin
+    match ev.Kbd.ev_code with
+    | 0x2b (* tab *) ->
+        rotate_focus t;
+        true
+    | 0x50 -> move_focused t ~dx:(-16) ~dy:0; true
+    | 0x4f -> move_focused t ~dx:16 ~dy:0; true
+    | 0x52 -> move_focused t ~dx:0 ~dy:(-16); true
+    | 0x51 -> move_focused t ~dx:0 ~dy:16; true
+    | _ -> deliver t ev
+  end
+  else deliver t ev
+
+and deliver t ev =
+  match focused t with
+  | None -> false
+  | Some s ->
+      if Queue.length s.events >= 64 then ignore (Queue.pop s.events);
+      Queue.add ev s.events;
+      Sched.wake_all t.sched s.ev_chan;
+      true
+
+(* ---- composition ---- *)
+
+let blend dst src alpha =
+  if alpha >= 255 then src
+  else begin
+    let inv = 255 - alpha in
+    let r = (((src lsr 16) land 0xff) * alpha + ((dst lsr 16) land 0xff) * inv) / 255 in
+    let g = (((src lsr 8) land 0xff) * alpha + ((dst lsr 8) land 0xff) * inv) / 255 in
+    let b = ((src land 0xff) * alpha + (dst land 0xff) * inv) / 255 in
+    (r lsl 16) lor (g lsl 8) lor b
+  end
+
+(* Repaint rows [y0, y1) of the screen from the stacking order. Returns
+   the pixel count composited (for cost accounting). *)
+let repaint_rows t ~y0 ~y1 =
+  let width = Hw.Framebuffer.width t.fb in
+  let layers = stacking t in
+  let count = ref 0 in
+  for y = y0 to y1 - 1 do
+    Array.fill t.compose_row 0 width 0x102030 (* desktop background *);
+    List.iter
+      (fun s ->
+        let row = y - s.sy in
+        if row >= 0 && row < s.height then begin
+          for col = 0 to s.width - 1 do
+            let x = s.sx + col in
+            if x >= 0 && x < width then begin
+              t.compose_row.(x) <-
+                blend t.compose_row.(x) s.pixels.((row * s.width) + col) s.alpha;
+              incr count
+            end
+          done
+        end)
+      layers;
+    Hw.Framebuffer.write_row t.fb ~y t.compose_row
+  done;
+  Hw.Framebuffer.flush t.fb;
+  !count
+
+(* One composition round: find the dirty row span and repaint it. *)
+let composite t =
+  let dirty = Hashtbl.fold (fun _ s acc -> if s.dirty then s :: acc else acc) t.surfaces [] in
+  let height = Hw.Framebuffer.height t.fb in
+  let rows =
+    if t.track_dirty then
+      match dirty with
+      | [] -> None
+      | _ ->
+          let y0 =
+            List.fold_left (fun acc s -> min acc (max 0 s.sy)) height dirty
+          in
+          let y1 =
+            List.fold_left
+              (fun acc s -> max acc (min height (s.sy + s.height)))
+              0 dirty
+          in
+          if y1 > y0 then Some (y0, y1) else None
+    else if Hashtbl.length t.surfaces > 0 then Some (0, height)
+    else None
+  in
+  match rows with
+  | None ->
+      t.skipped_rounds <- t.skipped_rounds + 1;
+      0
+  | Some (y0, y1) ->
+      Hashtbl.iter (fun _ s -> s.dirty <- false) t.surfaces;
+      let pixels = repaint_rows t ~y0 ~y1 in
+      t.composites <- t.composites + 1;
+      t.pixels_composited <- t.pixels_composited + pixels;
+      Sched.trace_emit t.sched Ktrace.Wm_composite;
+      pixels
+
+(* The WM kernel thread: a ~60 Hz composition loop. Work is charged via
+   Burn like any other task, so compositing load shows up in core
+   utilization and app FPS. *)
+let thread_body t () =
+  t.running <- true;
+  let rec loop () =
+    (match Effect.perform (Abi.Sys (Abi.Sleep 16)) with
+    | Abi.R_int _ -> ()
+    | Abi.R_bytes _ | Abi.R_pair _ | Abi.R_stat _ | Abi.R_mmap _ -> ());
+    let pixels = composite t in
+    if pixels > 0 then begin
+      let nwindows = Hashtbl.length t.surfaces in
+      let alpha_pixels =
+        (* floating windows pay the blend cost *)
+        Hashtbl.fold
+          (fun _ s acc -> if s.alpha < 255 then acc + (s.width * s.height) else acc)
+          t.surfaces 0
+      in
+      Effect.perform
+        (Abi.Burn
+           ((pixels * Kcost.wm_per_pixel_opaque)
+           + (alpha_pixels * (Kcost.wm_per_pixel_alpha - Kcost.wm_per_pixel_opaque))
+           + (nwindows * Kcost.wm_per_window)))
+    end;
+    loop ()
+  in
+  loop ()
+
+let start t =
+  ignore (Sched.spawn t.sched ~name:"wm" ~kind:Task.Kernel (thread_body t))
+
+let composites t = t.composites
+let skipped_rounds t = t.skipped_rounds
+let pixels_composited t = t.pixels_composited
+let surface_count t = Hashtbl.length t.surfaces

@@ -1,0 +1,1 @@
+lib/fs/blockdev.ml: Bytes Hw Printf

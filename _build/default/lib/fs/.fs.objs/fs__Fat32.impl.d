@@ -1,0 +1,1 @@
+lib/fs/fat32.ml: Array Blockdev Buffer Bytes Char List Seq String Vpath

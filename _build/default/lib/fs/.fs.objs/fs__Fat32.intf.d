@@ -1,0 +1,1 @@
+lib/fs/fat32.mli: Blockdev Bytes

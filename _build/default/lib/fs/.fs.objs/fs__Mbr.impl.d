@@ -1,0 +1,1 @@
+lib/fs/mbr.ml: Array Blockdev Bytes

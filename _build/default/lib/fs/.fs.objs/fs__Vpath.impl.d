@@ -1,0 +1,1 @@
+lib/fs/vpath.ml: List String

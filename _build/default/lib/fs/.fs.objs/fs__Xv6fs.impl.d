@@ -1,0 +1,1 @@
+lib/fs/xv6fs.ml: Array Bytes Hashtbl List Printf String Vpath

@@ -1,0 +1,1 @@
+lib/fs/xv6fs.mli: Bytes

@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  total_sectors : int;
+  read_sectors : lba:int -> count:int -> (Bytes.t, string) result;
+  write_sectors : lba:int -> data:Bytes.t -> (unit, string) result;
+}
+
+let sector_bytes = 512
+
+let of_image ~name image =
+  let len = Bytes.length image in
+  if len mod sector_bytes <> 0 then
+    invalid_arg "Blockdev.of_image: not sector-aligned";
+  let total = len / sector_bytes in
+  let read_sectors ~lba ~count =
+    if lba < 0 || count <= 0 || lba + count > total then
+      Error (Printf.sprintf "%s: read [%d,%d) out of range" name lba (lba + count))
+    else Ok (Bytes.sub image (lba * sector_bytes) (count * sector_bytes))
+  in
+  let write_sectors ~lba ~data =
+    let n = Bytes.length data in
+    if n = 0 || n mod sector_bytes <> 0 then
+      Error (Printf.sprintf "%s: write not sector-aligned" name)
+    else if lba < 0 || lba + (n / sector_bytes) > total then
+      Error (Printf.sprintf "%s: write at %d out of range" name lba)
+    else begin
+      Bytes.blit data 0 image (lba * sector_bytes) n;
+      Ok ()
+    end
+  in
+  { name; total_sectors = total; read_sectors; write_sectors }
+
+let ramdisk ~name ~sectors =
+  let image = Bytes.make (sectors * sector_bytes) '\000' in
+  (of_image ~name image, image)
+
+let of_sd sd ~name ~first_lba ~sectors ?(on_io = fun _ -> ()) () =
+  let read_sectors ~lba ~count =
+    match Hw.Sd.read sd ~lba:(first_lba + lba) ~count with
+    | Ok (data, cost) ->
+        on_io cost;
+        Ok data
+    | Error e -> Error e
+  in
+  let write_sectors ~lba ~data =
+    match Hw.Sd.write sd ~lba:(first_lba + lba) ~data with
+    | Ok cost ->
+        on_io cost;
+        Ok ()
+    | Error e -> Error e
+  in
+  { name; total_sectors = sectors; read_sectors; write_sectors }
+
+let sub t ~name ~first_lba ~sectors =
+  if first_lba < 0 || first_lba + sectors > t.total_sectors then
+    invalid_arg "Blockdev.sub: out of range";
+  {
+    name;
+    total_sectors = sectors;
+    read_sectors = (fun ~lba ~count -> t.read_sectors ~lba:(first_lba + lba) ~count);
+    write_sectors = (fun ~lba ~data -> t.write_sectors ~lba:(first_lba + lba) ~data);
+  }

@@ -1,0 +1,32 @@
+(** Block devices.
+
+    Filesystems are written against this interface so the same code runs on
+    the ramdisk (Prototype 4) and on SD-card partitions (Prototype 5). Time
+    is charged by the IO implementation itself — the kernel wraps devices in
+    accessors that burn simulated cycles in the calling task's context —
+    so filesystem code stays cost-agnostic.
+
+    Sectors are 512 bytes, matching {!Hw.Sd.sector_bytes}. *)
+
+type t = {
+  name : string;
+  total_sectors : int;
+  read_sectors : lba:int -> count:int -> (Bytes.t, string) result;
+  write_sectors : lba:int -> data:Bytes.t -> (unit, string) result;
+}
+
+val sector_bytes : int
+
+val ramdisk : name:string -> sectors:int -> t * Bytes.t
+(** An in-memory device plus its backing store (for stamping images). *)
+
+val of_image : name:string -> Bytes.t -> t
+(** Wrap an existing buffer (must be sector-aligned in length). *)
+
+val of_sd : Hw.Sd.t -> name:string -> first_lba:int -> sectors:int -> ?on_io:(int64 -> unit) -> unit -> t
+(** A window onto an SD card starting at [first_lba]. Each operation's
+    polling cost is reported to [on_io] (default: discarded) so the kernel
+    can charge it to the running task. *)
+
+val sub : t -> name:string -> first_lba:int -> sectors:int -> t
+(** A sub-range view (a partition) of an existing device. *)

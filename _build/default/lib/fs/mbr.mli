@@ -1,0 +1,22 @@
+(** Master boot record partition table.
+
+    VOS's SD card carries two partitions (§3): partition 1 holds the kernel
+    image (with the ramdisk packed inside) and partition 2 is the FAT32
+    user-file area. This module reads and writes the classic 4-entry MBR at
+    sector 0. *)
+
+type partition = {
+  part_type : int;  (** 0x0c = FAT32 LBA, 0x83 = native, 0 = empty *)
+  first_lba : int;
+  sectors : int;
+}
+
+val fat32_lba_type : int
+val native_type : int
+
+val write : Blockdev.t -> partition array -> (unit, string) result
+(** Write up to 4 entries plus the 0x55AA signature. *)
+
+val read : Blockdev.t -> (partition array, string) result
+(** Parse sector 0; fails if the signature is missing. Returns the 4 slots,
+    empty ones with [part_type = 0]. *)

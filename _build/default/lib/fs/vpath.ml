@@ -1,0 +1,40 @@
+let split path =
+  let parts = String.split_on_char '/' path in
+  let resolve acc part =
+    match part with
+    | "" | "." -> acc
+    | ".." -> ( match acc with [] -> [] | _ :: rest -> rest)
+    | name -> name :: acc
+  in
+  List.rev (List.fold_left resolve [] parts)
+
+let normalize path = "/" ^ String.concat "/" (split path)
+
+let basename path =
+  match List.rev (split path) with [] -> "/" | last :: _ -> last
+
+let dirname path =
+  match List.rev (split path) with
+  | [] | [ _ ] -> "/"
+  | _ :: rest -> "/" ^ String.concat "/" (List.rev rest)
+
+let join dir name =
+  if String.length name > 0 && name.[0] = '/' then normalize name
+  else normalize (dir ^ "/" ^ name)
+
+let rec list_is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs', y :: ys' -> String.equal x y && list_is_prefix xs' ys'
+
+let is_prefix ~prefix path = list_is_prefix (split prefix) (split path)
+
+let strip_prefix ~prefix path =
+  let rec strip xs ys =
+    match (xs, ys) with
+    | [], rest -> Some ("/" ^ String.concat "/" rest)
+    | _, [] -> None
+    | x :: xs', y :: ys' -> if String.equal x y then strip xs' ys' else None
+  in
+  strip (split prefix) (split path)

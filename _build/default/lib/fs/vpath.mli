@@ -1,0 +1,25 @@
+(** Path manipulation shared by the VFS and both filesystems. *)
+
+val split : string -> string list
+(** [split "/a//b/./c"] is [["a"; "b"; "c"]]. ".." is resolved lexically;
+    leading ".." components at the root are dropped. *)
+
+val normalize : string -> string
+(** Canonical absolute form: [normalize "/a//b/../c"] is ["/a/c"]. *)
+
+val basename : string -> string
+(** Final component, or "/" for the root. *)
+
+val dirname : string -> string
+(** Everything but the final component, as a normalized absolute path. *)
+
+val join : string -> string -> string
+(** [join dir name]; if [name] is absolute it wins. *)
+
+val is_prefix : prefix:string -> string -> bool
+(** Component-wise prefix test on normalized paths: ["/d"] prefixes
+    ["/d/x"] but not ["/dx"]. *)
+
+val strip_prefix : prefix:string -> string -> string option
+(** [strip_prefix ~prefix:"/d" "/d/x/y"] is [Some "/x/y"];
+    the prefix itself maps to [Some "/"]. *)

@@ -1,0 +1,587 @@
+let block_bytes = 1024
+let ndirect = 12
+let nindirect = block_bytes / 4
+let max_file_blocks = ndirect + nindirect
+let max_file_bytes = max_file_blocks * block_bytes
+let max_name = 14
+let magic = 0x10203040
+let inode_bytes = 64
+let inodes_per_block = block_bytes / inode_bytes
+let dirent_bytes = 16
+
+type io = { bread : int -> Bytes.t; bwrite : int -> Bytes.t -> unit }
+
+let io_of_image image =
+  let nblocks = Bytes.length image / block_bytes in
+  let bread n =
+    if n < 0 || n >= nblocks then invalid_arg "xv6fs: block out of range";
+    Bytes.sub image (n * block_bytes) block_bytes
+  in
+  let bwrite n data =
+    if n < 0 || n >= nblocks then invalid_arg "xv6fs: block out of range";
+    assert (Bytes.length data = block_bytes);
+    Bytes.blit data 0 image (n * block_bytes) block_bytes
+  in
+  { bread; bwrite }
+
+type ftype = Dir | Reg | Dev
+
+type stat = { st_inum : int; st_type : ftype; st_nlink : int; st_size : int }
+
+type superblock = {
+  sb_size : int;  (* total blocks *)
+  sb_ninodes : int;
+  sb_inodestart : int;
+  sb_bmapstart : int;
+  sb_datastart : int;
+}
+
+type inode = {
+  i_num : int;
+  mutable i_type : ftype option;  (* None = free *)
+  mutable i_major : int;
+  mutable i_minor : int;
+  mutable i_nlink : int;
+  mutable i_size : int;
+  i_addrs : int array;  (* ndirect + 1 entries *)
+}
+
+type t = { io : io; sb : superblock; cache : (int, inode) Hashtbl.t }
+
+(* ---- little-endian accessors ---- *)
+
+let get32 b off =
+  Bytes.get_uint8 b off
+  lor (Bytes.get_uint8 b (off + 1) lsl 8)
+  lor (Bytes.get_uint8 b (off + 2) lsl 16)
+  lor (Bytes.get_uint8 b (off + 3) lsl 24)
+
+let put32 b off v =
+  Bytes.set_uint8 b off (v land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xff);
+  Bytes.set_uint8 b (off + 2) ((v lsr 16) land 0xff);
+  Bytes.set_uint8 b (off + 3) ((v lsr 24) land 0xff)
+
+let get16 b off = Bytes.get_uint8 b off lor (Bytes.get_uint8 b (off + 1) lsl 8)
+
+let put16 b off v =
+  Bytes.set_uint8 b off (v land 0xff);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xff)
+
+(* ---- superblock ---- *)
+
+let layout ~total_blocks ~ninodes =
+  let ninodeblocks = (ninodes + inodes_per_block - 1) / inodes_per_block in
+  let nbitmap = ((total_blocks / 8) + block_bytes - 1) / block_bytes in
+  let inodestart = 2 in
+  let bmapstart = inodestart + ninodeblocks in
+  let datastart = bmapstart + nbitmap in
+  {
+    sb_size = total_blocks;
+    sb_ninodes = ninodes;
+    sb_inodestart = inodestart;
+    sb_bmapstart = bmapstart;
+    sb_datastart = datastart;
+  }
+
+let write_superblock io sb =
+  let b = Bytes.make block_bytes '\000' in
+  put32 b 0 magic;
+  put32 b 4 sb.sb_size;
+  put32 b 8 sb.sb_ninodes;
+  put32 b 12 sb.sb_inodestart;
+  put32 b 16 sb.sb_bmapstart;
+  put32 b 20 sb.sb_datastart;
+  io.bwrite 1 b
+
+let read_superblock io =
+  let b = io.bread 1 in
+  if get32 b 0 <> magic then Error "xv6fs: bad magic"
+  else
+    Ok
+      {
+        sb_size = get32 b 4;
+        sb_ninodes = get32 b 8;
+        sb_inodestart = get32 b 12;
+        sb_bmapstart = get32 b 16;
+        sb_datastart = get32 b 20;
+      }
+
+(* ---- on-disk inodes ---- *)
+
+let itype_code = function
+  | None -> 0
+  | Some Dir -> 1
+  | Some Reg -> 2
+  | Some Dev -> 3
+
+let itype_of_code = function
+  | 0 -> None
+  | 1 -> Some Dir
+  | 2 -> Some Reg
+  | 3 -> Some Dev
+  | c -> invalid_arg (Printf.sprintf "xv6fs: bad inode type %d" c)
+
+let inode_block sb inum = sb.sb_inodestart + (inum / inodes_per_block)
+let inode_offset inum = inum mod inodes_per_block * inode_bytes
+
+let read_dinode t inum =
+  let b = t.io.bread (inode_block t.sb inum) in
+  let off = inode_offset inum in
+  let node =
+    {
+      i_num = inum;
+      i_type = itype_of_code (get16 b off);
+      i_major = get16 b (off + 2);
+      i_minor = get16 b (off + 4);
+      i_nlink = get16 b (off + 6);
+      i_size = get32 b (off + 8);
+      i_addrs = Array.make (ndirect + 1) 0;
+    }
+  in
+  for i = 0 to ndirect do
+    node.i_addrs.(i) <- get32 b (off + 12 + (4 * i))
+  done;
+  node
+
+let write_dinode t node =
+  let blockno = inode_block t.sb node.i_num in
+  let b = t.io.bread blockno in
+  let off = inode_offset node.i_num in
+  put16 b off (itype_code node.i_type);
+  put16 b (off + 2) node.i_major;
+  put16 b (off + 4) node.i_minor;
+  put16 b (off + 6) node.i_nlink;
+  put32 b (off + 8) node.i_size;
+  for i = 0 to ndirect do
+    put32 b (off + 12 + (4 * i)) node.i_addrs.(i)
+  done;
+  t.io.bwrite blockno b
+
+let iget t inum =
+  match Hashtbl.find_opt t.cache inum with
+  | Some node -> node
+  | None ->
+      let node = read_dinode t inum in
+      Hashtbl.replace t.cache inum node;
+      node
+
+let ialloc t ftype =
+  let rec scan inum =
+    if inum >= t.sb.sb_ninodes then Error "xv6fs: out of inodes"
+    else begin
+      let node = iget t inum in
+      if node.i_type = None then begin
+        node.i_type <- Some ftype;
+        node.i_major <- 0;
+        node.i_minor <- 0;
+        node.i_nlink <- 0;
+        node.i_size <- 0;
+        Array.fill node.i_addrs 0 (ndirect + 1) 0;
+        write_dinode t node;
+        Ok node
+      end
+      else scan (inum + 1)
+    end
+  in
+  scan 1 (* inode 0 is reserved, 1 is the root *)
+
+(* ---- block bitmap ---- *)
+
+let balloc t =
+  let rec scan_block bi =
+    let base = bi * block_bytes * 8 in
+    if base >= t.sb.sb_size then Error "xv6fs: out of data blocks"
+    else begin
+      let blockno = t.sb.sb_bmapstart + bi in
+      let b = t.io.bread blockno in
+      let found = ref None in
+      (try
+         for bit = 0 to (block_bytes * 8) - 1 do
+           let blk = base + bit in
+           if blk >= t.sb.sb_datastart && blk < t.sb.sb_size then begin
+             let byte = Bytes.get_uint8 b (bit / 8) in
+             if byte land (1 lsl (bit mod 8)) = 0 then begin
+               Bytes.set_uint8 b (bit / 8) (byte lor (1 lsl (bit mod 8)));
+               found := Some blk;
+               raise Exit
+             end
+           end
+         done
+       with Exit -> ());
+      match !found with
+      | Some blk ->
+          t.io.bwrite blockno b;
+          t.io.bwrite blk (Bytes.make block_bytes '\000');
+          Ok blk
+      | None -> scan_block (bi + 1)
+    end
+  in
+  scan_block 0
+
+let bfree t blk =
+  assert (blk >= t.sb.sb_datastart && blk < t.sb.sb_size);
+  let blockno = t.sb.sb_bmapstart + (blk / (block_bytes * 8)) in
+  let bit = blk mod (block_bytes * 8) in
+  let b = t.io.bread blockno in
+  let byte = Bytes.get_uint8 b (bit / 8) in
+  assert (byte land (1 lsl (bit mod 8)) <> 0);
+  Bytes.set_uint8 b (bit / 8) (byte land lnot (1 lsl (bit mod 8)));
+  t.io.bwrite blockno b
+
+let free_data_blocks t =
+  let free = ref 0 in
+  for blk = t.sb.sb_datastart to t.sb.sb_size - 1 do
+    let blockno = t.sb.sb_bmapstart + (blk / (block_bytes * 8)) in
+    let bit = blk mod (block_bytes * 8) in
+    let b = t.io.bread blockno in
+    if Bytes.get_uint8 b (bit / 8) land (1 lsl (bit mod 8)) = 0 then incr free
+  done;
+  !free
+
+(* ---- block mapping ---- *)
+
+(* Map file block [n] of [node] to a disk block, allocating if [alloc]. *)
+let bmap t node n ~alloc =
+  if n < 0 || n >= max_file_blocks then Error "xv6fs: file too large"
+  else if n < ndirect then begin
+    if node.i_addrs.(n) = 0 then
+      if alloc then
+        match balloc t with
+        | Ok blk ->
+            node.i_addrs.(n) <- blk;
+            write_dinode t node;
+            Ok blk
+        | Error e -> Error e
+      else Error "xv6fs: hole"
+    else Ok node.i_addrs.(n)
+  end
+  else begin
+    let get_indirect () =
+      if node.i_addrs.(ndirect) = 0 then
+        if alloc then
+          match balloc t with
+          | Ok blk ->
+              node.i_addrs.(ndirect) <- blk;
+              write_dinode t node;
+              Ok blk
+          | Error e -> Error e
+        else Error "xv6fs: hole"
+      else Ok node.i_addrs.(ndirect)
+    in
+    match get_indirect () with
+    | Error e -> Error e
+    | Ok ind ->
+        let b = t.io.bread ind in
+        let idx = n - ndirect in
+        let blk = get32 b (4 * idx) in
+        if blk = 0 then
+          if alloc then
+            match balloc t with
+            | Ok fresh ->
+                put32 b (4 * idx) fresh;
+                t.io.bwrite ind b;
+                Ok fresh
+            | Error e -> Error e
+          else Error "xv6fs: hole"
+        else Ok blk
+  end
+
+let truncate t node =
+  for i = 0 to ndirect - 1 do
+    if node.i_addrs.(i) <> 0 then begin
+      bfree t node.i_addrs.(i);
+      node.i_addrs.(i) <- 0
+    end
+  done;
+  if node.i_addrs.(ndirect) <> 0 then begin
+    let ind = node.i_addrs.(ndirect) in
+    let b = t.io.bread ind in
+    for idx = 0 to nindirect - 1 do
+      let blk = get32 b (4 * idx) in
+      if blk <> 0 then bfree t blk
+    done;
+    bfree t ind;
+    node.i_addrs.(ndirect) <- 0
+  end;
+  node.i_size <- 0;
+  write_dinode t node
+
+(* ---- file read/write ---- *)
+
+let readi t node ~off ~len =
+  match node.i_type with
+  | None -> Error "xv6fs: read of free inode"
+  | Some _ ->
+      if off < 0 || len < 0 then Error "xv6fs: bad read range"
+      else begin
+        let len = min len (max 0 (node.i_size - off)) in
+        let out = Bytes.create len in
+        let copied = ref 0 in
+        let err = ref None in
+        while !copied < len && !err = None do
+          let pos = off + !copied in
+          let bn = pos / block_bytes in
+          (match bmap t node bn ~alloc:false with
+          | Ok blk ->
+              let b = t.io.bread blk in
+              let boff = pos mod block_bytes in
+              let n = min (len - !copied) (block_bytes - boff) in
+              Bytes.blit b boff out !copied n;
+              copied := !copied + n
+          | Error "xv6fs: hole" ->
+              (* sparse region reads as zeros *)
+              let boff = pos mod block_bytes in
+              let n = min (len - !copied) (block_bytes - boff) in
+              Bytes.fill out !copied n '\000';
+              copied := !copied + n
+          | Error e -> err := Some e)
+        done;
+        match !err with Some e -> Error e | None -> Ok out
+      end
+
+let writei t node ~off ~data =
+  match node.i_type with
+  | None -> Error "xv6fs: write to free inode"
+  | Some _ ->
+      let len = Bytes.length data in
+      if off < 0 then Error "xv6fs: bad write offset"
+      else if off + len > max_file_bytes then Error "xv6fs: file too large"
+      else begin
+        let written = ref 0 in
+        let err = ref None in
+        while !written < len && !err = None do
+          let pos = off + !written in
+          let bn = pos / block_bytes in
+          match bmap t node bn ~alloc:true with
+          | Ok blk ->
+              let b = t.io.bread blk in
+              let boff = pos mod block_bytes in
+              let n = min (len - !written) (block_bytes - boff) in
+              Bytes.blit data !written b boff n;
+              t.io.bwrite blk b;
+              written := !written + n
+          | Error e -> err := Some e
+        done;
+        match !err with
+        | Some e -> Error e
+        | None ->
+            if off + len > node.i_size then begin
+              node.i_size <- off + len;
+              write_dinode t node
+            end;
+            Ok len
+      end
+
+(* ---- directories ---- *)
+
+let dirent_count node = node.i_size / dirent_bytes
+
+let read_dirent t node idx =
+  match readi t node ~off:(idx * dirent_bytes) ~len:dirent_bytes with
+  | Error e -> Error e
+  | Ok b ->
+      let inum = get16 b 0 in
+      let raw = Bytes.sub_string b 2 max_name in
+      let name =
+        match String.index_opt raw '\000' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      Ok (name, inum)
+
+let write_dirent t node idx name inum =
+  let b = Bytes.make dirent_bytes '\000' in
+  put16 b 0 inum;
+  String.iteri
+    (fun i c -> if i < max_name then Bytes.set b (2 + i) c)
+    name;
+  match writei t node ~off:(idx * dirent_bytes) ~data:b with
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+let dirlookup t dir name =
+  match dir.i_type with
+  | Some Dir ->
+      let n = dirent_count dir in
+      let rec scan idx =
+        if idx >= n then Error ("xv6fs: no such entry: " ^ name)
+        else
+          match read_dirent t dir idx with
+          | Error e -> Error e
+          | Ok (ename, einum) ->
+              if einum <> 0 && String.equal ename name then Ok (iget t einum, idx)
+              else scan (idx + 1)
+      in
+      scan 0
+  | Some Reg | Some Dev | None -> Error "xv6fs: not a directory"
+
+let dirlink t dir name inum =
+  if String.length name = 0 || String.length name > max_name then
+    Error "xv6fs: bad name length"
+  else
+    match dirlookup t dir name with
+    | Ok _ -> Error ("xv6fs: exists: " ^ name)
+    | Error _ ->
+        (* reuse a freed slot if any, else append *)
+        let n = dirent_count dir in
+        let rec find_free idx =
+          if idx >= n then n
+          else
+            match read_dirent t dir idx with
+            | Ok (_, 0) -> idx
+            | Ok _ | Error _ -> find_free (idx + 1)
+        in
+        write_dirent t dir (find_free 0) name inum
+
+(* ---- paths ---- *)
+
+let root t = iget t 1
+
+let lookup t path =
+  let rec walk node = function
+    | [] -> Ok node
+    | name :: rest -> (
+        match dirlookup t node name with
+        | Ok (child, _) -> walk child rest
+        | Error e -> Error e)
+  in
+  walk (root t) (Vpath.split path)
+
+let stat_of _t node =
+  {
+    st_inum = node.i_num;
+    st_type = (match node.i_type with Some ty -> ty | None -> Reg);
+    st_nlink = node.i_nlink;
+    st_size = node.i_size;
+  }
+
+let inum node = node.i_num
+
+let create t path ftype =
+  let dir_path = Vpath.dirname path and name = Vpath.basename path in
+  if String.equal name "/" then Error "xv6fs: cannot create root"
+  else
+    match lookup t dir_path with
+    | Error e -> Error e
+    | Ok parent -> (
+        match dirlookup t parent name with
+        | Ok _ -> Error ("xv6fs: exists: " ^ path)
+        | Error _ -> (
+            match ialloc t ftype with
+            | Error e -> Error e
+            | Ok node -> (
+                node.i_nlink <- 1;
+                write_dinode t node;
+                let link_children () =
+                  match ftype with
+                  | Dir -> (
+                      match dirlink t node "." node.i_num with
+                      | Error e -> Error e
+                      | Ok () -> (
+                          match dirlink t node ".." parent.i_num with
+                          | Error e -> Error e
+                          | Ok () ->
+                              parent.i_nlink <- parent.i_nlink + 1;
+                              write_dinode t parent;
+                              Ok ()))
+                  | Reg | Dev -> Ok ()
+                in
+                match link_children () with
+                | Error e -> Error e
+                | Ok () -> (
+                    match dirlink t parent name node.i_num with
+                    | Error e -> Error e
+                    | Ok () -> Ok node))))
+
+let readdir t dir =
+  match dir.i_type with
+  | Some Dir ->
+      let n = dirent_count dir in
+      let rec scan idx acc =
+        if idx >= n then Ok (List.rev acc)
+        else
+          match read_dirent t dir idx with
+          | Error e -> Error e
+          | Ok (_, 0) -> scan (idx + 1) acc
+          | Ok (name, inum) ->
+              if String.equal name "." || String.equal name ".." then
+                scan (idx + 1) acc
+              else scan (idx + 1) ((name, inum) :: acc)
+      in
+      scan 0 []
+  | Some Reg | Some Dev | None -> Error "xv6fs: not a directory"
+
+let dir_is_empty t dir =
+  match readdir t dir with Ok [] -> true | Ok _ | Error _ -> false
+
+let unlink t path =
+  let dir_path = Vpath.dirname path and name = Vpath.basename path in
+  if String.equal name "/" || String.equal name "." || String.equal name ".."
+  then Error "xv6fs: cannot unlink"
+  else
+    match lookup t dir_path with
+    | Error e -> Error e
+    | Ok parent -> (
+        match dirlookup t parent name with
+        | Error e -> Error e
+        | Ok (node, idx) ->
+            if node.i_type = Some Dir && not (dir_is_empty t node) then
+              Error "xv6fs: directory not empty"
+            else begin
+              (match write_dirent t parent idx "" 0 with
+              | Ok () -> ()
+              | Error e -> invalid_arg e);
+              if node.i_type = Some Dir then begin
+                parent.i_nlink <- parent.i_nlink - 1;
+                write_dinode t parent
+              end;
+              node.i_nlink <- node.i_nlink - 1;
+              if node.i_nlink <= 0 then begin
+                truncate t node;
+                node.i_type <- None;
+                Hashtbl.remove t.cache node.i_num
+              end;
+              write_dinode t node;
+              Ok ()
+            end)
+
+let set_dev t node ~major ~minor =
+  node.i_major <- major;
+  node.i_minor <- minor;
+  write_dinode t node
+
+let dev_of _t node = (node.i_major, node.i_minor)
+
+(* ---- mkfs / mount ---- *)
+
+let mount io =
+  match read_superblock io with
+  | Error e -> Error e
+  | Ok sb -> Ok { io; sb; cache = Hashtbl.create 64 }
+
+let mkfs ~total_blocks ~ninodes =
+  let image = Bytes.make (total_blocks * block_bytes) '\000' in
+  let io = io_of_image image in
+  let sb = layout ~total_blocks ~ninodes in
+  write_superblock io sb;
+  let t = { io; sb; cache = Hashtbl.create 64 } in
+  (* mark meta blocks used in the bitmap *)
+  for blk = 0 to sb.sb_datastart - 1 do
+    let blockno = sb.sb_bmapstart + (blk / (block_bytes * 8)) in
+    let bit = blk mod (block_bytes * 8) in
+    let b = io.bread blockno in
+    Bytes.set_uint8 b (bit / 8)
+      (Bytes.get_uint8 b (bit / 8) lor (1 lsl (bit mod 8)));
+    io.bwrite blockno b
+  done;
+  (* root directory: inode 1 *)
+  (match ialloc t Dir with
+  | Ok node ->
+      assert (node.i_num = 1);
+      node.i_nlink <- 1;
+      write_dinode t node;
+      (match dirlink t node "." 1 with Ok () -> () | Error e -> invalid_arg e);
+      (match dirlink t node ".." 1 with Ok () -> () | Error e -> invalid_arg e)
+  | Error e -> invalid_arg e);
+  image

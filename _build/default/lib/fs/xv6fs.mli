@@ -1,0 +1,92 @@
+(** The xv6-style filesystem ("xv6fs"), VOS's root filesystem on ramdisk.
+
+    Faithful to the original layout with the paper's simplifications: no
+    log/journal (crash consistency is explicitly excluded, §5.4), 1 KB
+    blocks, 12 direct + 1 singly-indirect block per inode — giving the
+    ~270 KB maximum file size the paper calls out as Prototype 5's
+    motivation for FAT32 (§4.5).
+
+    Disk layout in 1 KB blocks:
+    [ 0: boot | 1: superblock | inodes | free bitmap | data... ]
+
+    All block IO goes through an {!io} record; the kernel supplies an
+    implementation backed by its buffer cache (charging simulated time),
+    tests supply a raw in-memory one. *)
+
+val block_bytes : int
+(** 1024. *)
+
+val ndirect : int
+val nindirect : int
+
+val max_file_bytes : int
+(** [(ndirect + nindirect) * block_bytes] = 274432. *)
+
+val max_name : int
+(** Direntry name capacity: 14 bytes. *)
+
+type io = {
+  bread : int -> Bytes.t;  (** read fs block [n]; must return 1 KB *)
+  bwrite : int -> Bytes.t -> unit;
+}
+
+val io_of_image : Bytes.t -> io
+(** Zero-cost accessor over a raw image (for mkfs and tests). *)
+
+type ftype = Dir | Reg | Dev
+
+type stat = { st_inum : int; st_type : ftype; st_nlink : int; st_size : int }
+
+type t
+(** A mounted filesystem instance. *)
+
+type inode
+(** An in-core inode handle. *)
+
+(** {1 Formatting and mounting} *)
+
+val mkfs : total_blocks:int -> ninodes:int -> Bytes.t
+(** Create a fresh image with an empty root directory. *)
+
+val mount : io -> (t, string) result
+(** Validate the superblock and return a handle. *)
+
+val free_data_blocks : t -> int
+(** Unallocated data blocks, from the bitmap (for /proc and tests). *)
+
+(** {1 Inodes and paths} *)
+
+val root : t -> inode
+val lookup : t -> string -> (inode, string) result
+(** Resolve an absolute path. *)
+
+val stat_of : t -> inode -> stat
+val inum : inode -> int
+
+(** {1 Files} *)
+
+val create : t -> string -> ftype -> (inode, string) result
+(** Create a file/dir/device node; parent must exist; fails if the name
+    exists. Directories get "." and ".." entries. *)
+
+val readi : t -> inode -> off:int -> len:int -> (Bytes.t, string) result
+(** Read up to [len] bytes at [off]; short reads at EOF. *)
+
+val writei : t -> inode -> off:int -> data:Bytes.t -> (int, string) result
+(** Write at [off], growing the file as needed; fails with "file too large"
+    past [max_file_bytes]. Returns bytes written. *)
+
+val truncate : t -> inode -> unit
+(** Free all data blocks and set the size to 0. *)
+
+val unlink : t -> string -> (unit, string) result
+(** Remove a directory entry; frees the inode when the link count drops to
+    zero. Refuses non-empty directories. *)
+
+val readdir : t -> inode -> ((string * int) list, string) result
+(** Entries of a directory (name, inum), excluding "." and "..". *)
+
+val set_dev : t -> inode -> major:int -> minor:int -> unit
+(** Stamp device numbers on a [Dev] inode. *)
+
+val dev_of : t -> inode -> int * int

@@ -1,0 +1,1 @@
+lib/hw/board.ml: Dma Float Gpio Int64 Intc Mailbox Pwm_audio Sd Sim Timer Uart Usb

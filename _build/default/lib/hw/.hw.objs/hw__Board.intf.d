@@ -1,0 +1,1 @@
+lib/hw/board.mli: Dma Gpio Intc Mailbox Pwm_audio Sd Sim Timer Uart Usb

@@ -1,0 +1,1 @@
+lib/hw/dma.ml: Array Int64 Intc Irq Sim

@@ -1,0 +1,1 @@
+lib/hw/framebuffer.ml: Array Buffer Char Printf Sim String

@@ -1,0 +1,1 @@
+lib/hw/framebuffer.mli: Sim

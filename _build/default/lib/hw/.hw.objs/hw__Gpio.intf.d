@@ -1,0 +1,1 @@
+lib/hw/gpio.mli: Intc Sim

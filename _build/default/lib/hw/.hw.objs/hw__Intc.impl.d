@@ -1,0 +1,1 @@
+lib/hw/intc.ml: Array Irq List

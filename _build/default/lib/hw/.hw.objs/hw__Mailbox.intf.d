@@ -1,0 +1,1 @@
+lib/hw/mailbox.mli: Framebuffer Sim

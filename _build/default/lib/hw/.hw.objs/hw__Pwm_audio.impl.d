@@ -1,0 +1,1 @@
+lib/hw/pwm_audio.ml: Array Int64 Queue Sim

@@ -1,0 +1,1 @@
+lib/hw/pwm_audio.mli: Sim

@@ -1,0 +1,1 @@
+lib/hw/sd.ml: Bytes Int64

@@ -1,0 +1,1 @@
+lib/hw/sd.mli: Bytes Sim

@@ -1,0 +1,1 @@
+lib/hw/timer.ml: Array Int64 Intc Irq Sim

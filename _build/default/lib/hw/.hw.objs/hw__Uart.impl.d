@@ -1,0 +1,1 @@
+lib/hw/uart.ml: Buffer Int64 Intc Irq Queue String

@@ -1,0 +1,1 @@
+lib/hw/usb.ml: Bytes Int64 Intc Irq List Sim

@@ -1,0 +1,1 @@
+lib/hw/usb.mli: Bytes Intc Sim

@@ -1,0 +1,38 @@
+type chan = { mutable busy : bool; mutable done_latch : bool }
+
+type t = { engine : Sim.Engine.t; intc : Intc.t; chans : chan array }
+
+let bus_bytes_per_sec = 400_000_000L
+let setup_ns = 800L
+
+let create engine intc ~channels =
+  {
+    engine;
+    intc;
+    chans = Array.init channels (fun _ -> { busy = false; done_latch = false });
+  }
+
+let channels t = Array.length t.chans
+let busy t ~channel = t.chans.(channel).busy
+
+let transfer_ns ~bytes_len =
+  let data =
+    Int64.div
+      (Int64.mul (Int64.of_int bytes_len) 1_000_000_000L)
+      bus_bytes_per_sec
+  in
+  Int64.add setup_ns data
+
+let start t ~channel ~bytes_len ~on_complete =
+  let ch = t.chans.(channel) in
+  if ch.busy then invalid_arg "Dma.start: channel busy";
+  ch.busy <- true;
+  ignore
+    (Sim.Engine.schedule_after t.engine (transfer_ns ~bytes_len) (fun () ->
+         ch.busy <- false;
+         ch.done_latch <- true;
+         on_complete ();
+         Intc.raise_line t.intc (Irq.Dma_channel channel)))
+
+let done_latched t ~channel = t.chans.(channel).done_latch
+let ack t ~channel = t.chans.(channel).done_latch <- false

@@ -1,0 +1,30 @@
+(** DMA engine.
+
+    Channels move data asynchronously at a fixed bus bandwidth; when a
+    transfer completes the channel latches "done", raises its interrupt
+    line, and invokes the completion action (delivering the payload to the
+    destination device). The kernel's drivers ack the channel from their
+    interrupt handler and program the next transfer — the producer-consumer
+    pipeline of §4.4. *)
+
+type t
+
+val create : Sim.Engine.t -> Intc.t -> channels:int -> t
+
+val channels : t -> int
+
+val busy : t -> channel:int -> bool
+
+val start : t -> channel:int -> bytes_len:int -> on_complete:(unit -> unit) -> unit
+(** Begin a transfer of [bytes_len] bytes. Raises [Invalid_argument] if the
+    channel is busy. On completion: [on_complete ()] runs, the channel's
+    done-latch sets, and [Irq.Dma_channel channel] is raised. *)
+
+val done_latched : t -> channel:int -> bool
+
+val ack : t -> channel:int -> unit
+(** Clear the done-latch (the driver's interrupt acknowledgement). *)
+
+val transfer_ns : bytes_len:int -> int64
+(** Time to move [bytes_len] bytes at the modeled bus bandwidth
+    (400 MB/s, the Pi3 AXI bus's practical DMA rate). *)

@@ -1,0 +1,64 @@
+(** The GPU framebuffer, with CPU-cache effects.
+
+    Pi3's framebuffer lives in GPU-reserved memory; the paper's §4.3
+    "see CPU cache in action" experience hinges on two hardware facts this
+    model reproduces:
+
+    - Mapping the framebuffer {e uncached} makes every store go to memory
+      (slow but always coherent).
+    - Mapping it {e cached} makes stores cheap, but the display scans out of
+      memory, so frames are invisible (stale) until the CPU cache is flushed
+      for the framebuffer range. Unflushed lines leak to memory gradually as
+      cache lines are evicted, which is why the paper's artifacts "gradually
+      disappear".
+
+    The model keeps two pixel planes: the CPU view (cache) and the memory
+    plane the display reads. [flush] copies dirty rows; [evict_some] models
+    background eviction. *)
+
+type mapping = Uncached | Cached
+
+type t
+
+val create : width:int -> height:int -> t
+
+val width : t -> int
+val height : t -> int
+
+val set_mapping : t -> mapping -> unit
+val mapping : t -> mapping
+
+val write_pixel : t -> x:int -> y:int -> int -> unit
+(** Store one RGBA8888 pixel through the CPU view. Out-of-bounds writes are
+    ignored (the real fb would wrap into GPU memory; apps must clip). *)
+
+val read_pixel : t -> x:int -> y:int -> int
+(** CPU-view load. *)
+
+val write_row : t -> y:int -> int array -> unit
+(** Store a full row; cheaper bulk path used by blit code. *)
+
+val flush : t -> unit
+(** Cache-clean the framebuffer range: publish all dirty rows to the
+    display plane. No-op under [Uncached]. *)
+
+val evict_some : t -> Sim.Rng.t -> fraction:float -> unit
+(** Model background cache eviction: publish a random [fraction] of the
+    dirty rows. *)
+
+val display_pixel : t -> x:int -> y:int -> int
+(** What the display scan-out reads at (x,y). *)
+
+val stale_rows : t -> int
+(** Number of rows whose CPU view differs from the display plane; the
+    visible-artifact metric for the §4.3 experiment. *)
+
+val frames_presented : t -> int
+(** Count of [flush] calls that published at least one row. *)
+
+val to_ppm : t -> string
+(** Render the display plane as a binary PPM (P6), for dumping screenshots
+    from examples. *)
+
+val to_ascii : t -> cols:int -> rows:int -> string
+(** Downsample the display plane to luminance ASCII art. *)

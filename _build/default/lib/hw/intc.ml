@@ -1,0 +1,86 @@
+type handler = Irq.line -> unit
+
+type core_state = {
+  mutable handler : handler option;
+  mutable mask_depth : int;
+  mutable pending : Irq.line list;  (* newest first; coalesced *)
+}
+
+type t = {
+  cores : core_state array;
+  routes : (Irq.line * int) list ref;
+  mutable fiq_next : int;  (* round-robin cursor for FIQ delivery *)
+}
+
+let create ~cores =
+  let state () = { handler = None; mask_depth = 0; pending = [] } in
+  let t =
+    {
+      cores = Array.init cores (fun _ -> state ());
+      routes = ref [];
+      fiq_next = 0;
+    }
+  in
+  for c = 0 to cores - 1 do
+    t.routes := (Irq.Core_timer c, c) :: !(t.routes)
+  done;
+  t
+
+let route t line ~core =
+  (match line with
+  | Irq.Core_timer _ -> invalid_arg "Intc.route: per-core timer lines are fixed"
+  | Irq.Sys_timer | Irq.Uart_rx | Irq.Usb_hc | Irq.Dma_channel _
+  | Irq.Gpio_bank | Irq.Sd_card | Irq.Fiq_button ->
+      ());
+  if core < 0 || core >= Array.length t.cores then
+    invalid_arg "Intc.route: bad core";
+  t.routes := (line, core) :: List.filter (fun (l, _) -> not (Irq.equal l line)) !(t.routes)
+
+let set_handler t ~core h = t.cores.(core).handler <- Some h
+
+let target_core t line =
+  match List.find_opt (fun (l, _) -> Irq.equal l line) !(t.routes) with
+  | Some (_, core) -> core
+  | None -> 0
+
+let deliver state line =
+  match state.handler with
+  | Some h -> h line
+  | None ->
+      (* No kernel yet: leave pending so early boot doesn't lose edges. *)
+      if not (List.exists (Irq.equal line) state.pending) then
+        state.pending <- line :: state.pending
+
+let drain state =
+  let lines = List.rev state.pending in
+  state.pending <- [];
+  List.iter (deliver state) lines
+
+let mask t ~core = t.cores.(core).mask_depth <- t.cores.(core).mask_depth + 1
+
+let unmask t ~core =
+  let state = t.cores.(core) in
+  if state.mask_depth <= 0 then invalid_arg "Intc.unmask: not masked";
+  state.mask_depth <- state.mask_depth - 1;
+  if state.mask_depth = 0 then drain state
+
+let masked t ~core = t.cores.(core).mask_depth > 0
+
+let raise_line t line =
+  match line with
+  | Irq.Fiq_button ->
+      (* FIQ bypasses the IRQ mask and rotates across cores. *)
+      let core = t.fiq_next in
+      t.fiq_next <- (t.fiq_next + 1) mod Array.length t.cores;
+      deliver t.cores.(core) line
+  | Irq.Core_timer _ | Irq.Sys_timer | Irq.Uart_rx | Irq.Usb_hc
+  | Irq.Dma_channel _ | Irq.Gpio_bank | Irq.Sd_card ->
+      let core = target_core t line in
+      let state = t.cores.(core) in
+      if state.mask_depth > 0 || state.handler = None then begin
+        if not (List.exists (Irq.equal line) state.pending) then
+          state.pending <- line :: state.pending
+      end
+      else deliver state line
+
+let pending_count t ~core = List.length t.cores.(core).pending

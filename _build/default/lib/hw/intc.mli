@@ -1,0 +1,43 @@
+(** Interrupt controller.
+
+    Devices raise lines; the controller delivers each line to the core the
+    kernel routed it to, by invoking the handler that core's kernel
+    registered. A raised line on a core whose interrupts are masked stays
+    pending and is delivered when the core unmasks.
+
+    The FIQ line ([Irq.Fiq_button]) ignores the IRQ mask — mirroring the
+    paper's panic-button design, which must fire even when the kernel is
+    deadlocked with IRQs off — and is delivered round-robin across cores. *)
+
+type t
+
+type handler = Irq.line -> unit
+(** Invoked in "interrupt context": synchronously, on behalf of the target
+    core, when a routed line fires. *)
+
+val create : cores:int -> t
+
+val route : t -> Irq.line -> core:int -> unit
+(** Direct [line] to [core]. Per-core timer lines are routed to their own
+    core automatically at creation; re-routing them raises
+    [Invalid_argument]. *)
+
+val set_handler : t -> core:int -> handler -> unit
+(** Install the kernel's interrupt entry point for [core]. *)
+
+val mask : t -> core:int -> unit
+(** Disable IRQ delivery to [core] (DAIF.I set). Nestable; each [mask]
+    needs a matching [unmask]. *)
+
+val unmask : t -> core:int -> unit
+(** Re-enable IRQ delivery; pending lines are delivered immediately. *)
+
+val masked : t -> core:int -> bool
+
+val raise_line : t -> Irq.line -> unit
+(** Device-side: assert [line]. Delivered now if the target core is
+    unmasked and a handler is installed; otherwise left pending (multiple
+    raises of a pending line coalesce, like a level-triggered controller). *)
+
+val pending_count : t -> core:int -> int
+(** Number of distinct lines pending on [core]; for tests and panic dumps. *)

@@ -1,0 +1,29 @@
+type profile = {
+  board_idle_w : float;
+  core_active_w : float;
+  io_active_w : float;
+  hat_w : float;
+  battery_wh : float;
+}
+
+let pi3_game_hat =
+  {
+    board_idle_w = 1.88;
+    core_active_w = 1.10;
+    io_active_w = 0.30;
+    hat_w = 1.15;
+    battery_wh = 3.0 *. 3.7 (* one 18650: 3000 mAh at 3.7 V *);
+  }
+
+let board_power p ~busy_cores ~io_fraction =
+  assert (busy_cores >= 0.0 && io_fraction >= 0.0);
+  p.board_idle_w
+  +. (p.core_active_w *. busy_cores)
+  +. (p.io_active_w *. min 1.0 io_fraction)
+
+let total_power p ~busy_cores ~io_fraction ~hat =
+  board_power p ~busy_cores ~io_fraction +. if hat then p.hat_w else 0.0
+
+let battery_hours p ~watts =
+  assert (watts > 0.0);
+  p.battery_wh /. watts

@@ -1,0 +1,27 @@
+(** Power and battery model (Figure 12 substitute for the USB power meter).
+
+    Device power is decomposed the way the paper's figure is: the Pi3 board
+    (idle floor plus per-core active power) and the Game HAT expansion
+    (display backlight, audio amplifier, power IC). Battery life is the
+    pack's energy divided by average power, for the HAT-compatible 18650
+    cell (3000 mAh at 3.7 V). *)
+
+type profile = {
+  board_idle_w : float;  (** Pi3 at idle (WFI loop), peripherals clocked *)
+  core_active_w : float;  (** additional draw per fully-busy core *)
+  io_active_w : float;  (** additional draw under sustained IO (SD/USB) *)
+  hat_w : float;  (** Game HAT: display + amplifier + power IC *)
+  battery_wh : float;
+}
+
+val pi3_game_hat : profile
+(** Calibrated to the paper: ~3 W at shell prompt, ~4 W under game load,
+    3.7 h / 2.6 h battery life respectively. *)
+
+val board_power : profile -> busy_cores:float -> io_fraction:float -> float
+(** Pi3-board draw given the time-averaged number of busy cores
+    (0.0–4.0) and the fraction of time spent in device IO. *)
+
+val total_power : profile -> busy_cores:float -> io_fraction:float -> hat:bool -> float
+
+val battery_hours : profile -> watts:float -> float

@@ -1,0 +1,56 @@
+let sector_bytes = 512
+
+(* Polling-driver cost model, calibrated to the paper's Figure 8: a
+   single-block polled transfer sustains ~300 KB/s; an 8+ block range
+   amortizes the command overhead for a 2-3x win. *)
+let cmd_overhead_ns = 1_100_000L
+let per_sector_ns = 600_000L
+let init_cost_ns = 180_000_000L (* card identify + switch to high speed *)
+
+type t = {
+  image : Bytes.t;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create _engine ~size_mib =
+  assert (size_mib > 0);
+  {
+    image = Bytes.make (size_mib * 1024 * 1024) '\000';
+    reads = 0;
+    writes = 0;
+  }
+
+let sectors t = Bytes.length t.image / sector_bytes
+
+let cost_ns ~count =
+  Int64.add cmd_overhead_ns (Int64.mul (Int64.of_int count) per_sector_ns)
+
+let read t ~lba ~count =
+  if count <= 0 then Error "sd: zero-length read"
+  else if lba < 0 || lba > sectors t - count then Error "sd: read out of range"
+  else begin
+    t.reads <- t.reads + 1;
+    let data = Bytes.sub t.image (lba * sector_bytes) (count * sector_bytes) in
+    Ok (data, cost_ns ~count)
+  end
+
+let write t ~lba ~data =
+  let len = Bytes.length data in
+  if len = 0 || len mod sector_bytes <> 0 then
+    Error "sd: write must be whole sectors"
+  else begin
+    let count = len / sector_bytes in
+    if lba < 0 || lba > sectors t - count then Error "sd: write out of range"
+    else begin
+      t.writes <- t.writes + 1;
+      Bytes.blit data 0 t.image (lba * sector_bytes) len;
+      Ok (cost_ns ~count)
+    end
+  end
+
+let load t ~lba data =
+  Bytes.blit data 0 t.image (lba * sector_bytes) (Bytes.length data)
+
+let read_count t = t.reads
+let write_count t = t.writes

@@ -1,0 +1,42 @@
+(** SD card controller and card.
+
+    Mirrors the paper's deliberately simple driver contract (§4.5): the
+    driver initializes the card, then issues synchronous single-block or
+    block-range reads/writes, polling for completion — no DMA. The model
+    therefore returns a polling cost with each operation; range operations
+    pay the command overhead once, which is exactly why the paper's
+    buffer-cache bypass wins 2–3x on multi-block FAT32 access.
+
+    Sectors are 512 bytes. The card image lives in memory; [load] lets boot
+    tooling stamp filesystem images onto it. *)
+
+type t
+
+val sector_bytes : int
+
+val create : Sim.Engine.t -> size_mib:int -> t
+
+val sectors : t -> int
+
+val init_cost_ns : int64
+(** Card identification + clock-up sequence at power-on. *)
+
+val read : t -> lba:int -> count:int -> (Bytes.t * int64, string) result
+(** [read t ~lba ~count] returns [count * 512] bytes and the polling cost.
+    Fails on out-of-range access. *)
+
+val write : t -> lba:int -> data:Bytes.t -> (int64, string) result
+(** Write [data] (a whole number of sectors) starting at [lba]; returns the
+    polling cost. *)
+
+val load : t -> lba:int -> Bytes.t -> unit
+(** Stamp raw bytes onto the card with no cost (development-machine side,
+    like dd-ing an image before inserting the card). *)
+
+val read_count : t -> int
+(** Number of read commands issued (not sectors). *)
+
+val write_count : t -> int
+
+val cost_ns : count:int -> int64
+(** Cost model: one command overhead plus per-sector wire time. *)

@@ -1,0 +1,123 @@
+type report = { modifiers : int; keys : int list }
+
+type t = {
+  engine : Sim.Engine.t;
+  intc : Intc.t;
+  mutable ready : bool;
+  mutable powered : bool;
+  mutable modifiers : int;
+  mutable held : int list;  (* usage codes, oldest first, max 6 *)
+  mutable dirty : bool;
+  mutable latched : report list;  (* newest first *)
+  mutable msd : Bytes.t option;  (* mass-storage backing image *)
+}
+
+let init_cost_ns = 1_100_000_000L
+let frame_interval_ns = 8_000_000L
+
+let create engine intc =
+  {
+    engine;
+    intc;
+    ready = false;
+    powered = false;
+    modifiers = 0;
+    held = [];
+    dirty = false;
+    latched = [];
+    msd = None;
+  }
+
+let rec poll_frame t () =
+  if t.ready then begin
+    if t.dirty then begin
+      t.dirty <- false;
+      t.latched <- { modifiers = t.modifiers; keys = t.held } :: t.latched;
+      Intc.raise_line t.intc Irq.Usb_hc
+    end;
+    ignore (Sim.Engine.schedule_after t.engine frame_interval_ns (poll_frame t))
+  end
+
+let power_on t =
+  if not t.powered then begin
+    t.powered <- true;
+    ignore
+      (Sim.Engine.schedule_after t.engine init_cost_ns (fun () ->
+           t.ready <- true;
+           poll_frame t ()))
+  end
+
+let ready t = t.ready
+
+let key_down t ?modifiers usage =
+  (match modifiers with Some m -> t.modifiers <- m | None -> ());
+  if not (List.mem usage t.held) then begin
+    t.held <- t.held @ [ usage ];
+    if List.length t.held > 6 then t.held <- List.tl t.held;
+    t.dirty <- true
+  end
+
+let key_up t usage =
+  if List.mem usage t.held then begin
+    t.held <- List.filter (fun u -> u <> usage) t.held;
+    if t.held = [] then t.modifiers <- 0;
+    t.dirty <- true
+  end
+
+(* ---- mass storage: bulk-only transport over full-speed USB ---- *)
+
+let sector_bytes = 512
+let msd_cmd_ns = 400_000L (* CBW + CSW round trip *)
+let msd_bytes_per_sec = 2_000_000L (* the simple stack's bulk throughput *)
+
+let attach_msd t image =
+  if Bytes.length image mod sector_bytes <> 0 then
+    invalid_arg "usb: msd image not sector-aligned";
+  t.msd <- Some image
+
+let msd_attached t = t.msd <> None
+
+let msd_sectors t =
+  match t.msd with Some img -> Bytes.length img / sector_bytes | None -> 0
+
+let msd_cost ~count =
+  Int64.add msd_cmd_ns
+    (Int64.div
+       (Int64.mul (Int64.of_int (count * sector_bytes)) 1_000_000_000L)
+       msd_bytes_per_sec)
+
+let msd_read t ~lba ~count =
+  match t.msd with
+  | None -> Error "usb: no mass-storage device"
+  | Some img ->
+      let total = Bytes.length img / sector_bytes in
+      if count <= 0 || lba < 0 || lba > total - count then
+        Error "usb: msd read out of range"
+      else
+        Ok
+          ( Bytes.sub img (lba * sector_bytes) (count * sector_bytes),
+            msd_cost ~count )
+
+let msd_write t ~lba ~data =
+  match t.msd with
+  | None -> Error "usb: no mass-storage device"
+  | Some img ->
+      let len = Bytes.length data in
+      if len = 0 || len mod sector_bytes <> 0 then
+        Error "usb: msd write not sector-aligned"
+      else begin
+        let count = len / sector_bytes in
+        let total = Bytes.length img / sector_bytes in
+        if lba < 0 || lba > total - count then Error "usb: msd write out of range"
+        else begin
+          Bytes.blit data 0 img (lba * sector_bytes) len;
+          Ok (msd_cost ~count)
+        end
+      end
+
+let take_reports t =
+  let reports = List.rev t.latched in
+  t.latched <- [];
+  reports
+
+let reports_pending t = List.length t.latched

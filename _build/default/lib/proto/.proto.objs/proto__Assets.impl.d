@@ -1,0 +1,1 @@
+lib/proto/assets.ml: Array Bytes Char Float String User

@@ -1,0 +1,1 @@
+lib/proto/feature.ml: List Set

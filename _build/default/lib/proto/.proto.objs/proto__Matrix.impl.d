@@ -1,0 +1,1 @@
+lib/proto/matrix.ml: Buffer Feature List Printf String

@@ -1,0 +1,1 @@
+lib/proto/sloc.ml: Buffer Filename List Option Printf String Sys

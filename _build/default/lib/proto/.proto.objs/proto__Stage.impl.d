@@ -1,0 +1,1 @@
+lib/proto/stage.ml: Apps Array Assets Bytes Core Effect Hw List String User

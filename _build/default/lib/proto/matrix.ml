@@ -1,0 +1,193 @@
+(** The feature matrix (Table 1): apps' feature requirements, each
+    prototype's feature set, and the validation that makes the matrix a
+    theorem about this codebase rather than a figure. *)
+
+type app =
+  | Helloworld
+  | Donut
+  | Donuts_many  (** multiple concurrent donuts: Prototype 2's target *)
+  | Mario_noinput
+  | Mario_full
+  | Sysmon
+  | Shell_utils
+  | Slider
+  | Buzzer
+  | Music_player
+  | Doom
+  | Launcher
+  | Blockchain
+  | Video_player
+
+let all_apps =
+  [
+    Helloworld; Donut; Donuts_many; Mario_noinput; Mario_full; Sysmon; Shell_utils; Slider;
+    Buzzer; Music_player; Doom; Launcher; Blockchain; Video_player;
+  ]
+
+let app_name = function
+  | Helloworld -> "helloworld"
+  | Donut -> "donut"
+  | Donuts_many -> "donuts (many)"
+  | Mario_noinput -> "mario (no input)"
+  | Mario_full -> "mario"
+  | Sysmon -> "sysmon"
+  | Shell_utils -> "shell & utilities"
+  | Slider -> "slider"
+  | Buzzer -> "buzzer"
+  | Music_player -> "music player"
+  | Doom -> "DOOM"
+  | Launcher -> "launcher"
+  | Blockchain -> "blockchain"
+  | Video_player -> "video player"
+
+(* What each app critically depends on (P4: minimum viable implementation —
+   every feature exists because an app here lists it). *)
+let requires = function
+  | Helloworld -> [ Feature.Debug_msg; Feature.Timekeeping ]
+  | Donut -> [ Feature.Framebuffer_io; Feature.Timekeeping; Feature.Debug_msg ]
+  | Donuts_many ->
+      [ Feature.Multitasking; Feature.Page_allocator; Feature.Framebuffer_io ]
+  | Mario_noinput ->
+      [ Feature.Virtual_memory; Feature.Syscalls_tasks; Feature.Framebuffer_io;
+        Feature.Lib_minimal ]
+  | Mario_full ->
+      [ Feature.Syscalls_files; Feature.Usb_keyboard; Feature.Dev_proc_fs;
+        Feature.Xv6_filesystem; Feature.Lib_wrappers ]
+  | Sysmon -> [ Feature.Dev_proc_fs; Feature.Window_manager; Feature.Lib_wrappers ]
+  | Shell_utils ->
+      [ Feature.Syscalls_files; Feature.Xv6_filesystem; Feature.Uart_rx_irq;
+        Feature.Lib_wrappers ]
+  | Slider -> [ Feature.Syscalls_files; Feature.Xv6_filesystem; Feature.Framebuffer_io;
+        Feature.Lib_wrappers ]
+  | Buzzer -> [ Feature.Sound_pwm; Feature.Syscalls_files; Feature.Dev_proc_fs ]
+  | Music_player ->
+      [ Feature.Sound_pwm; Feature.Syscalls_files; Feature.Syscalls_threads;
+        Feature.Lib_full ]
+  | Doom ->
+      [ Feature.Fat32; Feature.Syscalls_files; Feature.Usb_keyboard;
+        Feature.Framebuffer_io; Feature.Lib_full ]
+  | Launcher -> [ Feature.Window_manager; Feature.Syscalls_files; Feature.Lib_full ]
+  | Blockchain -> [ Feature.Syscalls_threads; Feature.Multicore; Feature.Lib_full ]
+  | Video_player -> [ Feature.Fat32; Feature.Sound_pwm; Feature.Syscalls_threads;
+        Feature.Lib_full ]
+
+(* The apps each prototype targets (Table 1 columns). *)
+let apps_of_prototype = function
+  | 1 -> [ Helloworld; Donut ]
+  | 2 -> [ Helloworld; Donut; Donuts_many ]
+  | 3 -> [ Helloworld; Donut; Donuts_many; Mario_noinput ]
+  | 4 ->
+      [ Helloworld; Donut; Donuts_many; Mario_noinput; Mario_full;
+        Shell_utils; Slider; Buzzer ]
+  | 5 -> all_apps
+  | k -> invalid_arg (Printf.sprintf "Matrix.apps_of_prototype: %d" k)
+
+(* The feature set of each prototype, closed under Feature.needs. *)
+let rec features_of_prototype k =
+  let base =
+    match k with
+    | 1 -> [ Feature.Debug_msg; Feature.Hw_timers; Feature.Timekeeping;
+             Feature.Interrupts; Feature.Framebuffer_io; Feature.Uart_tx ]
+    | 2 -> Feature.Multitasking :: Feature.Page_allocator
+           :: features_base 1
+    | 3 -> Feature.Privileges :: Feature.Virtual_memory
+           :: Feature.Syscalls_tasks :: Feature.Lib_minimal
+           :: features_base 2
+    | 4 ->
+        Feature.Syscalls_files :: Feature.File_abstraction :: Feature.Kmalloc
+        :: Feature.Dev_proc_fs :: Feature.Ramdisk :: Feature.Xv6_filesystem
+        :: Feature.Usb_keyboard :: Feature.Sound_pwm :: Feature.Uart_rx_irq
+        :: Feature.Lib_wrappers :: features_base 3
+    | 5 ->
+        Feature.Syscalls_threads :: Feature.Multicore :: Feature.Window_manager
+        :: Feature.Fat32 :: Feature.Sd_card :: Feature.Lib_full
+        :: features_base 4
+    | _ -> invalid_arg (Printf.sprintf "Matrix.features_of_prototype: %d" k)
+  in
+  Feature.close base
+
+and features_base k = features_of_prototype k
+
+(* ---- validation ---- *)
+
+type violation =
+  | Missing_feature of int * app * Feature.t
+      (** prototype k targets app but lacks a required feature *)
+  | Not_monotone of int * Feature.t
+      (** prototype k drops a feature prototype k-1 had *)
+  | Unmotivated of int * Feature.t
+      (** feature present in prototype k but demanded by none of its apps
+          (violates P4, minimum viable implementation) *)
+
+let describe_violation = function
+  | Missing_feature (k, app, f) ->
+      Printf.sprintf "prototype %d: app %s needs missing feature %s" k
+        (app_name app) (Feature.name f)
+  | Not_monotone (k, f) ->
+      Printf.sprintf "prototype %d: dropped feature %s present in prototype %d"
+        k (Feature.name f) (k - 1)
+  | Unmotivated (k, f) ->
+      Printf.sprintf "prototype %d: feature %s motivated by no target app" k
+        (Feature.name f)
+
+let validate () =
+  let violations = ref [] in
+  for k = 1 to 5 do
+    let features = features_of_prototype k in
+    let apps = apps_of_prototype k in
+    (* every app dependency satisfied *)
+    List.iter
+      (fun app ->
+        List.iter
+          (fun f ->
+            if not (List.mem f features) then
+              violations := Missing_feature (k, app, f) :: !violations)
+          (requires app))
+      apps;
+    (* monotone growth *)
+    if k > 1 then
+      List.iter
+        (fun f ->
+          if not (List.mem f features) then
+            violations := Not_monotone (k, f) :: !violations)
+        (features_of_prototype (k - 1));
+    (* P4: every feature motivated by some target app (transitively) *)
+    let motivated =
+      Feature.close (List.concat_map requires apps)
+    in
+    List.iter
+      (fun f ->
+        if not (List.mem f motivated) then
+          violations := Unmotivated (k, f) :: !violations)
+      features
+  done;
+  List.rev !violations
+
+(* ---- rendering Table 1 ---- *)
+
+let render () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-36s %s\n" "feature \\ prototype" "1  2  3  4  5");
+  Buffer.add_string buf (String.make 52 '-' ^ "\n");
+  Buffer.add_string buf "apps:\n";
+  List.iter
+    (fun app ->
+      Buffer.add_string buf (Printf.sprintf "  %-34s" (app_name app));
+      for k = 1 to 5 do
+        Buffer.add_string buf
+          (if List.mem app (apps_of_prototype k) then " x " else " . ")
+      done;
+      Buffer.add_char buf '\n')
+    all_apps;
+  Buffer.add_string buf "features:\n";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Printf.sprintf "  %-34s" (Feature.name f));
+      for k = 1 to 5 do
+        Buffer.add_string buf
+          (if List.mem f (features_of_prototype k) then " x " else " . ")
+      done;
+      Buffer.add_char buf '\n')
+    Feature.all;
+  Buffer.contents buf

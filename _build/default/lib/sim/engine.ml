@@ -1,0 +1,115 @@
+type event_id = int
+
+type t = {
+  mutable clock : int64;
+  heap : (int * (unit -> unit)) Heap.t;
+  cancelled : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+  mutable live : int;
+}
+
+let create () =
+  {
+    clock = 0L;
+    heap = Heap.create ();
+    cancelled = Hashtbl.create 64;
+    next_id = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if Int64.compare time t.clock < 0 then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Heap.push t.heap ~time ~seq:id (id, f);
+  t.live <- t.live + 1;
+  id
+
+let schedule_after t delta f = schedule_at t (Int64.add t.clock delta) f
+
+let cancel t id =
+  if not (Hashtbl.mem t.cancelled id) then begin
+    Hashtbl.replace t.cancelled id ();
+    t.live <- t.live - 1
+  end
+
+let pending t = max 0 t.live
+
+(* Pop the next non-cancelled event, discarding cancelled ones. *)
+let rec pop_live t =
+  match Heap.pop t.heap with
+  | None -> None
+  | Some (time, _, (id, f)) ->
+      if Hashtbl.mem t.cancelled id then begin
+        Hashtbl.remove t.cancelled id;
+        pop_live t
+      end
+      else begin
+        t.live <- t.live - 1;
+        Some (time, f)
+      end
+
+let step t =
+  match pop_live t with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let rec peek_live_time t =
+  match Heap.peek_time t.heap with
+  | None -> None
+  | Some _ -> (
+      (* Peek may show a cancelled entry; pop-and-discard those lazily. *)
+      match Heap.pop t.heap with
+      | None -> None
+      | Some (time, seq, (id, f)) ->
+          if Hashtbl.mem t.cancelled id then begin
+            Hashtbl.remove t.cancelled id;
+            peek_live_time t
+          end
+          else begin
+            Heap.push t.heap ~time ~seq (id, f);
+            Some time
+          end)
+
+let run t ?until ?(max_events = max_int) () =
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue && !fired < max_events do
+    match peek_live_time t with
+    | None -> continue := false
+    | Some time -> (
+        match until with
+        | Some limit when Int64.compare time limit > 0 ->
+            t.clock <- limit;
+            continue := false
+        | Some _ | None ->
+            ignore (step t);
+            incr fired)
+  done;
+  match until with
+  | Some limit when !continue = false && Int64.compare t.clock limit < 0 ->
+      if peek_live_time t = None then t.clock <- limit
+  | Some _ | None -> ()
+
+let advance_to t time =
+  if Int64.compare time t.clock < 0 then
+    invalid_arg "Engine.advance_to: time is in the past";
+  (match peek_live_time t with
+  | Some next when Int64.compare next time < 0 ->
+      invalid_arg "Engine.advance_to: would skip a pending event"
+  | Some _ | None -> ());
+  t.clock <- time
+
+let ns x = Int64.of_int x
+let us x = Int64.mul (Int64.of_int x) 1_000L
+let ms x = Int64.mul (Int64.of_int x) 1_000_000L
+let sec x = Int64.mul (Int64.of_int x) 1_000_000_000L
+let to_us t = Int64.to_float t /. 1e3
+let to_ms t = Int64.to_float t /. 1e6
+let to_sec t = Int64.to_float t /. 1e9

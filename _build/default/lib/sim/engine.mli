@@ -1,0 +1,59 @@
+(** The discrete-event simulation core.
+
+    The engine owns the virtual clock (nanoseconds) and an event queue.
+    Everything in the machine model — timer interrupts, DMA completions, SD
+    transfers, scheduler decisions — is an event: a callback that fires at a
+    virtual instant. Running the engine pops events in time order and
+    invokes them; callbacks may schedule further events.
+
+    Nothing in the simulation reads wall-clock time; the virtual clock is the
+    only notion of time, which makes every experiment reproducible. *)
+
+type t
+
+type event_id
+(** Handle for cancelling a scheduled event. *)
+
+val create : unit -> t
+(** A fresh engine with the clock at 0 and an empty queue. *)
+
+val now : t -> int64
+(** Current virtual time in nanoseconds. *)
+
+val schedule_at : t -> int64 -> (unit -> unit) -> event_id
+(** [schedule_at t time f] fires [f] when the clock reaches [time]. [time]
+    must not be in the past. Events at equal instants fire in scheduling
+    order. *)
+
+val schedule_after : t -> int64 -> (unit -> unit) -> event_id
+(** [schedule_after t delta f] fires [f] [delta] nanoseconds from now. *)
+
+val cancel : t -> event_id -> unit
+(** Cancel a pending event. Cancelling an already-fired or already-cancelled
+    event is a no-op. *)
+
+val pending : t -> int
+(** Number of live (non-cancelled) events in the queue. *)
+
+val step : t -> bool
+(** Fire the next event. Returns [false] if the queue was empty. *)
+
+val run : t -> ?until:int64 -> ?max_events:int -> unit -> unit
+(** Fire events until the queue is empty, the clock would pass [until], or
+    [max_events] have fired. When stopping at [until], the clock is advanced
+    exactly to [until]. *)
+
+val advance_to : t -> int64 -> unit
+(** Force the clock forward to [time] without firing events; used by device
+    models for intra-event latency accounting. Raises [Invalid_argument] if
+    [time] is in the past or would skip over a pending event. *)
+
+(** {1 Time unit helpers} *)
+
+val ns : int -> int64
+val us : int -> int64
+val ms : int -> int64
+val sec : int -> int64
+val to_us : int64 -> float
+val to_ms : int64 -> float
+val to_sec : int64 -> float

@@ -1,0 +1,32 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    All stochastic behaviour in the simulation (measurement jitter, workload
+    randomization, synthetic survey sampling) draws from this generator so
+    that every experiment is reproducible bit-for-bit from its seed. The
+    implementation is splitmix64, which has a full 64-bit period per stream
+    and cheap stream splitting. *)
+
+type t
+(** A generator stream. Mutable; not shared between unrelated subsystems —
+    use {!split} to derive independent streams. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh stream from [seed]. *)
+
+val split : t -> t
+(** [split t] derives an independent stream; [t] advances. *)
+
+val next : t -> int64
+(** [next t] returns the next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** [gaussian t ~mu ~sigma] samples a normal distribution (Box–Muller). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)

@@ -1,0 +1,72 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sum : float;
+  mutable samples : float array;
+  mutable sorted : bool;
+}
+
+let create () =
+  {
+    n = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    sum = 0.0;
+    samples = Array.make 16 0.0;
+    sorted = true;
+  }
+
+let add t x =
+  if t.n = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sorted <- false;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let mean t = if t.n = 0 then 0.0 else t.mean
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+let min_value t = if t.n = 0 then 0.0 else t.min_v
+let max_value t = if t.n = 0 then 0.0 else t.max_v
+let total t = t.sum
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.n in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.n;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) - 1 in
+    let rank = max 0 (min (t.n - 1) rank) in
+    t.samples.(rank)
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.n - 1 do
+    add t a.samples.(i)
+  done;
+  for i = 0 to b.n - 1 do
+    add t b.samples.(i)
+  done;
+  t

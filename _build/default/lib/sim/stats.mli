@@ -1,0 +1,35 @@
+(** Online sample statistics.
+
+    Accumulates samples (latencies, throughputs, frame times) and reports
+    summary statistics. Mean and variance use Welford's algorithm; quantiles
+    keep the raw samples and sort on demand, which is fine at the sample
+    counts the benchmarks use (thousands). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** [add t x] records one sample. *)
+
+val count : t -> int
+
+val mean : t -> float
+(** Mean of the samples; 0 if empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0 with fewer than two samples. *)
+
+val min_value : t -> float
+
+val max_value : t -> float
+
+val total : t -> float
+(** Sum of all samples. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]], by nearest-rank on the sorted
+    samples; 0 if empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator holding the samples of both. *)

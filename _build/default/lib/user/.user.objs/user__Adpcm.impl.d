@@ -1,0 +1,1 @@
+lib/user/adpcm.ml: Array Bytes String

@@ -1,0 +1,1 @@
+lib/user/bmp.ml: Array Bytes

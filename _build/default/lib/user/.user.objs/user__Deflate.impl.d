@@ -1,0 +1,1 @@
+lib/user/deflate.ml: Array Buffer Bytes Char

@@ -1,0 +1,1 @@
+lib/user/gfx.ml: Array Bytes Char Core Hw String Uenv Usys

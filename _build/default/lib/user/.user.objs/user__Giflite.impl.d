@@ -1,0 +1,1 @@
+lib/user/giflite.ml: Array Buffer Bytes Char List Lzw String

@@ -1,0 +1,1 @@
+lib/user/lzw.ml: Array Buffer Bytes Char Hashtbl List Option

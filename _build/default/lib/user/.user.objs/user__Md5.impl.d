@@ -1,0 +1,1 @@
+lib/user/md5.ml: Array Bytes Float Int32 Int64 List Printf String

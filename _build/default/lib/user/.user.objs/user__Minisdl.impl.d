@@ -1,0 +1,1 @@
+lib/user/minisdl.ml: Abi Array Bytes Core Gfx Uenv Uevents Usys

@@ -1,0 +1,1 @@
+lib/user/mv1.ml: Array Buffer Bytes Char Float List String Yuv

@@ -1,0 +1,1 @@
+lib/user/pnglite.ml: Array Bmp Bytes Char Deflate String

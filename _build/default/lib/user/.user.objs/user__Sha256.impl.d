@@ -1,0 +1,1 @@
+lib/user/sha256.ml: Array Bytes Int32 List Printf String

@@ -1,0 +1,1 @@
+lib/user/uenv.ml: Hw

@@ -1,0 +1,1 @@
+lib/user/uevents.ml: Bytes Char Core List Usys

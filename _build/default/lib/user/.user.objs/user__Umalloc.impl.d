@@ -1,0 +1,1 @@
+lib/user/umalloc.ml: List Usys

@@ -1,0 +1,1 @@
+lib/user/usys.ml: Abi Buffer Bytes Core Effect Errno Printf

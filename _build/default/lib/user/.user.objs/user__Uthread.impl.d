@@ -1,0 +1,1 @@
+lib/user/uthread.ml: Usys

@@ -1,0 +1,1 @@
+lib/user/yuv.ml: Array

@@ -1,0 +1,78 @@
+(** BMP (Windows BITMAPINFOHEADER, 24bpp) — a real codec for the slider's
+    slide decks: users drop BMPs onto the FAT partition from any OS. *)
+
+let cycles_per_pixel = 3 (* row-padded copy + channel shuffle *)
+
+type image = { width : int; height : int; pixels : int array }
+
+let row_stride width = (width * 3 + 3) / 4 * 4
+
+let encode img =
+  let stride = row_stride img.width in
+  let data_bytes = stride * img.height in
+  let file_bytes = 54 + data_bytes in
+  let out = Bytes.make file_bytes '\000' in
+  let put16 off v =
+    Bytes.set_uint8 out off (v land 0xff);
+    Bytes.set_uint8 out (off + 1) ((v lsr 8) land 0xff)
+  in
+  let put32 off v =
+    put16 off (v land 0xffff);
+    put16 (off + 2) ((v lsr 16) land 0xffff)
+  in
+  Bytes.set out 0 'B';
+  Bytes.set out 1 'M';
+  put32 2 file_bytes;
+  put32 10 54 (* pixel data offset *);
+  put32 14 40 (* BITMAPINFOHEADER *);
+  put32 18 img.width;
+  put32 22 img.height;
+  put16 26 1 (* planes *);
+  put16 28 24 (* bpp *);
+  put32 34 data_bytes;
+  (* rows bottom-up, BGR *)
+  for row = 0 to img.height - 1 do
+    let src_row = img.height - 1 - row in
+    for col = 0 to img.width - 1 do
+      let px = img.pixels.((src_row * img.width) + col) in
+      let off = 54 + (row * stride) + (col * 3) in
+      Bytes.set_uint8 out off (px land 0xff);
+      Bytes.set_uint8 out (off + 1) ((px lsr 8) land 0xff);
+      Bytes.set_uint8 out (off + 2) ((px lsr 16) land 0xff)
+    done
+  done;
+  out
+
+let decode data =
+  if Bytes.length data < 54 then Error "bmp: truncated header"
+  else if Bytes.get data 0 <> 'B' || Bytes.get data 1 <> 'M' then
+    Error "bmp: bad magic"
+  else begin
+    let get16 off = Bytes.get_uint8 data off lor (Bytes.get_uint8 data (off + 1) lsl 8) in
+    let get32 off = get16 off lor (get16 (off + 2) lsl 16) in
+    let offset = get32 10 in
+    let width = get32 18 and height = get32 22 in
+    let bpp = get16 28 in
+    if bpp <> 24 then Error "bmp: only 24bpp supported"
+    else if width <= 0 || height <= 0 || width > 8192 || height > 8192 then
+      Error "bmp: bad dimensions"
+    else begin
+      let stride = row_stride width in
+      if Bytes.length data < offset + (stride * height) then
+        Error "bmp: truncated pixels"
+      else begin
+        let pixels = Array.make (width * height) 0 in
+        for row = 0 to height - 1 do
+          let src_row = height - 1 - row in
+          for col = 0 to width - 1 do
+            let off = offset + (src_row * stride) + (col * 3) in
+            pixels.((row * width) + col) <-
+              Bytes.get_uint8 data off
+              lor (Bytes.get_uint8 data (off + 1) lsl 8)
+              lor (Bytes.get_uint8 data (off + 2) lsl 16)
+          done
+        done;
+        Ok { width; height; pixels }
+      end
+    end
+  end

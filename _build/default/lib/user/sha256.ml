@@ -1,0 +1,122 @@
+(** SHA-256 (FIPS 180-4) — the blockchain miner's proof-of-work hash.
+    A real implementation over int32 words, verified against the standard
+    test vectors in the test suite. *)
+
+let cycles_per_block = 2_600 (* one 64-byte compression on the A53 *)
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
+     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
+     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
+     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
+     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
+     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
+     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
+     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
+     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
+     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let ( ^^ ) = Int32.logxor
+let ( &&& ) = Int32.logand
+let ( +% ) = Int32.add
+
+let compress state block_off data =
+  let w = Array.make 64 0l in
+  for i = 0 to 15 do
+    let off = block_off + (4 * i) in
+    w.(i) <-
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (Bytes.get_uint8 data off)) 24)
+        (Int32.logor
+           (Int32.shift_left (Int32.of_int (Bytes.get_uint8 data (off + 1))) 16)
+           (Int32.logor
+              (Int32.shift_left (Int32.of_int (Bytes.get_uint8 data (off + 2))) 8)
+              (Int32.of_int (Bytes.get_uint8 data (off + 3)))))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^^ rotr w.(i - 15) 18 ^^ Int32.shift_right_logical w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^^ rotr w.(i - 2) 19 ^^ Int32.shift_right_logical w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let a = ref state.(0) and b = ref state.(1) and c = ref state.(2) in
+  let d = ref state.(3) and e = ref state.(4) and f = ref state.(5) in
+  let g = ref state.(6) and h = ref state.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^^ rotr !e 11 ^^ rotr !e 25 in
+    let ch = (!e &&& !f) ^^ (Int32.lognot !e &&& !g) in
+    let temp1 = !h +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = rotr !a 2 ^^ rotr !a 13 ^^ rotr !a 22 in
+    let maj = (!a &&& !b) ^^ (!a &&& !c) ^^ (!b &&& !c) in
+    let temp2 = s0 +% maj in
+    h := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := temp1 +% temp2
+  done;
+  state.(0) <- state.(0) +% !a;
+  state.(1) <- state.(1) +% !b;
+  state.(2) <- state.(2) +% !c;
+  state.(3) <- state.(3) +% !d;
+  state.(4) <- state.(4) +% !e;
+  state.(5) <- state.(5) +% !f;
+  state.(6) <- state.(6) +% !g;
+  state.(7) <- state.(7) +% !h
+
+(* Returns (digest, blocks processed) so callers can charge cycles. *)
+let digest_with_blocks input =
+  let state =
+    [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al; 0x510e527fl;
+       0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+  in
+  let len = Bytes.length input in
+  let total = ((len + 8) / 64 + 1) * 64 in
+  let padded = Bytes.make total '\000' in
+  Bytes.blit input 0 padded 0 len;
+  Bytes.set_uint8 padded len 0x80;
+  let bitlen = len * 8 in
+  for i = 0 to 7 do
+    Bytes.set_uint8 padded (total - 1 - i) ((bitlen lsr (8 * i)) land 0xff)
+  done;
+  let nblocks = total / 64 in
+  for b = 0 to nblocks - 1 do
+    compress state (b * 64) padded
+  done;
+  let out = Bytes.create 32 in
+  Array.iteri
+    (fun i word ->
+      for j = 0 to 3 do
+        Bytes.set_uint8 out ((4 * i) + j)
+          (Int32.to_int (Int32.shift_right_logical word (8 * (3 - j))) land 0xff)
+      done)
+    state;
+  (out, nblocks)
+
+let digest input = fst (digest_with_blocks input)
+
+let hex digest =
+  String.concat ""
+    (List.init (Bytes.length digest) (fun i ->
+         Printf.sprintf "%02x" (Bytes.get_uint8 digest i)))
+
+(* Count leading zero bits, the miner's difficulty test. *)
+let leading_zero_bits digest =
+  let rec go i acc =
+    if i >= Bytes.length digest then acc
+    else begin
+      let byte = Bytes.get_uint8 digest i in
+      if byte = 0 then go (i + 1) (acc + 8)
+      else begin
+        let rec bits b n = if b land 0x80 <> 0 then n else bits (b lsl 1) (n + 1) in
+        acc + bits byte 0
+      end
+    end
+  in
+  go 0 0

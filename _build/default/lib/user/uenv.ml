@@ -1,0 +1,28 @@
+(** The process environment handed to apps at registration time.
+
+    Real VOS programs discover the framebuffer through mmap's returned
+    address; our apps get the backing object through this record, filled in
+    by the stager once the board exists. The SIMD flag mirrors §5.2's
+    NEON pixel paths — apps consult it to pick the fast conversion
+    kernels. *)
+
+type t = {
+  mutable e_fb : Hw.Framebuffer.t option;  (** set after boot *)
+  mutable e_simd : bool;  (** NEON-style pixel ops available *)
+  mutable e_libc_factor : float;
+      (** relative cost of the C library's compute paths (newlib = 1.0);
+          the baseline OS models vary this (§6.2) *)
+}
+
+let create () = { e_fb = None; e_simd = true; e_libc_factor = 1.0 }
+
+let fb t =
+  match t.e_fb with
+  | Some fb -> fb
+  | None -> invalid_arg "uenv: framebuffer not present (did mmap succeed?)"
+
+(* Scale a cycle count by the libc factor — used by the user library's
+   compute helpers (string ops, qsort, md5) whose speed depends on the C
+   library per Figure 9. *)
+let libc_cycles t cycles =
+  int_of_float (float_of_int cycles *. t.e_libc_factor)

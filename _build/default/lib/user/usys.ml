@@ -1,0 +1,117 @@
+(** User-space syscall stubs — the moral equivalent of the usys.S
+    trampolines: one thin wrapper per syscall, returning C-style negative
+    errnos. *)
+
+open Core
+
+let sys call = Effect.perform (Abi.Sys call)
+
+let as_int = function
+  | Abi.R_int n -> n
+  | Abi.R_bytes b -> Bytes.length b
+  | Abi.R_pair _ | Abi.R_stat _ | Abi.R_mmap _ -> -Errno.einval
+
+(* ---- tasks & time ---- *)
+
+let fork child = as_int (sys (Abi.Fork child))
+let exec path argv = as_int (sys (Abi.Exec (path, argv)))
+let exit code : 'a = ignore (sys (Abi.Exit code)); assert false
+let wait () = as_int (sys Abi.Wait)
+let kill pid = as_int (sys (Abi.Kill pid))
+let getpid () = as_int (sys Abi.Getpid)
+let sleep ms = as_int (sys (Abi.Sleep ms))
+let uptime_ms () = as_int (sys Abi.Uptime)
+let sbrk bytes = as_int (sys (Abi.Sbrk bytes))
+let cacheflush () = as_int (sys Abi.Cacheflush)
+
+(* ---- files ---- *)
+
+let open_ path flags = as_int (sys (Abi.Open (path, flags)))
+let close fd = as_int (sys (Abi.Close fd))
+
+let read fd len =
+  match sys (Abi.Read (fd, len)) with
+  | Abi.R_bytes b -> Ok b
+  | Abi.R_int n -> Error (-n)
+  | Abi.R_pair _ | Abi.R_stat _ | Abi.R_mmap _ -> Error Errno.einval
+
+let write fd data = as_int (sys (Abi.Write (fd, data)))
+let write_str fd s = write fd (Bytes.of_string s)
+let lseek fd off whence = as_int (sys (Abi.Lseek (fd, off, whence)))
+let dup fd = as_int (sys (Abi.Dup fd))
+
+let pipe () =
+  match sys Abi.Pipe with
+  | Abi.R_pair (r, w) -> Ok (r, w)
+  | Abi.R_int n -> Error (-n)
+  | Abi.R_bytes _ | Abi.R_stat _ | Abi.R_mmap _ -> Error Errno.einval
+
+let fstat fd =
+  match sys (Abi.Fstat fd) with
+  | Abi.R_stat st -> Ok st
+  | Abi.R_int n -> Error (-n)
+  | Abi.R_bytes _ | Abi.R_pair _ | Abi.R_mmap _ -> Error Errno.einval
+
+let mkdir path = as_int (sys (Abi.Mkdir path))
+let unlink path = as_int (sys (Abi.Unlink path))
+let chdir path = as_int (sys (Abi.Chdir path))
+
+let mmap fd =
+  match sys (Abi.Mmap fd) with
+  | Abi.R_mmap (addr, w, h) -> Ok (addr, w, h)
+  | Abi.R_int n -> Error (-n)
+  | Abi.R_bytes _ | Abi.R_pair _ | Abi.R_stat _ -> Error Errno.einval
+
+(* ---- threading & sync ---- *)
+
+let clone body = as_int (sys (Abi.Clone body))
+let join tid = as_int (sys (Abi.Join tid))
+let sem_open value = as_int (sys (Abi.Sem_open value))
+let sem_post id = as_int (sys (Abi.Sem_post id))
+let sem_wait id = as_int (sys (Abi.Sem_wait id))
+let sem_close id = as_int (sys (Abi.Sem_close id))
+
+(* ---- CPU work accounting and the unwinder's shadow frames ---- *)
+
+let burn cycles = Effect.perform (Abi.Burn cycles)
+
+let enter_frame label = Effect.perform (Abi.Frame_mark label)
+
+let exit_frame () = Effect.perform (Abi.Frame_mark "")
+
+let in_frame label f =
+  enter_frame label;
+  let finally () = exit_frame () in
+  match f () with
+  | v ->
+      finally ();
+      v
+  | exception e ->
+      finally ();
+      raise e
+
+(* ---- console convenience ---- *)
+
+let print s = ignore (write_str 1 s)
+let printf fmt = Printf.ksprintf print fmt
+
+(* Read a full file into bytes (repeated read(2)). *)
+let slurp path =
+  let fd = open_ path Abi.o_rdonly in
+  if fd < 0 then Error (-fd)
+  else begin
+    let buf = Buffer.create 4096 in
+    let rec go () =
+      match read fd 65536 with
+      | Ok b when Bytes.length b = 0 ->
+          ignore (close fd);
+          Ok (Buffer.to_bytes buf)
+      | Ok b ->
+          Buffer.add_bytes buf b;
+          go ()
+      | Error e ->
+          ignore (close fd);
+          Error e
+    in
+    go ()
+  end

@@ -1,0 +1,94 @@
+(** User-level threading and synchronization (§4.5).
+
+    clone(CLONE_VM) gives raw threads; this module builds what the paper's
+    userspace builds on top: mutexes and condition variables implemented
+    over the semaphore syscalls, plus a user spinlock. Parallel programs
+    (the blockchain miner, SDL's audio thread) use these directly — VOS
+    has no pthreads (§5.4). *)
+
+let spawn body = Usys.clone body
+let join tid = Usys.join tid
+
+(** Mutex: a binary semaphore. *)
+module Mutex = struct
+  type t = { sem : int; mutable owner : int }
+
+  let create () = { sem = Usys.sem_open 1; owner = -1 }
+
+  let lock t =
+    ignore (Usys.sem_wait t.sem);
+    t.owner <- Usys.getpid ()
+
+  let unlock t =
+    assert (t.owner = Usys.getpid ());
+    t.owner <- -1;
+    ignore (Usys.sem_post t.sem)
+
+  let with_lock t f =
+    lock t;
+    let finally () = unlock t in
+    match f () with
+    | v ->
+        finally ();
+        v
+    | exception e ->
+        finally ();
+        raise e
+
+  let destroy t = ignore (Usys.sem_close t.sem)
+end
+
+(** Condition variable over semaphores (the classic "waiter counter +
+    queue semaphore" construction). *)
+module Cond = struct
+  type t = { queue : int; mutable waiters : int }
+
+  let create () = { queue = Usys.sem_open 0; waiters = 0 }
+
+  (* must hold [m] *)
+  let wait t m =
+    t.waiters <- t.waiters + 1;
+    Mutex.unlock m;
+    ignore (Usys.sem_wait t.queue);
+    Mutex.lock m
+
+  let signal t =
+    if t.waiters > 0 then begin
+      t.waiters <- t.waiters - 1;
+      ignore (Usys.sem_post t.queue)
+    end
+
+  let broadcast t =
+    while t.waiters > 0 do
+      t.waiters <- t.waiters - 1;
+      ignore (Usys.sem_post t.queue)
+    done
+
+  let destroy t = ignore (Usys.sem_close t.queue)
+end
+
+(** User spinlock: test-and-set with a yield-free busy loop. In the
+    simulation tasks never observe a mid-critical-section lock (scheduling
+    points are explicit), so the spin path exists for cost realism: each
+    acquisition burns the LDXR/STXR dance. *)
+module Spinlock = struct
+  type t = { mutable held : bool; mutable spins : int }
+
+  let create () = { held = false; spins = 0 }
+
+  let lock t =
+    Usys.burn 40;
+    while t.held do
+      (* a real contender would spin; burn a slice and retry *)
+      t.spins <- t.spins + 1;
+      Usys.burn 200
+    done;
+    t.held <- true
+
+  let unlock t =
+    assert t.held;
+    Usys.burn 20;
+    t.held <- false
+
+  let spins t = t.spins
+end

@@ -1,0 +1,1 @@
+test/runner.ml: Alcotest Test_apps Test_ext Test_fs Test_hw Test_kernel Test_proto Test_sim Test_user

@@ -1,0 +1,1 @@
+test/test_apps.ml: Apps Array Core Float Hashtbl Hw List Option Proto Sim String Tharness

@@ -1,0 +1,1 @@
+test/test_ext.ml: Adpcm Alcotest Array Benchlib Bytes Char Core Fs Gen Gfx Hw Int64 List Mv1 Option Printf Proto QCheck Result Sim String Tharness Uenv User Usys

@@ -1,0 +1,1 @@
+test/test_fs.ml: Array Bytes Char Fs Gen Int64 List Printf QCheck Result Sim String Tharness

@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bytes Float Hw Int64 List Printf QCheck Sim String Tharness

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Benchlib Bytes Core Gfx Hw Int64 List Option Printf Result Sim String Tharness Uevents User Usys Uthread

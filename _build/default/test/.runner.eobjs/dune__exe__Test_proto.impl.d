@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Benchlib Bytes Core Hw List Option Printf Proto Sim String Tharness User

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Gen Int64 List Printf QCheck Sim String Tharness

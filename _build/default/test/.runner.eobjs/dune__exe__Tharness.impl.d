@@ -1,0 +1,1 @@
+test/tharness.ml: Alcotest Benchlib Core Float Hw QCheck QCheck_alcotest Sim

@@ -1,0 +1,280 @@
+(** App tests: engine logic (pure) and integration runs on a booted
+    Prototype 5 — every app must start, do its work, and leave evidence
+    (frames, sound, console output, files). *)
+
+open Tharness
+
+(* ---- engine logic ---- *)
+
+let mario_gravity_and_ground () =
+  let st = Apps.Mario.fresh_state () in
+  st.Apps.Mario.title <- false;
+  (* jump and verify the arc comes back to ground *)
+  Apps.Mario.step st { Apps.Mario.left = false; right = false; jump = true };
+  check_bool "airborne after jump" false st.Apps.Mario.on_ground;
+  let y_top = ref st.Apps.Mario.py in
+  for _ = 1 to 120 do
+    Apps.Mario.step st Apps.Mario.no_input;
+    if st.Apps.Mario.py < !y_top then y_top := st.Apps.Mario.py
+  done;
+  check_bool "rose above start" true (!y_top < 160.0);
+  check_bool "landed" true st.Apps.Mario.on_ground
+
+let mario_autoplay_progresses () =
+  let st = Apps.Mario.fresh_state () in
+  st.Apps.Mario.title <- false;
+  let x0 = st.Apps.Mario.px in
+  for _ = 1 to 600 do
+    Apps.Mario.step st (Apps.Mario.bot st)
+  done;
+  check_bool "bot moves right" true (st.Apps.Mario.px > x0 +. 100.0)
+
+let mario_title_transitions () =
+  let st = Apps.Mario.fresh_state () in
+  check_bool "starts on title" true st.Apps.Mario.title;
+  for _ = 1 to 121 do
+    Apps.Mario.step st Apps.Mario.no_input
+  done;
+  check_bool "autoplay transition (par 4.3)" false st.Apps.Mario.title
+
+let doom_raycast_hits_walls () =
+  let st = Apps.Doom.fresh_state () in
+  for i = 0 to 15 do
+    let angle = float_of_int i *. 0.39 in
+    let dist, texid, texx, steps, _side = Apps.Doom.cast st angle in
+    check_bool "always hits (closed map)" true (texid >= 1);
+    check_bool "distance positive" true (dist > 0.0);
+    check_bool "distance bounded by map" true (dist < 34.0);
+    check_bool "texture x in range" true (texx >= 0 && texx < 64);
+    check_bool "steps sane" true (steps >= 1 && steps < 64)
+  done
+
+let doom_movement_respects_walls () =
+  let st = Apps.Doom.fresh_state () in
+  (* walk into the west wall; position must stay inside the map *)
+  st.Apps.Doom.dir <- Float.pi;
+  for _ = 1 to 500 do
+    Apps.Doom.step st
+      { Apps.Doom.forward = true; back = false; turn_l = false; turn_r = false; fire = false }
+  done;
+  check_bool "clamped by collision" true (st.Apps.Doom.px >= 1.0)
+
+let doom_firing_kills_sprites () =
+  let st = Apps.Doom.fresh_state () in
+  (* aim at the first sprite and fire *)
+  let s = st.Apps.Doom.sprites.(0) in
+  st.Apps.Doom.dir <- atan2 (s.Apps.Doom.sy -. st.Apps.Doom.py) (s.Apps.Doom.sx -. st.Apps.Doom.px);
+  let ammo0 = st.Apps.Doom.ammo in
+  Apps.Doom.step st
+    { Apps.Doom.forward = false; back = false; turn_l = false; turn_r = false; fire = true };
+  check_bool "sprite died" false s.Apps.Doom.alive;
+  check_int "ammo spent" (ammo0 - 1) st.Apps.Doom.ammo
+
+let donut_renders_a_torus () =
+  let lum, points = Apps.Donut.render_luminance ~cols:60 ~rows:24 ~a:0.3 ~b:0.7 in
+  check_bool "many surface points" true (points > 20_000);
+  let lit = Array.fold_left (fun acc l -> if l >= 0.0 then acc + 1 else acc) 0 lum in
+  check_in_range "covered cells" 100.0 1200.0 (float_of_int lit);
+  (* the text frame has visible structure *)
+  let text = Apps.Donut.frame_to_text ~cols:60 ~rows:24 lum in
+  check_bool "nonempty art" true (String.exists (fun c -> c <> ' ' && c <> '\n') text)
+
+let donut_rotates () =
+  let a, _ = Apps.Donut.render_luminance ~cols:40 ~rows:20 ~a:0.0 ~b:0.0 in
+  let b, _ = Apps.Donut.render_luminance ~cols:40 ~rows:20 ~a:1.0 ~b:0.5 in
+  check_bool "different angles differ" true (a <> b)
+
+let suite_engines =
+  ( "apps.engines",
+    [
+      quick "mario gravity and landing" mario_gravity_and_ground;
+      quick "mario autoplay progresses" mario_autoplay_progresses;
+      quick "mario title transition" mario_title_transitions;
+      quick "doom raycast properties" doom_raycast_hits_walls;
+      quick "doom wall collision" doom_movement_respects_walls;
+      quick "doom hitscan" doom_firing_kills_sprites;
+      quick "donut renders a torus" donut_renders_a_torus;
+      quick "donut rotates" donut_rotates;
+    ] )
+
+(* ---- integration on a live prototype 5 ---- *)
+
+let stage5 ?(seed = 9L) () = Proto.Stage.boot ~prototype:5 ~seed ()
+
+let frames_of stage pid =
+  Core.Sched.frames_presented stage.Proto.Stage.kernel.Core.Kernel.sched ~pid
+
+let run_app_collect_frames ~prog ~argv ~seconds =
+  let stage = stage5 () in
+  let task = Proto.Stage.start stage prog argv in
+  Proto.Stage.run_for stage (Sim.Engine.sec seconds);
+  (stage, task, frames_of stage task.Core.Task.pid)
+
+let doom_produces_frames () =
+  (* the first ~4 s load the 3 MB WAD off the SD card *)
+  let _, _, frames = run_app_collect_frames ~prog:"doom" ~argv:[ "doom"; "0" ] ~seconds:8 in
+  check_bool "doom renders >40 FPS after loading" true (frames > 160)
+
+let mario_variants_produce_frames () =
+  List.iter
+    (fun variant ->
+      let _, _, frames =
+        run_app_collect_frames ~prog:"mario" ~argv:[ "mario"; variant; "0" ] ~seconds:2
+      in
+      check_bool (variant ^ " renders") true (frames > 60))
+    [ "noinput"; "proc"; "sdl" ]
+
+let video_plays_at_native_rate () =
+  let stage, task, _ =
+    run_app_collect_frames ~prog:"video"
+      ~argv:[ "video"; "/d/videos/clip480.mv1"; "0" ]
+      ~seconds:4
+  in
+  let frames = frames_of stage task.Core.Task.pid in
+  (* ~26-30 FPS after the initial load: at least 60 frames in 4s *)
+  check_bool "video decodes and presents" true (frames > 60)
+
+let music_fills_the_speaker () =
+  let stage = stage5 () in
+  ignore (Proto.Stage.start stage "music" [ "music"; "/d/music/track1.vogg"; "/d/music/cover1.pngl" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 4);
+  let pwm = stage.Proto.Stage.kernel.Core.Kernel.board.Hw.Board.pwm in
+  check_bool "audio streamed" true (Hw.Pwm_audio.samples_played pwm > 100_000);
+  let out = Hw.Pwm_audio.recent_output pwm in
+  check_bool "melody present" true (Array.exists (fun s -> abs s > 5000) out);
+  (* once the pipeline is primed it must not starve *)
+  let under0 = Hw.Pwm_audio.underruns pwm in
+  Proto.Stage.run_for stage (Sim.Engine.sec 2);
+  check_bool "no stutter mid-song" true (Hw.Pwm_audio.underruns pwm - under0 < 8)
+
+let buzzer_beeps () =
+  let stage = stage5 () in
+  ignore (Proto.Stage.start stage "buzzer" [ "buzzer"; "880"; "800" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 1);
+  let out = Hw.Pwm_audio.recent_output stage.Proto.Stage.kernel.Core.Kernel.board.Hw.Board.pwm in
+  check_bool "square wave emitted" true
+    (Array.exists (fun s -> s > 10_000) out && Array.exists (fun s -> s < -10_000) out)
+
+let slider_shows_slides () =
+  let stage = stage5 () in
+  let task = Proto.Stage.start stage "slider" [ "slider"; "/d/slides"; "200"; "1" ] in
+  Proto.Stage.run_for stage (Sim.Engine.sec 5);
+  check_bool "presented at least one slide per file" true
+    (frames_of stage task.Core.Task.pid >= 2);
+  check_string "exited cleanly" "zombie" (Core.Task.state_name task)
+
+let blockchain_mines () =
+  let stage = stage5 () in
+  let task = Proto.Stage.start stage "blockchain" [ "blockchain"; "4"; "10"; "2" ] in
+  Proto.Stage.run_for stage (Sim.Engine.sec 8);
+  check_string "miner finished" "zombie" (Core.Task.state_name task);
+  let out = Proto.Stage.uart stage in
+  let has needle =
+    let n = String.length needle and m = String.length out in
+    let rec at i = i + n <= m && (String.equal (String.sub out i n) needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "blocks reported" true (has "block 1");
+  check_bool "hash rate reported" true (has "kH/s")
+
+let sysmon_floats_on_top () =
+  let stage = stage5 () in
+  ignore (Proto.Stage.start stage "mario" [ "mario"; "sdl"; "0" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 1);
+  ignore (Proto.Stage.start stage "sysmon" [ "sysmon"; "3" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 2);
+  let wm = Option.get stage.Proto.Stage.kernel.Core.Kernel.wm in
+  check_int "two windows" 2 (Core.Wm.surface_count wm);
+  (* sysmon's surface is translucent and always-on-top *)
+  let translucent =
+    Hashtbl.fold
+      (fun _ s acc -> acc || (s.Core.Wm.alpha < 255 && s.Core.Wm.always_on_top))
+      wm.Core.Wm.surfaces false
+  in
+  check_bool "translucent overlay" true translucent
+
+let shell_runs_scripts () =
+  let stage = stage5 () in
+  ignore (Proto.Stage.start stage "sh" [ "sh"; "/scripts/demo.sh" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 5);
+  let out = Proto.Stage.uart stage in
+  let has needle =
+    let n = String.length needle and m = String.length out in
+    let rec at i = i + n <= m && (String.equal (String.sub out i n) needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "echo ran" true (has "demo script");
+  check_bool "uptime ran" true (has "up ");
+  check_bool "ls ran (sees programs)" true (has "doom")
+
+let shell_interactive () =
+  let stage = stage5 () in
+  let kernel = stage.Proto.Stage.kernel in
+  ignore (Proto.Stage.start stage "sh" [ "sh" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 1);
+  Hw.Uart.inject_string kernel.Core.Kernel.board.Hw.Board.uart "echo one; echo two\n";
+  Proto.Stage.run_for stage (Sim.Engine.sec 2);
+  Hw.Uart.inject_string kernel.Core.Kernel.board.Hw.Board.uart "cat /scripts/demo.sh\n";
+  Proto.Stage.run_for stage (Sim.Engine.sec 2);
+  let out = Proto.Stage.uart stage in
+  let has needle =
+    let n = String.length needle and m = String.length out in
+    let rec at i = i + n <= m && (String.equal (String.sub out i n) needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "prompt shown" true (has "vos$ ");
+  check_bool "sequence ran" true (has "one" && has "two");
+  check_bool "cat works" true (has "demo script")
+
+let utils_work () =
+  let stage = stage5 () in
+  let kernel = stage.Proto.Stage.kernel in
+  ignore (Proto.Stage.start stage "sh" [ "sh" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 1);
+  let type_line l =
+    Hw.Uart.inject_string kernel.Core.Kernel.board.Hw.Board.uart (l ^ "\n");
+    Proto.Stage.run_for stage (Sim.Engine.sec 2)
+  in
+  type_line "mkdir /tmp";
+  type_line "echo written by echo";
+  type_line "wc /scripts/demo.sh";
+  type_line "grep demo /scripts/demo.sh";
+  type_line "ps";
+  let out = Proto.Stage.uart stage in
+  let has needle =
+    let n = String.length needle and m = String.length out in
+    let rec at i = i + n <= m && (String.equal (String.sub out i n) needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "echo output" true (has "written by echo");
+  check_bool "wc counts" true (has "/scripts/demo.sh");
+  check_bool "grep matches" true (has "echo demo script");
+  check_bool "ps lists shell" true (has "sh")
+
+let doom_loads_wad_from_fat () =
+  let stage = stage5 () in
+  let sd = stage.Proto.Stage.kernel.Core.Kernel.board.Hw.Board.sd in
+  let reads0 = Hw.Sd.read_count sd in
+  ignore (Proto.Stage.start stage "doom" [ "doom"; "60" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 8);
+  (* the 3 MB WAD must have come off the SD card in ranged commands:
+     far fewer commands than sectors *)
+  let reads = Hw.Sd.read_count sd - reads0 in
+  check_bool "ranged reads" true (reads > 0 && reads < 2000)
+
+let suite_integration =
+  ( "apps.integration",
+    [
+      slow "doom produces frames" doom_produces_frames;
+      slow "mario variants render" mario_variants_produce_frames;
+      slow "video plays" video_plays_at_native_rate;
+      slow "music fills the speaker" music_fills_the_speaker;
+      slow "buzzer beeps" buzzer_beeps;
+      slow "slider shows slides" slider_shows_slides;
+      slow "blockchain mines" blockchain_mines;
+      slow "sysmon floats on top" sysmon_floats_on_top;
+      slow "shell runs scripts" shell_runs_scripts;
+      slow "shell interactive" shell_interactive;
+      slow "console utilities" utils_work;
+      slow "doom WAD load uses FAT range IO" doom_loads_wad_from_fat;
+    ] )

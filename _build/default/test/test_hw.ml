@@ -1,0 +1,380 @@
+(** Tests for the hardware models. *)
+
+open Tharness
+
+let fresh () = Hw.Board.create ~seed:3L ()
+
+(* ---- interrupt controller ---- *)
+
+let intc_delivers () =
+  let b = fresh () in
+  let got = ref [] in
+  Hw.Intc.set_handler b.Hw.Board.intc ~core:0 (fun line ->
+      got := Hw.Irq.describe line :: !got);
+  Hw.Intc.raise_line b.Hw.Board.intc Hw.Irq.Uart_rx;
+  check_string "delivered" "uart-rx" (List.hd !got)
+
+let intc_mask_pends () =
+  let b = fresh () in
+  let got = ref 0 in
+  Hw.Intc.set_handler b.Hw.Board.intc ~core:0 (fun _ -> incr got);
+  Hw.Intc.mask b.Hw.Board.intc ~core:0;
+  Hw.Intc.raise_line b.Hw.Board.intc Hw.Irq.Uart_rx;
+  Hw.Intc.raise_line b.Hw.Board.intc Hw.Irq.Uart_rx (* coalesces *);
+  Hw.Intc.raise_line b.Hw.Board.intc Hw.Irq.Sd_card;
+  check_int "nothing while masked" 0 !got;
+  check_int "two distinct pending" 2 (Hw.Intc.pending_count b.Hw.Board.intc ~core:0);
+  Hw.Intc.unmask b.Hw.Board.intc ~core:0;
+  check_int "delivered on unmask" 2 !got
+
+let intc_mask_nests () =
+  let b = fresh () in
+  let got = ref 0 in
+  Hw.Intc.set_handler b.Hw.Board.intc ~core:0 (fun _ -> incr got);
+  Hw.Intc.mask b.Hw.Board.intc ~core:0;
+  Hw.Intc.mask b.Hw.Board.intc ~core:0;
+  Hw.Intc.raise_line b.Hw.Board.intc Hw.Irq.Uart_rx;
+  Hw.Intc.unmask b.Hw.Board.intc ~core:0;
+  check_int "still masked after one pop" 0 !got;
+  Hw.Intc.unmask b.Hw.Board.intc ~core:0;
+  check_int "delivered at depth zero" 1 !got
+
+let intc_fiq_bypasses_mask_round_robin () =
+  let b = fresh () in
+  let per_core = Array.make 4 0 in
+  for c = 0 to 3 do
+    Hw.Intc.set_handler b.Hw.Board.intc ~core:c (fun line ->
+        if Hw.Irq.equal line Hw.Irq.Fiq_button then
+          per_core.(c) <- per_core.(c) + 1)
+  done;
+  (* mask every core: FIQ must still land *)
+  for c = 0 to 3 do
+    Hw.Intc.mask b.Hw.Board.intc ~core:c
+  done;
+  for _ = 1 to 8 do
+    Hw.Intc.raise_line b.Hw.Board.intc Hw.Irq.Fiq_button
+  done;
+  Array.iteri
+    (fun c n -> check_int (Printf.sprintf "core %d got 2 FIQs" c) 2 n)
+    per_core
+
+let intc_routing () =
+  let b = fresh () in
+  let landed = ref (-1) in
+  for c = 0 to 3 do
+    Hw.Intc.set_handler b.Hw.Board.intc ~core:c (fun _ -> landed := c)
+  done;
+  Hw.Intc.route b.Hw.Board.intc Hw.Irq.Sd_card ~core:2;
+  Hw.Intc.raise_line b.Hw.Board.intc Hw.Irq.Sd_card;
+  check_int "routed to core 2" 2 !landed
+
+(* ---- timers ---- *)
+
+let timer_core_oneshot () =
+  let b = fresh () in
+  let fired = ref [] in
+  Hw.Intc.set_handler b.Hw.Board.intc ~core:1 (fun line ->
+      fired := Hw.Irq.describe line :: !fired);
+  Hw.Timer.arm_core_timer b.Hw.Board.timer ~core:1 ~delta_ns:1000L;
+  Sim.Engine.run b.Hw.Board.engine ();
+  check_string "core1 timer" "core1-timer" (List.hd !fired);
+  check_bool "disarmed after fire" false
+    (Hw.Timer.core_timer_armed b.Hw.Board.timer ~core:1)
+
+let timer_rearm_replaces () =
+  let b = fresh () in
+  let count = ref 0 in
+  Hw.Intc.set_handler b.Hw.Board.intc ~core:0 (fun _ -> incr count);
+  Hw.Timer.arm_core_timer b.Hw.Board.timer ~core:0 ~delta_ns:1000L;
+  Hw.Timer.arm_core_timer b.Hw.Board.timer ~core:0 ~delta_ns:2000L;
+  Sim.Engine.run b.Hw.Board.engine ();
+  check_int "only one shot" 1 !count;
+  check_bool "fired at rearmed time" true (Sim.Engine.now b.Hw.Board.engine = 2000L)
+
+let timer_counter () =
+  let b = fresh () in
+  ignore (Sim.Engine.schedule_at b.Hw.Board.engine 5_000_000L (fun () -> ()));
+  Sim.Engine.run b.Hw.Board.engine ();
+  check_bool "counter in us" true (Hw.Timer.counter_us b.Hw.Board.timer = 5_000L)
+
+(* ---- uart ---- *)
+
+let uart_capture_and_cost () =
+  let b = fresh () in
+  let cost = Hw.Uart.transmit b.Hw.Board.uart 'h' in
+  ignore (Hw.Uart.transmit b.Hw.Board.uart 'i');
+  check_string "log" "hi" (Hw.Uart.output b.Hw.Board.uart);
+  (* 10 bits at 115200 baud: ~86.8 us *)
+  check_in_range "wire time us" 85.0 88.0 (Sim.Engine.to_us cost)
+
+let uart_rx_irq () =
+  let b = fresh () in
+  let got = ref false in
+  Hw.Intc.set_handler b.Hw.Board.intc ~core:0 (fun line ->
+      if Hw.Irq.equal line Hw.Irq.Uart_rx then got := true);
+  Hw.Uart.inject_string b.Hw.Board.uart "ab";
+  check_bool "irq raised" true !got;
+  check_int "fifo depth" 2 (Hw.Uart.rx_available b.Hw.Board.uart);
+  check_bool "read a" true (Hw.Uart.read_char b.Hw.Board.uart = Some 'a');
+  check_bool "read b" true (Hw.Uart.read_char b.Hw.Board.uart = Some 'b');
+  check_bool "empty" true (Hw.Uart.read_char b.Hw.Board.uart = None)
+
+(* ---- mailbox + framebuffer ---- *)
+
+let mailbox_fb_allocation () =
+  let b = fresh () in
+  let results, _cost =
+    check_ok "mailbox call"
+      (Hw.Mailbox.call b.Hw.Board.mailbox
+         [
+           Hw.Mailbox.Set_physical_size (320, 240);
+           Hw.Mailbox.Set_depth 32;
+           Hw.Mailbox.Allocate_buffer;
+           Hw.Mailbox.Get_pitch;
+         ])
+  in
+  (match results with
+  | [ Hw.Mailbox.Size_set (320, 240); Hw.Mailbox.Depth_set 32;
+      Hw.Mailbox.Buffer fb; Hw.Mailbox.Pitch pitch ] ->
+      check_int "width" 320 (Hw.Framebuffer.width fb);
+      check_int "pitch" (320 * 4) pitch
+  | _ -> Alcotest.fail "unexpected tag results");
+  ignore (check_err "allocate before size on fresh box"
+      (let fresh_mb = Hw.Mailbox.create b.Hw.Board.engine in
+       Hw.Mailbox.call fresh_mb [ Hw.Mailbox.Allocate_buffer ]))
+
+let fb_cache_experience () =
+  (* The §4.3 lesson: cached writes are invisible until flushed; eviction
+     makes artifacts fade gradually. *)
+  let fb = Hw.Framebuffer.create ~width:16 ~height:16 in
+  Hw.Framebuffer.set_mapping fb Hw.Framebuffer.Cached;
+  Hw.Framebuffer.write_pixel fb ~x:3 ~y:5 0xff0000;
+  check_int "display stale before flush" 0
+    (Hw.Framebuffer.display_pixel fb ~x:3 ~y:5);
+  check_int "one stale row" 1 (Hw.Framebuffer.stale_rows fb);
+  Hw.Framebuffer.flush fb;
+  check_int "visible after flush" 0xff0000
+    (Hw.Framebuffer.display_pixel fb ~x:3 ~y:5);
+  check_int "no stale rows" 0 (Hw.Framebuffer.stale_rows fb)
+
+let fb_uncached_writes_through () =
+  let fb = Hw.Framebuffer.create ~width:8 ~height:8 in
+  Hw.Framebuffer.set_mapping fb Hw.Framebuffer.Uncached;
+  Hw.Framebuffer.write_pixel fb ~x:1 ~y:1 0x00ff00;
+  check_int "immediately visible" 0x00ff00
+    (Hw.Framebuffer.display_pixel fb ~x:1 ~y:1)
+
+let fb_eviction_fades () =
+  let fb = Hw.Framebuffer.create ~width:8 ~height:64 in
+  for y = 0 to 63 do
+    Hw.Framebuffer.write_pixel fb ~x:0 ~y 0xffffff
+  done;
+  check_int "all stale" 64 (Hw.Framebuffer.stale_rows fb);
+  let rng = Sim.Rng.create 1L in
+  Hw.Framebuffer.evict_some fb rng ~fraction:0.5;
+  let remaining = Hw.Framebuffer.stale_rows fb in
+  check_bool "some evicted" true (remaining < 64);
+  check_bool "not all evicted" true (remaining > 0)
+
+let fb_out_of_bounds_ignored () =
+  let fb = Hw.Framebuffer.create ~width:4 ~height:4 in
+  Hw.Framebuffer.write_pixel fb ~x:99 ~y:99 0xff;
+  Hw.Framebuffer.write_pixel fb ~x:(-1) ~y:0 0xff;
+  check_int "read oob is 0" 0 (Hw.Framebuffer.read_pixel fb ~x:99 ~y:0)
+
+let fb_ppm_and_ascii () =
+  let fb = Hw.Framebuffer.create ~width:2 ~height:2 in
+  Hw.Framebuffer.set_mapping fb Hw.Framebuffer.Uncached;
+  Hw.Framebuffer.write_pixel fb ~x:0 ~y:0 0xffffff;
+  let ppm = Hw.Framebuffer.to_ppm fb in
+  check_bool "ppm header" true (String.length ppm > 11 && String.sub ppm 0 2 = "P6");
+  let art = Hw.Framebuffer.to_ascii fb ~cols:2 ~rows:2 in
+  check_bool "bright pixel is dense glyph" true (art.[0] = '@')
+
+(* ---- gpio ---- *)
+
+let gpio_edges () =
+  let b = fresh () in
+  Hw.Gpio.press b.Hw.Board.gpio Hw.Gpio.A;
+  Hw.Gpio.press b.Hw.Board.gpio Hw.Gpio.A (* no double edge while held *);
+  Hw.Gpio.release b.Hw.Board.gpio Hw.Gpio.A;
+  let edges = Hw.Gpio.take_edges b.Hw.Board.gpio in
+  check_int "two edges" 2 (List.length edges);
+  check_bool "press then release" true
+    (match edges with
+    | [ (Hw.Gpio.A, true); (Hw.Gpio.A, false) ] -> true
+    | _ -> false);
+  check_int "latch cleared" 0 (List.length (Hw.Gpio.take_edges b.Hw.Board.gpio))
+
+(* ---- dma + pwm ---- *)
+
+let dma_completes_and_latches () =
+  let b = fresh () in
+  let done_ = ref false in
+  Hw.Dma.start b.Hw.Board.dma ~channel:1 ~bytes_len:4096 ~on_complete:(fun () ->
+      done_ := true);
+  check_bool "busy during" true (Hw.Dma.busy b.Hw.Board.dma ~channel:1);
+  Sim.Engine.run b.Hw.Board.engine ();
+  check_bool "completed" true !done_;
+  check_bool "latched" true (Hw.Dma.done_latched b.Hw.Board.dma ~channel:1);
+  Hw.Dma.ack b.Hw.Board.dma ~channel:1;
+  check_bool "acked" false (Hw.Dma.done_latched b.Hw.Board.dma ~channel:1)
+
+let dma_busy_rejects () =
+  let b = fresh () in
+  Hw.Dma.start b.Hw.Board.dma ~channel:0 ~bytes_len:64 ~on_complete:(fun () -> ());
+  Alcotest.check_raises "channel busy"
+    (Invalid_argument "Dma.start: channel busy") (fun () ->
+      Hw.Dma.start b.Hw.Board.dma ~channel:0 ~bytes_len:64 ~on_complete:(fun () -> ()))
+
+let pwm_underruns_when_starved () =
+  let b = fresh () in
+  let pwm = b.Hw.Board.pwm in
+  Hw.Pwm_audio.start pwm;
+  (* half a second with no samples: pure underruns *)
+  Sim.Engine.run b.Hw.Board.engine ~until:(Sim.Engine.ms 500) ();
+  check_bool "underruns counted" true (Hw.Pwm_audio.underruns pwm > 10);
+  check_bool "silence emitted" true (Hw.Pwm_audio.samples_played pwm > 0)
+
+let pwm_plays_pushed_samples () =
+  let b = fresh () in
+  let pwm = b.Hw.Board.pwm in
+  let samples = Array.init 4096 (fun i -> i mod 100) in
+  let accepted = Hw.Pwm_audio.push_samples pwm samples in
+  check_int "all accepted" 4096 accepted;
+  Hw.Pwm_audio.start pwm;
+  Sim.Engine.run b.Hw.Board.engine ~until:(Sim.Engine.ms 60) ();
+  let out = Hw.Pwm_audio.recent_output pwm in
+  check_bool "played prefix matches" true
+    (Array.length out >= 1000 && Array.sub out 0 1000 = Array.sub samples 0 1000)
+
+let pwm_fifo_capacity () =
+  let b = fresh () in
+  let pwm = b.Hw.Board.pwm in
+  let accepted = Hw.Pwm_audio.push_samples pwm (Array.make 100_000 1) in
+  check_int "clipped to capacity" Hw.Pwm_audio.fifo_capacity accepted;
+  check_int "no space left" 0 (Hw.Pwm_audio.fifo_space pwm)
+
+(* ---- sd ---- *)
+
+let sd_roundtrip () =
+  let b = fresh () in
+  let sd = b.Hw.Board.sd in
+  let data = Bytes.make 1024 'z' in
+  ignore (check_ok "write" (Hw.Sd.write sd ~lba:10 ~data));
+  let back, _ = check_ok "read" (Hw.Sd.read sd ~lba:10 ~count:2) in
+  check_bool "data matches" true (Bytes.equal back data)
+
+let sd_range_amortizes_command () =
+  let single = Hw.Sd.cost_ns ~count:1 in
+  let range8 = Hw.Sd.cost_ns ~count:8 in
+  (* 8 single-block commands must cost much more than one 8-block range *)
+  check_bool "range wins" true
+    (Int64.compare range8 (Int64.mul 8L single) < 0);
+  let ratio = Int64.to_float (Int64.mul 8L single) /. Int64.to_float range8 in
+  check_in_range "amortization factor" 2.0 3.5 ratio
+
+let sd_bounds () =
+  let b = fresh () in
+  ignore (check_err "read past end" (Hw.Sd.read b.Hw.Board.sd ~lba:max_int ~count:1));
+  ignore (check_err "unaligned write"
+      (Hw.Sd.write b.Hw.Board.sd ~lba:0 ~data:(Bytes.make 100 'x')))
+
+(* ---- usb ---- *)
+
+let usb_reports_after_init () =
+  let b = fresh () in
+  Hw.Usb.power_on b.Hw.Board.usb;
+  check_bool "not ready immediately" false (Hw.Usb.ready b.Hw.Board.usb);
+  Hw.Usb.key_down b.Hw.Board.usb 0x04;
+  Sim.Engine.run b.Hw.Board.engine
+    ~until:(Int64.add Hw.Usb.init_cost_ns 20_000_000L)
+    ();
+  check_bool "ready after init" true (Hw.Usb.ready b.Hw.Board.usb);
+  let reports = Hw.Usb.take_reports b.Hw.Board.usb in
+  check_bool "press reported" true
+    (List.exists (fun r -> List.mem 0x04 r.Hw.Usb.keys) reports)
+
+let usb_frame_quantization () =
+  let b = fresh () in
+  Hw.Usb.power_on b.Hw.Board.usb;
+  Sim.Engine.run b.Hw.Board.engine ~until:(Int64.add Hw.Usb.init_cost_ns 10_000_000L) ();
+  ignore (Hw.Usb.take_reports b.Hw.Board.usb);
+  Hw.Usb.key_down b.Hw.Board.usb 0x05;
+  (* within the same 8 ms frame nothing is latched yet *)
+  check_int "nothing before next frame" 0 (Hw.Usb.reports_pending b.Hw.Board.usb);
+  Sim.Engine.run b.Hw.Board.engine
+    ~until:(Int64.add (Sim.Engine.now b.Hw.Board.engine) 9_000_000L)
+    ();
+  check_bool "latched at frame boundary" true
+    (Hw.Usb.reports_pending b.Hw.Board.usb >= 1)
+
+let usb_release_and_modifiers () =
+  let b = fresh () in
+  Hw.Usb.power_on b.Hw.Board.usb;
+  Sim.Engine.run b.Hw.Board.engine ~until:(Int64.add Hw.Usb.init_cost_ns 10_000_000L) ();
+  Hw.Usb.key_down b.Hw.Board.usb ~modifiers:0x01 0x2b;
+  Sim.Engine.run b.Hw.Board.engine ~until:(Int64.add (Sim.Engine.now b.Hw.Board.engine) 10_000_000L) ();
+  Hw.Usb.key_up b.Hw.Board.usb 0x2b;
+  Sim.Engine.run b.Hw.Board.engine ~until:(Int64.add (Sim.Engine.now b.Hw.Board.engine) 10_000_000L) ();
+  match Hw.Usb.take_reports b.Hw.Board.usb with
+  | [ down; up ] ->
+      check_int "ctrl modifier" 0x01 down.Hw.Usb.modifiers;
+      check_bool "key held" true (List.mem 0x2b down.Hw.Usb.keys);
+      check_bool "key released" true (not (List.mem 0x2b up.Hw.Usb.keys))
+  | reports -> Alcotest.failf "expected 2 reports, got %d" (List.length reports)
+
+(* ---- power ---- *)
+
+let power_endpoints () =
+  let p = Hw.Power.pi3_game_hat in
+  let idle = Hw.Power.total_power p ~busy_cores:0.0 ~io_fraction:0.0 ~hat:true in
+  check_in_range "idle ~3W" 2.8 3.3 idle;
+  let load = Hw.Power.total_power p ~busy_cores:1.8 ~io_fraction:0.1 ~hat:true in
+  check_in_range "load ~4-5W" 3.8 5.5 load;
+  check_in_range "idle battery ~3.7h" 3.3 4.0
+    (Hw.Power.battery_hours p ~watts:idle)
+
+let power_monotone =
+  qcheck "power increases with load"
+    QCheck.(pair (float_range 0.0 4.0) (float_range 0.0 4.0))
+    (fun (a, b) ->
+      let p = Hw.Power.pi3_game_hat in
+      let lo = Float.min a b and hi = Float.max a b in
+      Hw.Power.total_power p ~busy_cores:lo ~io_fraction:0.0 ~hat:true
+      <= Hw.Power.total_power p ~busy_cores:hi ~io_fraction:0.0 ~hat:true)
+
+let suite =
+  ( "hw",
+    [
+      quick "intc delivers" intc_delivers;
+      quick "intc mask pends" intc_mask_pends;
+      quick "intc mask nests" intc_mask_nests;
+      quick "intc FIQ bypasses mask, round robin" intc_fiq_bypasses_mask_round_robin;
+      quick "intc routing" intc_routing;
+      quick "timer core oneshot" timer_core_oneshot;
+      quick "timer rearm replaces" timer_rearm_replaces;
+      quick "timer counter" timer_counter;
+      quick "uart capture and cost" uart_capture_and_cost;
+      quick "uart rx irq" uart_rx_irq;
+      quick "mailbox fb allocation" mailbox_fb_allocation;
+      quick "fb cache experience (par 4.3)" fb_cache_experience;
+      quick "fb uncached writes through" fb_uncached_writes_through;
+      quick "fb eviction fades" fb_eviction_fades;
+      quick "fb out of bounds ignored" fb_out_of_bounds_ignored;
+      quick "fb ppm and ascii" fb_ppm_and_ascii;
+      quick "gpio edges" gpio_edges;
+      quick "dma completes and latches" dma_completes_and_latches;
+      quick "dma busy rejects" dma_busy_rejects;
+      quick "pwm underruns when starved" pwm_underruns_when_starved;
+      quick "pwm plays pushed samples" pwm_plays_pushed_samples;
+      quick "pwm fifo capacity" pwm_fifo_capacity;
+      quick "sd roundtrip" sd_roundtrip;
+      quick "sd range amortizes command" sd_range_amortizes_command;
+      quick "sd bounds" sd_bounds;
+      quick "usb reports after init" usb_reports_after_init;
+      quick "usb frame quantization" usb_frame_quantization;
+      quick "usb release and modifiers" usb_release_and_modifiers;
+      quick "power endpoints" power_endpoints;
+      power_monotone;
+    ] )

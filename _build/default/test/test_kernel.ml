@@ -1,0 +1,1027 @@
+(** Kernel tests: scheduler and tasks, virtual memory, IPC and
+    synchronization, the file layer, device files, the window manager and
+    the debugging machinery. Most tests boot a real Prototype-5 kernel and
+    run user closures through the full syscall path. *)
+
+open Tharness
+open User
+
+(* ---- scheduler and tasks ---- *)
+
+let sched_getpid_cost () =
+  let (), elapsed =
+    in_kernel_timed (fun _ ->
+        for _ = 1 to 100 do
+          ignore (Usys.getpid ())
+        done)
+  in
+  let per_call = Sim.Engine.to_us elapsed /. 100.0 in
+  (* Figure 8's ~3 us *)
+  check_in_range "getpid ~3us" 2.0 4.5 per_call
+
+let sched_sleep_advances_time () =
+  let (), elapsed = in_kernel_timed (fun _ -> ignore (Usys.sleep 50)) in
+  check_in_range "sleep 50ms" 49.0 55.0 (Sim.Engine.to_ms elapsed)
+
+let sched_fork_wait_exit () =
+  in_kernel (fun _ ->
+      let child = Usys.fork (fun () -> 42) in
+      check_bool "child pid positive" true (child > 0);
+      let reaped = Usys.wait () in
+      check_int "reaped the child" child reaped;
+      check_int "no more children" (-Core.Errno.echild) (Usys.wait ()))
+
+let sched_fork_returns_child_pid_to_parent () =
+  in_kernel (fun _ ->
+      let me = Usys.getpid () in
+      let seen = ref 0 in
+      let child = Usys.fork (fun () -> seen := Usys.getpid (); 0) in
+      ignore (Usys.wait ());
+      check_bool "child saw its own pid" true (!seen = child && !seen <> me))
+
+let sched_many_children () =
+  in_kernel (fun _ ->
+      let n = 12 in
+      let counter = ref 0 in
+      let pids = List.init n (fun _ -> Usys.fork (fun () -> incr counter; 0)) in
+      check_bool "all forked" true (List.for_all (fun p -> p > 0) pids);
+      for _ = 1 to n do
+        ignore (Usys.wait ())
+      done;
+      check_int "all children ran" n !counter)
+
+let sched_preemption_interleaves () =
+  (* two CPU-bound tasks on one core must make comparable progress *)
+  let config = { Core.Kconfig.full with Core.Kconfig.multicore = false } in
+  let kernel = boot_kernel ~config () in
+  let progress = [| 0; 0 |] in
+  let spin slot () =
+    for _ = 1 to 200 do
+      Usys.burn 1_000_000 (* 1 ms *);
+      progress.(slot) <- progress.(slot) + 1
+    done;
+    0
+  in
+  ignore (Core.Kernel.spawn_user kernel ~name:"spin0" (spin 0));
+  ignore (Core.Kernel.spawn_user kernel ~name:"spin1" (spin 1));
+  Core.Kernel.run_for kernel (Sim.Engine.ms 100);
+  check_bool "both ran" true (progress.(0) > 10 && progress.(1) > 10);
+  let ratio = float_of_int progress.(0) /. float_of_int (max 1 progress.(1)) in
+  check_in_range "fair within 2x" 0.5 2.0 ratio
+
+let sched_multicore_parallelism () =
+  (* 4 cpu-bound tasks on 4 cores: wall time ~= single task time *)
+  let kernel = boot_kernel () in
+  let done_count = ref 0 in
+  for i = 1 to 4 do
+    ignore
+      (Core.Kernel.spawn_user kernel ~name:(Printf.sprintf "w%d" i) (fun () ->
+           Usys.burn 100_000_000 (* 100 ms of work *);
+           incr done_count;
+           0))
+  done;
+  let t0 = Core.Kernel.now kernel in
+  Core.Kernel.run_for kernel (Sim.Engine.ms 150);
+  check_int "all finished" 4 !done_count;
+  ignore t0;
+  (* each core should have run ~100ms busy *)
+  for c = 0 to 3 do
+    let busy = Sim.Engine.to_ms (Core.Sched.core_busy_ns kernel.Core.Kernel.sched c) in
+    check_in_range (Printf.sprintf "core %d busy" c) 90.0 140.0 busy
+  done
+
+let sched_kill_running () =
+  let kernel = boot_kernel () in
+  let task =
+    Core.Kernel.spawn_user kernel ~name:"victim" (fun () ->
+        let rec forever () =
+          Usys.burn 1_000_000;
+          forever ()
+        in
+        forever ())
+  in
+  run_for kernel 1;
+  check_bool "running" true (Core.Task.state_name task <> "zombie");
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"killer" (fun () ->
+         ignore (Usys.kill task.Core.Task.pid);
+         0));
+  run_for kernel 1;
+  check_string "killed" "zombie" (Core.Task.state_name task)
+
+let sched_kill_blocked () =
+  let kernel = boot_kernel () in
+  let task =
+    Core.Kernel.spawn_user kernel ~name:"sleeper" (fun () ->
+        ignore (Usys.sleep 1_000_000);
+        0)
+  in
+  run_for kernel 1;
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"killer" (fun () ->
+         ignore (Usys.kill task.Core.Task.pid);
+         0));
+  run_for kernel 1;
+  check_string "blocked task killed" "zombie" (Core.Task.state_name task)
+
+let sched_exec_replaces_image () =
+  let kernel =
+    Core.Kernel.boot
+      {
+        Core.Kernel.default_spec with
+        sp_programs =
+          [
+            {
+              Core.Kernel.prog_name = "child";
+              prog_size = 8192;
+              prog_main = (fun argv -> Usys.print (String.concat "," argv); 7);
+            };
+          ];
+      }
+  in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"execer" (fun () ->
+         let pid = Usys.fork (fun () -> Usys.exec "/child" [ "child"; "x" ]) in
+         ignore pid;
+         ignore (Usys.wait ());
+         0)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check_bool "child printed argv" true
+    (let out = Core.Kernel.uart_output kernel in
+     String.length out >= 7
+     &&
+     let rec has i =
+       i + 7 <= String.length out
+       && (String.equal (String.sub out i 7) "child,x" || has (i + 1))
+     in
+     has 0)
+
+let sched_exec_missing_program () =
+  in_kernel (fun _ ->
+      check_int "ENOENT" (-Core.Errno.enoent) (Usys.exec "/nothere" [ "x" ]))
+
+let sched_uptime_monotone () =
+  in_kernel (fun _ ->
+      let a = Usys.uptime_ms () in
+      ignore (Usys.sleep 10);
+      let b = Usys.uptime_ms () in
+      check_bool "uptime advanced" true (b >= a + 10))
+
+(* ENOSYS gating: prototype 3 has no files, prototype 4 no threads *)
+let sched_feature_gating () =
+  let p3 = Core.Kconfig.prototype 3 in
+  in_kernel ~config:p3 (fun _ ->
+      check_int "open is ENOSYS at P3" (-Core.Errno.enosys)
+        (Usys.open_ "/x" Core.Abi.o_rdonly);
+      check_int "clone is ENOSYS at P3" (-Core.Errno.enosys)
+        (Usys.clone (fun () -> 0));
+      (* but write to fd 1 works, hardwired to UART (par 4.3) *)
+      check_bool "write works" true (Usys.write_str 1 "p3" > 0));
+  let p4 = Core.Kconfig.prototype 4 in
+  in_kernel ~config:p4 (fun _ ->
+      check_int "clone is ENOSYS at P4" (-Core.Errno.enosys)
+        (Usys.clone (fun () -> 0));
+      check_int "sem is ENOSYS at P4" (-Core.Errno.enosys) (Usys.sem_open 1))
+
+let suite_sched =
+  ( "kernel.sched",
+    [
+      quick "getpid cost ~3us" sched_getpid_cost;
+      quick "sleep advances virtual time" sched_sleep_advances_time;
+      quick "fork/wait/exit" sched_fork_wait_exit;
+      quick "fork pid visibility" sched_fork_returns_child_pid_to_parent;
+      quick "many children" sched_many_children;
+      quick "preemption interleaves" sched_preemption_interleaves;
+      quick "multicore parallelism" sched_multicore_parallelism;
+      quick "kill running task" sched_kill_running;
+      quick "kill blocked task" sched_kill_blocked;
+      quick "exec replaces image" sched_exec_replaces_image;
+      quick "exec missing program" sched_exec_missing_program;
+      quick "uptime monotone" sched_uptime_monotone;
+      quick "prototype feature gating (ENOSYS)" sched_feature_gating;
+    ] )
+
+(* ---- virtual memory ---- *)
+
+let vm_sbrk_grows_and_shrinks () =
+  in_kernel (fun kernel ->
+      let used0 = Core.Kalloc.used_pages kernel.Core.Kernel.kalloc in
+      let brk0 = Usys.sbrk 0 in
+      let addr = Usys.sbrk 65536 in
+      check_int "sbrk returns old break" brk0 addr;
+      check_bool "pages allocated" true
+        (Core.Kalloc.used_pages kernel.Core.Kernel.kalloc >= used0 + 16);
+      ignore (Usys.sbrk (-65536));
+      check_int "back to start" brk0 (Usys.sbrk 0))
+
+let vm_fork_copies_pages () =
+  in_kernel (fun kernel ->
+      ignore (Usys.sbrk (40 * 4096));
+      let used_before = Core.Kalloc.used_pages kernel.Core.Kernel.kalloc in
+      let child = Usys.fork (fun () -> ignore (Usys.sleep 1_000_000); 0) in
+      let used_after = Core.Kalloc.used_pages kernel.Core.Kernel.kalloc in
+      check_bool "eager copy >= 40 pages" true (used_after - used_before >= 40);
+      ignore (Usys.kill child);
+      ignore (Usys.wait ()))
+
+let vm_exit_frees_memory () =
+  let kernel = boot_kernel () in
+  let used0 = Core.Kalloc.used_pages kernel.Core.Kernel.kalloc in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"hog" (fun () ->
+         ignore (Usys.sbrk (100 * 4096));
+         0)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  run_for kernel 1;
+  (* reap: spawn a waiter? the hog was parentless; memory must already be
+     freed at exit *)
+  check_in_range "memory returned"
+    (float_of_int (used0 - 4))
+    (float_of_int (used0 + 4))
+    (float_of_int (Core.Kalloc.used_pages kernel.Core.Kernel.kalloc))
+
+let vm_stack_faults () =
+  let kalloc = Core.Kalloc.create ~dram_bytes:(64 * 1024 * 1024) ~kernel_reserved_bytes:0 in
+  let vm = Result.get_ok (Core.Vm.create kalloc ~code_pages:4) in
+  check_int "starts with 1 stack page" 1 vm.Core.Vm.stack_pages;
+  (match Core.Vm.fault_stack vm ~addr:0xff0000 with
+  | `Grown -> ()
+  | _ -> Alcotest.fail "expected growth");
+  check_int "grew" 2 vm.Core.Vm.stack_pages;
+  (* repeated faults at the same address must kill (par 4.3) *)
+  let rec hammer n =
+    if n > 10 then Alcotest.fail "never killed"
+    else
+      match Core.Vm.fault_stack vm ~addr:0xdead with
+      | `Kill_repeated_fault -> ()
+      | `Grown | `Kill_stack_overflow | `Kill_oom -> hammer (n + 1)
+  in
+  hammer 0
+
+let vm_clone_shares_space () =
+  let kalloc = Core.Kalloc.create ~dram_bytes:(64 * 1024 * 1024) ~kernel_reserved_bytes:0 in
+  let vm = Result.get_ok (Core.Vm.create kalloc ~code_pages:4) in
+  let used_before = Core.Kalloc.used_pages kalloc in
+  let shared = Core.Vm.share vm in
+  check_int "no pages copied" used_before (Core.Kalloc.used_pages kalloc);
+  check_int "refcount 2" 2 (Core.Vm.refcount shared);
+  Core.Vm.destroy shared;
+  check_bool "still alive" true (Core.Kalloc.used_pages kalloc = used_before);
+  Core.Vm.destroy vm;
+  check_int "all freed" 0 (Core.Kalloc.used_pages kalloc)
+
+let vm_mmap_identity () =
+  let kalloc = Core.Kalloc.create ~dram_bytes:(64 * 1024 * 1024) ~kernel_reserved_bytes:0 in
+  let vm = Result.get_ok (Core.Vm.create kalloc ~code_pages:1) in
+  let m = Core.Vm.add_mapping vm ~name:"fb" ~bytes:(640 * 480 * 4) ~cached:true in
+  check_int "identity-mapped at the bus address" Core.Vm.fb_bus_address
+    m.Core.Vm.map_base;
+  check_bool "find works" true (Core.Vm.find_mapping vm ~name:"fb" <> None)
+
+let kalloc_exhaustion_and_double_free () =
+  let k = Core.Kalloc.create ~dram_bytes:(16 * 4096) ~kernel_reserved_bytes:0 in
+  let frames = List.init 16 (fun _ -> Core.Kalloc.alloc_page k ~owner:"t") in
+  check_bool "all allocated" true (List.for_all Option.is_some frames);
+  check_bool "exhausted" true (Core.Kalloc.alloc_page k ~owner:"t" = None);
+  let f = Option.get (List.hd frames) in
+  Core.Kalloc.free_page k f;
+  Alcotest.check_raises "double free detected"
+    (Invalid_argument (Printf.sprintf "kalloc: double free of frame %d" f))
+    (fun () -> Core.Kalloc.free_page k f)
+
+let suite_vm =
+  ( "kernel.vm",
+    [
+      quick "sbrk grows and shrinks" vm_sbrk_grows_and_shrinks;
+      quick "fork copies pages eagerly" vm_fork_copies_pages;
+      quick "exit frees memory" vm_exit_frees_memory;
+      quick "demand-paged stack + repeated-fault kill" vm_stack_faults;
+      quick "clone shares the address space" vm_clone_shares_space;
+      quick "fb mmap is identity-mapped" vm_mmap_identity;
+      quick "kalloc exhaustion and double free" kalloc_exhaustion_and_double_free;
+    ] )
+
+(* ---- pipes, semaphores, threads ---- *)
+
+let pipe_roundtrip () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      check_int "write" 5 (Usys.write w (Bytes.of_string "hello"));
+      let back = Result.get_ok (Usys.read r 5) in
+      check_string "read" "hello" (Bytes.to_string back))
+
+let pipe_blocks_until_data () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      let child =
+        Usys.fork (fun () ->
+            ignore (Usys.sleep 20);
+            ignore (Usys.write w (Bytes.of_string "late"));
+            0)
+      in
+      let t0 = Usys.uptime_ms () in
+      let back = Result.get_ok (Usys.read r 4) in
+      let waited = Usys.uptime_ms () - t0 in
+      check_string "data arrives" "late" (Bytes.to_string back);
+      check_bool "reader blocked ~20ms" true (waited >= 18);
+      ignore child;
+      ignore (Usys.wait ()))
+
+let pipe_eof_on_writer_close () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      ignore (Usys.write w (Bytes.of_string "x"));
+      ignore (Usys.close w);
+      check_string "drain" "x" (Bytes.to_string (Result.get_ok (Usys.read r 10)));
+      check_int "EOF" 0 (Bytes.length (Result.get_ok (Usys.read r 10))))
+
+let pipe_write_blocks_when_full () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      (* fill beyond the 512-byte xv6 buffer; needs a concurrent reader *)
+      let reader =
+        Usys.fork (fun () ->
+            let total = ref 0 in
+            while !total < 2048 do
+              match Usys.read r 256 with
+              | Ok b when Bytes.length b > 0 -> total := !total + Bytes.length b
+              | Ok _ | Error _ -> total := 4096
+            done;
+            0)
+      in
+      check_int "large write completes" 2048 (Usys.write w (Bytes.make 2048 'z'));
+      ignore reader;
+      ignore (Usys.wait ()))
+
+let pipe_fork_shares_ends () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      let child = Usys.fork (fun () -> Usys.write w (Bytes.of_string "from child")) in
+      let back = Result.get_ok (Usys.read r 10) in
+      check_string "ipc" "from child" (Bytes.to_string back);
+      ignore child;
+      ignore (Usys.wait ()))
+
+let sem_mutual_exclusion () =
+  in_kernel (fun _ ->
+      let m = Uthread.Mutex.create () in
+      let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+      let worker () =
+        for _ = 1 to 20 do
+          Uthread.Mutex.with_lock m (fun () ->
+              incr inside;
+              if !inside > !max_inside then max_inside := !inside;
+              Usys.burn 20_000;
+              incr total;
+              decr inside)
+        done;
+        0
+      in
+      let tids = List.init 4 (fun _ -> Uthread.spawn worker) in
+      List.iter (fun tid -> ignore (Uthread.join tid)) tids;
+      check_int "critical section exclusive" 1 !max_inside;
+      check_int "all iterations" 80 !total)
+
+let sem_condvar_signal () =
+  in_kernel (fun _ ->
+      let m = Uthread.Mutex.create () in
+      let cv = Uthread.Cond.create () in
+      let ready = ref false and observed = ref false in
+      let waiter =
+        Uthread.spawn (fun () ->
+            Uthread.Mutex.lock m;
+            while not !ready do
+              Uthread.Cond.wait cv m
+            done;
+            observed := true;
+            Uthread.Mutex.unlock m;
+            0)
+      in
+      ignore (Usys.sleep 10);
+      Uthread.Mutex.lock m;
+      ready := true;
+      Uthread.Cond.signal cv;
+      Uthread.Mutex.unlock m;
+      ignore (Uthread.join waiter);
+      check_bool "condvar woke the waiter" true !observed)
+
+let clone_shares_memory () =
+  in_kernel (fun _ ->
+      let shared = ref 0 in
+      let tid = Usys.clone (fun () -> shared := 41; 0) in
+      ignore (Usys.join tid);
+      check_int "thread wrote shared state" 41 !shared)
+
+let join_returns_exit_code () =
+  in_kernel (fun _ ->
+      let tid = Usys.clone (fun () -> 123) in
+      check_int "join code" 123 (Usys.join tid))
+
+let semaphore_counting () =
+  in_kernel (fun _ ->
+      let sem = Usys.sem_open 2 in
+      check_int "wait 1" 0 (Usys.sem_wait sem);
+      check_int "wait 2" 0 (Usys.sem_wait sem);
+      (* third waiter must block until a post *)
+      let done_ = ref false in
+      let tid = Usys.clone (fun () -> ignore (Usys.sem_wait sem); done_ := true; 0) in
+      ignore (Usys.sleep 5);
+      check_bool "blocked" false !done_;
+      ignore (Usys.sem_post sem);
+      ignore (Usys.join tid);
+      check_bool "released" true !done_;
+      check_int "close" 0 (Usys.sem_close sem))
+
+let ipc_latency_in_range () =
+  let kernel = boot_kernel () in
+  let us = Benchlib.Micro.ipc_us ~iters:500 kernel in
+  (* the paper's ~21 us one-way *)
+  check_in_range "one-way pipe latency" 14.0 28.0 us
+
+let suite_ipc =
+  ( "kernel.ipc",
+    [
+      quick "pipe roundtrip" pipe_roundtrip;
+      quick "pipe blocks until data" pipe_blocks_until_data;
+      quick "pipe EOF on writer close" pipe_eof_on_writer_close;
+      quick "pipe write blocks when full" pipe_write_blocks_when_full;
+      quick "pipe ends shared across fork" pipe_fork_shares_ends;
+      quick "mutex mutual exclusion" sem_mutual_exclusion;
+      quick "condvar signal" sem_condvar_signal;
+      quick "clone shares memory" clone_shares_memory;
+      quick "join returns exit code" join_returns_exit_code;
+      quick "semaphore counting" semaphore_counting;
+      quick "pipe IPC latency ~21us" ipc_latency_in_range;
+    ] )
+
+(* ---- file syscalls through the VFS ---- *)
+
+let files_create_write_read () =
+  in_kernel (fun _ ->
+      let fd = Usys.open_ "/notes.txt" (Core.Abi.o_create lor Core.Abi.o_rdwr) in
+      check_bool "fd valid" true (fd >= 0);
+      check_int "write" 9 (Usys.write_str fd "vos rules");
+      check_int "seek home" 0 (Usys.lseek fd 0 Core.Abi.seek_set);
+      check_string "read back" "vos rules"
+        (Bytes.to_string (Result.get_ok (Usys.read fd 64)));
+      check_int "close" 0 (Usys.close fd))
+
+let files_fat_mount_routing () =
+  in_kernel (fun _ ->
+      (* same code path, two filesystems by prefix (par 4.5) *)
+      let fd1 = Usys.open_ "/root-file" (Core.Abi.o_create lor Core.Abi.o_wronly) in
+      let fd2 = Usys.open_ "/d/fat-file" (Core.Abi.o_create lor Core.Abi.o_wronly) in
+      check_bool "both open" true (fd1 >= 0 && fd2 >= 0);
+      ignore (Usys.write_str fd1 "xv6 side");
+      ignore (Usys.write_str fd2 "fat side");
+      ignore (Usys.close fd1);
+      ignore (Usys.close fd2);
+      let st1 = Result.get_ok (Usys.fstat (Usys.open_ "/root-file" Core.Abi.o_rdonly)) in
+      let st2 = Result.get_ok (Usys.fstat (Usys.open_ "/d/fat-file" Core.Abi.o_rdonly)) in
+      check_int "xv6 size" 8 st1.Core.Abi.stat_size;
+      check_int "fat size" 8 st2.Core.Abi.stat_size)
+
+let files_lseek_whence () =
+  in_kernel (fun _ ->
+      let fd = Usys.open_ "/s.txt" (Core.Abi.o_create lor Core.Abi.o_rdwr) in
+      ignore (Usys.write_str fd "0123456789");
+      check_int "seek_set" 3 (Usys.lseek fd 3 Core.Abi.seek_set);
+      check_int "seek_cur" 5 (Usys.lseek fd 2 Core.Abi.seek_cur);
+      check_int "seek_end" 10 (Usys.lseek fd 0 Core.Abi.seek_end);
+      check_int "bad seek" (-Core.Errno.einval) (Usys.lseek fd (-99) Core.Abi.seek_set);
+      ignore (Usys.close fd))
+
+let files_dup_shares_offset () =
+  in_kernel (fun _ ->
+      let fd = Usys.open_ "/dup.txt" (Core.Abi.o_create lor Core.Abi.o_rdwr) in
+      ignore (Usys.write_str fd "abcdef");
+      ignore (Usys.lseek fd 0 Core.Abi.seek_set);
+      let fd2 = Usys.dup fd in
+      ignore (Result.get_ok (Usys.read fd 2)) (* advance through fd *);
+      check_string "dup sees the shared offset" "cd"
+        (Bytes.to_string (Result.get_ok (Usys.read fd2 2)));
+      ignore (Usys.close fd);
+      (* fd2 still valid after closing fd *)
+      check_bool "still readable" true (Result.is_ok (Usys.read fd2 1));
+      ignore (Usys.close fd2))
+
+let files_mkdir_unlink_chdir () =
+  in_kernel (fun _ ->
+      check_int "mkdir" 0 (Usys.mkdir "/work");
+      check_int "chdir" 0 (Usys.chdir "/work");
+      let fd = Usys.open_ "relative.txt" (Core.Abi.o_create lor Core.Abi.o_wronly) in
+      check_bool "relative create" true (fd >= 0);
+      ignore (Usys.close fd);
+      check_int "visible absolutely" 0
+        (let fd = Usys.open_ "/work/relative.txt" Core.Abi.o_rdonly in
+         if fd >= 0 then Usys.close fd else fd);
+      check_int "unlink" 0 (Usys.unlink "/work/relative.txt");
+      check_int "chdir back" 0 (Usys.chdir "/");
+      check_int "rmdir" 0 (Usys.unlink "/work");
+      check_int "chdir to missing" (-Core.Errno.enoent) (Usys.chdir "/nowhere"))
+
+let files_errors () =
+  in_kernel (fun _ ->
+      check_int "open missing" (-Core.Errno.enoent) (Usys.open_ "/missing" Core.Abi.o_rdonly);
+      check_int "close bad fd" (-Core.Errno.ebadf) (Usys.close 17);
+      check_bool "read bad fd" true (Usys.read 17 10 = Error Core.Errno.ebadf);
+      check_int "write bad fd" (-Core.Errno.ebadf) (Usys.write 17 (Bytes.of_string "x"));
+      (* wrong-direction access *)
+      let fd = Usys.open_ "/wr.txt" (Core.Abi.o_create lor Core.Abi.o_wronly) in
+      check_bool "read on write-only" true (Usys.read fd 1 = Error Core.Errno.ebadf);
+      ignore (Usys.close fd))
+
+let files_trunc_flag () =
+  in_kernel (fun _ ->
+      let fd = Usys.open_ "/t.txt" (Core.Abi.o_create lor Core.Abi.o_wronly) in
+      ignore (Usys.write_str fd "long content here");
+      ignore (Usys.close fd);
+      let fd = Usys.open_ "/t.txt" (Core.Abi.o_trunc lor Core.Abi.o_wronly) in
+      ignore (Usys.close fd);
+      let st = Result.get_ok (Usys.fstat (Usys.open_ "/t.txt" Core.Abi.o_rdonly)) in
+      check_int "truncated" 0 st.Core.Abi.stat_size)
+
+let files_directory_listing () =
+  in_kernel (fun _ ->
+      ignore (Usys.mkdir "/listing");
+      ignore (Usys.close (Usys.open_ "/listing/a" (Core.Abi.o_create lor Core.Abi.o_wronly)));
+      ignore (Usys.close (Usys.open_ "/listing/b" (Core.Abi.o_create lor Core.Abi.o_wronly)));
+      let fd = Usys.open_ "/listing" Core.Abi.o_rdonly in
+      let text = Bytes.to_string (Result.get_ok (Usys.read fd 4096)) in
+      ignore (Usys.close fd);
+      check_bool "lists a and b" true
+        (String.split_on_char '\n' text |> fun lines ->
+         List.mem "a" lines && List.mem "b" lines))
+
+let files_fd_exhaustion () =
+  in_kernel (fun _ ->
+      let opened = ref [] in
+      let rec open_all () =
+        let fd = Usys.open_ "/dev/null" Core.Abi.o_rdwr in
+        if fd >= 0 then begin
+          opened := fd :: !opened;
+          open_all ()
+        end
+        else fd
+      in
+      check_int "EMFILE when table is full" (-Core.Errno.emfile) (open_all ());
+      List.iter (fun fd -> ignore (Usys.close fd)) !opened)
+
+let files_range_bypass_ablation () =
+  (* par 5.2: range reads bypassing the cache are 2-3x faster *)
+  let measure config =
+    let kernel = boot_kernel ~config () in
+    Benchlib.Micro.prepare_file kernel ~path:"/d/big.bin" ~bytes:(512 * 1024);
+    Benchlib.Micro.fs_throughput_kbps kernel ~path:"/d/big.bin"
+      ~bytes:(512 * 1024) ~chunk:(128 * 1024) ~direction:`Read
+  in
+  let fast = measure Core.Kconfig.full in
+  let slow =
+    measure { Core.Kconfig.full with Core.Kconfig.range_io_bypass = false }
+  in
+  check_in_range "bypass speedup 2-3.5x" 2.0 3.5 (fast /. slow)
+
+let suite_files =
+  ( "kernel.files",
+    [
+      quick "create write read" files_create_write_read;
+      quick "fat mount routing (/d)" files_fat_mount_routing;
+      quick "lseek whence" files_lseek_whence;
+      quick "dup shares offset" files_dup_shares_offset;
+      quick "mkdir unlink chdir" files_mkdir_unlink_chdir;
+      quick "error returns" files_errors;
+      quick "O_TRUNC" files_trunc_flag;
+      quick "directory listing" files_directory_listing;
+      quick "fd exhaustion" files_fd_exhaustion;
+      slow "range IO bypass ablation (par 5.2)" files_range_bypass_ablation;
+    ] )
+
+(* ---- device files ---- *)
+
+let dev_null () =
+  in_kernel (fun _ ->
+      let fd = Usys.open_ "/dev/null" Core.Abi.o_rdwr in
+      check_int "write sinks" 5 (Usys.write_str fd "12345");
+      check_int "read EOF" 0 (Bytes.length (Result.get_ok (Usys.read fd 10)));
+      ignore (Usys.close fd))
+
+let dev_fb_mmap_and_cacheflush () =
+  let kernel = boot_kernel () in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"render" (fun () ->
+         let fd = Usys.open_ "/dev/fb" Core.Abi.o_rdwr in
+         let _addr, w, h = Result.get_ok (Usys.mmap fd) in
+         check_int "width" 640 w;
+         check_int "height" 480 h;
+         ignore (Usys.close fd);
+         (* direct rendering: write the hw fb (the mmap'd view), then the
+            paper's cache lesson: nothing shows until cacheflush *)
+         let fb = Option.get kernel.Core.Kernel.fb in
+         Hw.Framebuffer.write_pixel fb ~x:10 ~y:10 0xabcdef;
+         check_int "stale before flush" 0 (Hw.Framebuffer.display_pixel fb ~x:10 ~y:10);
+         let flushed_rows = Usys.cacheflush () in
+         check_bool "rows flushed" true (flushed_rows >= 1);
+         check_int "visible after flush" 0xabcdef
+           (Hw.Framebuffer.display_pixel fb ~x:10 ~y:10);
+         0)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e)
+
+let dev_events_blocking_and_nonblocking () =
+  let kernel = boot_kernel () in
+  let board = kernel.Core.Kernel.board in
+  let got = ref None in
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"reader" (fun () ->
+         let fd = Usys.open_ "/dev/events" Core.Abi.o_rdonly in
+         (match Usys.read fd Core.Kbd.event_bytes with
+         | Ok b when Bytes.length b >= Core.Kbd.event_bytes ->
+             got := Some (Core.Kbd.decode b ~off:0)
+         | Ok _ | Error _ -> ());
+         0));
+  run_for kernel 1;
+  check_bool "reader blocked with no keys" true (!got = None);
+  Hw.Usb.key_down board.Hw.Board.usb 0x04;
+  run_for kernel 1;
+  (match !got with
+  | Some ev ->
+      check_int "code" 0x04 ev.Core.Kbd.ev_code;
+      check_bool "pressed" true ev.Core.Kbd.ev_pressed
+  | None -> Alcotest.fail "event not delivered");
+  (* non-blocking read returns EAGAIN when empty *)
+  match
+    Benchlib.Measure.run_task kernel ~name:"poller" (fun () ->
+        let fd = Usys.open_ "/dev/events" (Core.Abi.o_rdonly lor Core.Abi.o_nonblock) in
+        match Usys.read fd 64 with
+        | Error e -> e
+        | Ok _ -> 0)
+  with
+  | Ok (e, _) -> check_int "EAGAIN" Core.Errno.eagain e
+  | Error e -> Alcotest.fail e
+
+let dev_gpio_buttons_as_events () =
+  let kernel = boot_kernel () in
+  let board = kernel.Core.Kernel.board in
+  let got = ref [] in
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"reader" (fun () ->
+         let fd = Usys.open_ "/dev/events" Core.Abi.o_rdonly in
+         (match Usys.read fd 64 with
+         | Ok b -> got := Uevents.decode_bytes b
+         | Error _ -> ());
+         0));
+  run_for kernel 1;
+  Hw.Gpio.press board.Hw.Board.gpio Hw.Gpio.Start;
+  run_for kernel 1;
+  check_bool "Start maps to Enter" true
+    (List.exists (fun e -> e.Uevents.key = Uevents.Enter && e.Uevents.pressed) !got)
+
+let dev_audio_pipeline () =
+  let kernel = boot_kernel () in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"player" (fun () ->
+         let fd = Usys.open_ "/dev/sb" Core.Abi.o_wronly in
+         (* one second of a ramp *)
+         let n = 44100 in
+         let buf = Bytes.create (2 * n) in
+         for i = 0 to n - 1 do
+           let v = i land 0x7fff in
+           Bytes.set_uint8 buf (2 * i) (v land 0xff);
+           Bytes.set_uint8 buf ((2 * i) + 1) ((v lsr 8) land 0xff)
+         done;
+         ignore (Usys.write fd buf);
+         ignore (Usys.close fd);
+         0)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  run_for kernel 2;
+  let pwm = kernel.Core.Kernel.board.Hw.Board.pwm in
+  check_bool "samples reached the PWM" true (Hw.Pwm_audio.samples_played pwm > 20_000);
+  (* once streaming, the pipeline must not glitch *)
+  let out = Hw.Pwm_audio.recent_output pwm in
+  check_bool "waveform nonzero" true (Array.exists (fun s -> s > 1000) out)
+
+let dev_procfs_contents () =
+  in_kernel (fun _ ->
+      let slurp path = Bytes.to_string (Result.get_ok (Usys.slurp path)) in
+      check_bool "meminfo has MemTotal" true
+        (String.length (slurp "/proc/meminfo") > 0
+        && String.sub (slurp "/proc/meminfo") 0 8 = "MemTotal");
+      check_bool "cpuinfo mentions 4 cores" true
+        (let text = slurp "/proc/cpuinfo" in
+         let count = ref 0 in
+         String.iter (fun _ -> ()) text;
+         List.iter
+           (fun line ->
+             if String.length line >= 9 && String.sub line 0 9 = "processor" then incr count)
+           (String.split_on_char '\n' text);
+         !count = 4);
+      check_bool "tasks lists this pid" true
+        (let text = slurp "/proc/tasks" in
+         let pid = string_of_int (Usys.getpid ()) in
+         List.exists
+           (fun line ->
+             match String.index_opt line '\t' with
+             | Some i -> String.equal (String.sub line 0 i) pid
+             | None -> false)
+           (String.split_on_char '\n' text));
+      check_bool "procfs is read-only" true
+        (let fd = Usys.open_ "/proc/meminfo" Core.Abi.o_rdwr in
+         let r = Usys.write_str fd "hack" in
+         ignore (Usys.close fd);
+         r = -Core.Errno.erofs))
+
+let dev_console_roundtrip () =
+  let kernel = boot_kernel () in
+  Hw.Uart.inject_string kernel.Core.Kernel.board.Hw.Board.uart "hi\n";
+  match
+    Benchlib.Measure.run_task kernel ~name:"tty" (fun () ->
+        let fd = Usys.open_ "/dev/console" Core.Abi.o_rdwr in
+        let b = Result.get_ok (Usys.read fd 16) in
+        ignore (Usys.write fd b);
+        ignore (Usys.close fd);
+        0)
+  with
+  | Ok _ ->
+      check_bool "echoed" true
+        (let out = Core.Kernel.uart_output kernel in
+         String.length out >= 3)
+  | Error e -> Alcotest.fail e
+
+let suite_devices =
+  ( "kernel.devices",
+    [
+      quick "/dev/null" dev_null;
+      quick "fb mmap + cacheflush lesson" dev_fb_mmap_and_cacheflush;
+      quick "/dev/events blocking + nonblocking" dev_events_blocking_and_nonblocking;
+      quick "GPIO buttons as events" dev_gpio_buttons_as_events;
+      quick "audio producer-consumer pipeline" dev_audio_pipeline;
+      quick "procfs contents" dev_procfs_contents;
+      quick "console roundtrip" dev_console_roundtrip;
+    ] )
+
+(* ---- window manager ---- *)
+
+let wm_of kernel = Option.get kernel.Core.Kernel.wm
+
+let open_window kernel ~name ~w ~h ~x ~y ?(alpha = 255) () =
+  Core.Kernel.spawn_user kernel ~name (fun () ->
+      match Gfx.windowed ~width:w ~height:h ~x ~y ~alpha () with
+      | Error e -> e
+      | Ok gfx ->
+          Gfx.fill gfx 0x123456;
+          Gfx.present gfx;
+          (* stay alive so the surface persists *)
+          ignore (Usys.sleep 1_000_000);
+          Gfx.close gfx;
+          0)
+
+let wm_creates_and_composites () =
+  let kernel = boot_kernel () in
+  ignore (open_window kernel ~name:"app1" ~w:64 ~h:48 ~x:10 ~y:10 ());
+  run_for kernel 1;
+  let wm = wm_of kernel in
+  check_int "one surface" 1 (Core.Wm.surface_count wm);
+  check_bool "composited" true (Core.Wm.composites wm >= 1);
+  (* the window's pixels landed on the screen *)
+  let fb = Option.get kernel.Core.Kernel.fb in
+  check_int "pixel on screen" 0x123456 (Hw.Framebuffer.display_pixel fb ~x:20 ~y:20)
+
+let wm_dirty_skip () =
+  let kernel = boot_kernel () in
+  ignore (open_window kernel ~name:"app1" ~w:64 ~h:48 ~x:10 ~y:10 ());
+  run_for kernel 1;
+  let wm = wm_of kernel in
+  let composites_then = Core.Wm.composites wm in
+  run_for kernel 2 (* nothing redraws *);
+  check_int "no recomposition without dirt" composites_then (Core.Wm.composites wm);
+  check_bool "rounds were skipped" true (Core.Wm.skipped_rounds wm > 50)
+
+let wm_zorder_and_focus () =
+  let kernel = boot_kernel () in
+  ignore (open_window kernel ~name:"below" ~w:100 ~h:100 ~x:0 ~y:0 ());
+  run_for kernel 1;
+  ignore (open_window kernel ~name:"above" ~w:100 ~h:100 ~x:0 ~y:0 ());
+  run_for kernel 1;
+  let wm = wm_of kernel in
+  check_int "two windows" 2 (Core.Wm.surface_count wm);
+  (* latest window takes focus; ctrl+tab rotates *)
+  let focus0 = Option.get wm.Core.Wm.focus in
+  Core.Wm.rotate_focus wm;
+  let focus1 = Option.get wm.Core.Wm.focus in
+  check_bool "focus rotated" true (focus0 <> focus1);
+  Core.Wm.rotate_focus wm;
+  check_int "full cycle" focus0 (Option.get wm.Core.Wm.focus)
+
+let wm_alpha_blend () =
+  check_int "opaque replaces" 0x0000ff (Core.Wm.blend 0xff0000 0x0000ff 255);
+  check_int "zero alpha keeps" 0xff0000 (Core.Wm.blend 0xff0000 0x0000ff 0);
+  let half = Core.Wm.blend 0x000000 0xfffffe 128 in
+  let r = (half lsr 16) land 0xff in
+  check_in_range "half blend" 125.0 130.0 (float_of_int r)
+
+let wm_key_routing () =
+  let kernel = boot_kernel () in
+  let board = kernel.Core.Kernel.board in
+  let got = ref [] in
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"focused" (fun () ->
+         match Gfx.windowed ~width:32 ~height:32 ~x:0 ~y:0 () with
+         | Error e -> e
+         | Ok gfx ->
+             Gfx.present gfx;
+             let fd = Usys.open_ "/dev/event1" Core.Abi.o_rdonly in
+             (match Usys.read fd 64 with
+             | Ok b -> got := Uevents.decode_bytes b
+             | Error _ -> ());
+             ignore (Usys.close fd);
+             Gfx.close gfx;
+             0));
+  run_for kernel 1;
+  Hw.Usb.key_down board.Hw.Board.usb 0x2c (* space *);
+  run_for kernel 1;
+  check_bool "focused window received the key" true
+    (List.exists (fun e -> e.Uevents.key = Uevents.Space) !got)
+
+let wm_surface_removed_on_exit () =
+  let kernel = boot_kernel () in
+  let task =
+    Core.Kernel.spawn_user kernel ~name:"brief" (fun () ->
+        match Gfx.windowed ~width:16 ~height:16 ~x:0 ~y:0 () with
+        | Error e -> e
+        | Ok gfx ->
+            Gfx.present gfx;
+            0 (* exit immediately; the kernel must clean the surface *))
+  in
+  ignore task;
+  run_for kernel 1;
+  check_int "surface cleaned up" 0 (Core.Wm.surface_count (wm_of kernel))
+
+let suite_wm =
+  ( "kernel.wm",
+    [
+      quick "creates and composites" wm_creates_and_composites;
+      quick "dirty-region skip" wm_dirty_skip;
+      quick "z-order and focus rotation" wm_zorder_and_focus;
+      quick "alpha blending math" wm_alpha_blend;
+      quick "key routing to focus" wm_key_routing;
+      quick "surface removed on exit" wm_surface_removed_on_exit;
+    ] )
+
+(* ---- debugging machinery ---- *)
+
+let trace_records_syscalls () =
+  let kernel = boot_kernel () in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"traced" (fun () ->
+         ignore (Usys.getpid ());
+         0)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let events = Core.Ktrace.dump kernel.Core.Kernel.sched.Core.Sched.trace in
+  check_bool "getpid enter traced" true
+    (List.exists
+       (fun e ->
+         match e.Core.Ktrace.ev with
+         | Core.Ktrace.Syscall_enter (_, "getpid") -> true
+         | _ -> false)
+       events);
+  check_bool "timestamps nondecreasing" true
+    (let rec mono prev = function
+       | [] -> true
+       | e :: rest ->
+           Int64.compare prev e.Core.Ktrace.ts_ns <= 0 && mono e.Core.Ktrace.ts_ns rest
+     in
+     mono Int64.min_int events)
+
+let debugmon_breakpoint_stops_and_resumes () =
+  let kernel = boot_kernel () in
+  let dm = kernel.Core.Kernel.debugmon in
+  Core.Debugmon.set_breakpoint dm "hot_function";
+  let reached = ref false in
+  let task =
+    Core.Kernel.spawn_user kernel ~name:"debuggee" (fun () ->
+        Usys.in_frame "hot_function" (fun () -> reached := true);
+        0)
+  in
+  run_for kernel 1;
+  check_bool "stopped before the body ran" false !reached;
+  check_bool "listed as stopped" true
+    (List.mem task.Core.Task.pid (Core.Debugmon.stopped_tasks dm));
+  let report = Core.Debugmon.inspect dm task.Core.Task.pid in
+  check_bool "inspect shows the frame" true
+    (let rec has i =
+       i + 12 <= String.length report
+       && (String.equal (String.sub report i 12) "hot_function" || has (i + 1))
+     in
+     has 0);
+  Core.Debugmon.resume dm task.Core.Task.pid;
+  run_for kernel 1;
+  check_bool "resumed and completed" true !reached;
+  check_int "breakpoint hits" 1 (Core.Debugmon.hits dm)
+
+let debugmon_syscall_watchpoint () =
+  let kernel = boot_kernel () in
+  let dm = kernel.Core.Kernel.debugmon in
+  Core.Debugmon.watch_syscall dm "mkdir";
+  let finished = ref false in
+  let task =
+    Core.Kernel.spawn_user kernel ~name:"watched" (fun () ->
+        ignore (Usys.mkdir "/stopme");
+        finished := true;
+        0)
+  in
+  run_for kernel 1;
+  check_bool "stopped at the syscall" false !finished;
+  Core.Debugmon.unwatch_syscall dm "mkdir";
+  Core.Debugmon.resume dm task.Core.Task.pid;
+  run_for kernel 1;
+  check_bool "completed after resume" true !finished
+
+let unwinder_shadow_stack () =
+  let kernel = boot_kernel () in
+  let captured = ref [] in
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"deep" (fun () ->
+         Usys.in_frame "main" (fun () ->
+             Usys.in_frame "render" (fun () ->
+                 Usys.in_frame "blit" (fun () ->
+                     captured :=
+                       (Core.Sched.all_tasks kernel.Core.Kernel.sched
+                       |> List.filter_map (fun t ->
+                              if t.Core.Task.name = "deep" then
+                                Some t.Core.Task.shadow_stack
+                              else None)
+                       |> List.concat))));
+         0));
+  run_for kernel 1;
+  check_bool "innermost first" true (!captured = [ "blit"; "render"; "main" ])
+
+let panic_button_dumps () =
+  let kernel = boot_kernel () in
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"busy" (fun () ->
+         Usys.in_frame "spin_loop" (fun () ->
+             for _ = 1 to 1000 do
+               Usys.burn 1_000_000
+             done);
+         0));
+  run_for kernel 1;
+  Hw.Gpio.press_panic_button kernel.Core.Kernel.board.Hw.Board.gpio;
+  Core.Kernel.run_for kernel (Sim.Engine.ms 10);
+  let out = Core.Kernel.uart_output kernel in
+  let has needle =
+    let n = String.length needle and m = String.length out in
+    let rec at i = i + n <= m && (String.equal (String.sub out i n) needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "dump header" true (has "PANIC BUTTON");
+  check_bool "core states listed" true (has "core 0:");
+  check_bool "busy task's frame appears" true (has "spin_loop");
+  check_int "one dump" 1 (Core.Panic.dumps kernel.Core.Kernel.panic)
+
+let velf_roundtrip () =
+  let velf = { Core.Velf.prog_name = "doom"; code_bytes = 5000; data_bytes = 1000 } in
+  let image = Core.Velf.build velf in
+  let back = check_ok "parse" (Core.Velf.parse image) in
+  check_string "name" "doom" back.Core.Velf.prog_name;
+  check_int "code" 5000 back.Core.Velf.code_bytes;
+  ignore (check_err "garbage rejected" (Core.Velf.parse (Bytes.make 64 'j')));
+  ignore (check_err "truncated rejected" (Core.Velf.parse (Bytes.sub image 0 8)))
+
+let spinlock_discipline () =
+  let l = Core.Spinlock.create "test" in
+  Core.Spinlock.acquire l ~core:0 ~now_ns:0L;
+  check_bool "held" true (Core.Spinlock.holding l ~core:0);
+  Alcotest.check_raises "recursive acquisition rejected"
+    (Invalid_argument "spinlock test: core 0 acquiring while core 0 holds")
+    (fun () -> Core.Spinlock.acquire l ~core:0 ~now_ns:1L);
+  Core.Spinlock.release l ~core:0 ~now_ns:10L;
+  check_bool "held time" true (Core.Spinlock.total_held_ns l = 10L);
+  Alcotest.check_raises "release when free rejected"
+    (Invalid_argument "spinlock test: release when free") (fun () ->
+      Core.Spinlock.release l ~core:0 ~now_ns:11L)
+
+let boot_time_is_paper_shaped () =
+  let boot = Benchlib.Micro.boot_time ~seed:5L () in
+  check_in_range "boot to shell ~6s" 5.3 6.7 boot.Benchlib.Micro.to_shell_s
+
+let suite_debug =
+  ( "kernel.debug",
+    [
+      quick "ktrace records syscalls" trace_records_syscalls;
+      quick "debugmon breakpoint stop/resume" debugmon_breakpoint_stops_and_resumes;
+      quick "debugmon syscall watchpoint" debugmon_syscall_watchpoint;
+      quick "unwinder shadow stack" unwinder_shadow_stack;
+      quick "panic button dumps all cores" panic_button_dumps;
+      quick "velf roundtrip" velf_roundtrip;
+      quick "spinlock discipline" spinlock_discipline;
+      slow "boot time ~6s (fig 8)" boot_time_is_paper_shaped;
+    ] )

@@ -1,0 +1,477 @@
+(** Tests for the user library: the allocator, every codec, the crypto
+    kernels (against published vectors) and the threading primitives that
+    need a live kernel. *)
+
+open Tharness
+open User
+
+(* ---- umalloc (needs a kernel for sbrk) ---- *)
+
+let alloc_basic () =
+  in_kernel (fun _ ->
+      let m = Umalloc.create () in
+      let a = Option.get (Umalloc.malloc m 100) in
+      let b = Option.get (Umalloc.malloc m 200) in
+      check_bool "distinct" true (a <> b);
+      check_bool "no overlap" true (abs (a - b) >= 100);
+      check_int "live count" 2 (Umalloc.live_count m);
+      Umalloc.free m a;
+      Umalloc.free m b;
+      check_int "all freed" 0 (Umalloc.live_count m);
+      check_int "live bytes zero" 0 (Umalloc.live_bytes m))
+
+let alloc_reuses_freed () =
+  in_kernel (fun _ ->
+      let m = Umalloc.create () in
+      let a = Option.get (Umalloc.malloc m 1000) in
+      Umalloc.free m a;
+      let b = Option.get (Umalloc.malloc m 1000) in
+      check_int "first-fit reuses the hole" a b)
+
+let alloc_coalesces () =
+  in_kernel (fun _ ->
+      let m = Umalloc.create () in
+      let blocks = List.init 8 (fun _ -> Option.get (Umalloc.malloc m 2000)) in
+      List.iter (Umalloc.free m) blocks;
+      (* after freeing everything adjacent, a single large block must fit
+         without growing the heap *)
+      let heap0 = Umalloc.heap_bytes m in
+      ignore (Option.get (Umalloc.malloc m 15_000));
+      check_int "no sbrk needed after coalescing" heap0 (Umalloc.heap_bytes m))
+
+let alloc_free_detects_bad_address () =
+  in_kernel (fun _ ->
+      let m = Umalloc.create () in
+      ignore (Umalloc.malloc m 64);
+      Alcotest.check_raises "bad free"
+        (Invalid_argument "umalloc: free of unallocated address") (fun () ->
+          Umalloc.free m 0x31337))
+
+let alloc_random_no_overlap =
+  qcheck ~count:20 "umalloc never hands out overlapping extents"
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 4096))
+    (fun sizes ->
+      in_kernel (fun _ ->
+          let m = Umalloc.create () in
+          let live = ref [] in
+          let ok = ref true in
+          List.iteri
+            (fun i size ->
+              match Umalloc.malloc m size with
+              | None -> ok := false
+              | Some addr ->
+                  List.iter
+                    (fun (a, s) ->
+                      if addr < a + s && a < addr + size then ok := false)
+                    !live;
+                  live := (addr, size) :: !live;
+                  (* occasionally free one to churn the free list *)
+                  if i mod 3 = 2 then begin
+                    match !live with
+                    | (a, _) :: rest ->
+                        Umalloc.free m a;
+                        live := rest
+                    | [] -> ()
+                  end)
+            sizes;
+          !ok))
+
+let suite_alloc =
+  ( "user.umalloc",
+    [
+      quick "basic alloc/free" alloc_basic;
+      quick "reuses freed blocks" alloc_reuses_freed;
+      quick "coalesces neighbours" alloc_coalesces;
+      quick "detects bad free" alloc_free_detects_bad_address;
+      alloc_random_no_overlap;
+    ] )
+
+(* ---- codecs ---- *)
+
+let bytes_gen = QCheck.(map Bytes.of_string (string_of_size (Gen.int_bound 2000)))
+
+let deflate_stored_roundtrip =
+  qcheck "deflate stored blocks roundtrip" bytes_gen (fun data ->
+      Bytes.equal data (Deflate.inflate (Deflate.compress_stored data)))
+
+let deflate_fixed_roundtrip =
+  qcheck "deflate fixed-huffman roundtrip" bytes_gen (fun data ->
+      Bytes.equal data (Deflate.inflate (Deflate.compress_fixed data)))
+
+let deflate_fixed_code_lengths () =
+  (* fixed Huffman: bytes < 144 cost 8 bits (no expansion), bytes >= 144
+     cost 9 bits (slight expansion) - verify both regimes *)
+  let low = Bytes.make 4000 'a' in
+  let packed_low = Deflate.compress_fixed low in
+  check_bool "low bytes stay ~1:1" true
+    (Bytes.length packed_low <= Bytes.length low + 8);
+  let high = Bytes.make 4000 '\xf0' in
+  let packed_high = Deflate.compress_fixed high in
+  check_in_range "high bytes cost 9/8"
+    (float_of_int (Bytes.length high))
+    (float_of_int (Bytes.length high * 9 / 8 + 8))
+    (float_of_int (Bytes.length packed_high))
+
+let deflate_rejects_garbage () =
+  (match Deflate.inflate (Bytes.of_string "\007garbage-stream") with
+  | exception Deflate.Corrupt _ -> ()
+  | exception _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  (* stored-length check corruption *)
+  let good = Deflate.compress_stored (Bytes.of_string "payload") in
+  Bytes.set_uint8 good 2 (Bytes.get_uint8 good 2 lxor 0xff);
+  match Deflate.inflate good with
+  | exception Deflate.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corrupted length accepted"
+
+let deflate_backref_stream () =
+  (* hand-built fixed-huffman stream with an LZ77 match:
+     "abcabc" as literals a b c + match(len 3, dist 3) *)
+  let w_buf = Buffer.create 8 in
+  let byte = ref 0 and bit = ref 0 in
+  let push b =
+    byte := !byte lor (b lsl !bit);
+    incr bit;
+    if !bit = 8 then begin
+      Buffer.add_char w_buf (Char.chr !byte);
+      byte := 0;
+      bit := 0
+    end
+  in
+  let push_lsb v n = for i = 0 to n - 1 do push ((v lsr i) land 1) done in
+  let push_code code n = for i = n - 1 downto 0 do push ((code lsr i) land 1) done in
+  push_lsb 1 1 (* final *);
+  push_lsb 1 2 (* fixed *);
+  let lit c = push_code (0x30 + Char.code c) 8 in
+  lit 'a'; lit 'b'; lit 'c';
+  (* length 3 = code 257 -> 7-bit code 1; distance 3 = code 2, 5 bits *)
+  push_code 1 7;
+  push_code 2 5;
+  (* end of block: code 256 -> 7-bit zero *)
+  push_code 0 7;
+  if !bit > 0 then Buffer.add_char w_buf (Char.chr !byte);
+  let out = Deflate.inflate (Buffer.to_bytes w_buf) in
+  check_string "lz77 match resolved" "abcabc" (Bytes.to_string out)
+
+let lzw_roundtrip =
+  qcheck "lzw roundtrip" bytes_gen (fun data ->
+      Bytes.equal data (Lzw.decode ~min_code_size:8 (Lzw.encode ~min_code_size:8 data)))
+
+let lzw_compresses_repetitive () =
+  let data = Bytes.make 4096 'r' in
+  let packed = Lzw.encode ~min_code_size:8 data in
+  check_bool "repetitive input shrinks a lot" true
+    (Bytes.length packed < Bytes.length data / 8)
+
+let lzw_small_alphabet =
+  qcheck "lzw with 4-bit codes"
+    QCheck.(list_of_size (Gen.int_bound 500) (int_bound 15))
+    (fun symbols ->
+      let data = Bytes.init (List.length symbols) (fun i -> Char.chr (List.nth symbols i)) in
+      Bytes.equal data (Lzw.decode ~min_code_size:4 (Lzw.encode ~min_code_size:4 data)))
+
+let adpcm_tracks_signal () =
+  (* IMA ADPCM is lossy; a smooth sine must come back close *)
+  let n = 8000 in
+  let original =
+    Array.init n (fun i -> int_of_float (12000.0 *. sin (float_of_int i /. 20.0)))
+  in
+  let decoded = Adpcm.decode (Adpcm.encode original) ~samples:n in
+  let err = ref 0.0 and power = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = float_of_int (original.(i) - decoded.(i)) in
+    err := !err +. (d *. d);
+    power := !power +. (float_of_int original.(i) *. float_of_int original.(i))
+  done;
+  let snr_db = 10.0 *. log10 (!power /. Float.max 1.0 !err) in
+  check_bool "SNR above 20dB" true (snr_db > 20.0)
+
+let adpcm_container_roundtrip () =
+  let samples = Array.init 1000 (fun i -> (i * 37 mod 4000) - 2000) in
+  let packed = Adpcm.pack ~rate:44100 samples in
+  let rate, n, _payload = check_ok "unpack" (Adpcm.unpack packed) in
+  check_int "rate" 44100 rate;
+  check_int "count" 1000 n;
+  ignore (check_err "bad magic" (Adpcm.unpack (Bytes.of_string "WAVE1234567890123456")))
+
+let yuv_roundtrip_tolerance =
+  qcheck "yuv->rgb->yuv stays close"
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (r, g, b) ->
+      let y, u, v = Yuv.rgb_to_yuv ((r lsl 16) lor (g lsl 8) lor b) in
+      let px = Yuv.yuv_to_rgb ~y ~u ~v in
+      let r' = (px lsr 16) land 0xff
+      and g' = (px lsr 8) land 0xff
+      and b' = px land 0xff in
+      abs (r - r') <= 8 && abs (g - g') <= 8 && abs (b - b') <= 8)
+
+let yuv_simd_same_pixels () =
+  let width = 32 and height = 16 in
+  let y = Array.init (width * height) (fun i -> 16 + (i mod 220)) in
+  let u = Array.init (width / 2 * (height / 2)) (fun i -> 100 + (i mod 56)) in
+  let v = Array.init (width / 2 * (height / 2)) (fun i -> 90 + (i mod 70)) in
+  let a = Array.make (width * height) 0 and b = Array.make (width * height) 0 in
+  let cost_scalar = Yuv.convert_420 ~width ~height ~y_plane:y ~u_plane:u ~v_plane:v ~out:a ~simd:false in
+  let cost_simd = Yuv.convert_420 ~width ~height ~y_plane:y ~u_plane:u ~v_plane:v ~out:b ~simd:true in
+  check_bool "identical pixels" true (a = b);
+  check_bool "simd much cheaper" true (cost_simd * 4 < cost_scalar)
+
+let bmp_roundtrip =
+  qcheck ~count:25 "bmp roundtrip"
+    QCheck.(pair (int_range 1 40) (int_range 1 30))
+    (fun (w, h) ->
+      let img =
+        {
+          Bmp.width = w;
+          height = h;
+          pixels = Array.init (w * h) (fun i -> (i * 997) land 0xffffff);
+        }
+      in
+      match Bmp.decode (Bmp.encode img) with
+      | Ok back -> back.Bmp.pixels = img.Bmp.pixels
+      | Error _ -> false)
+
+let bmp_rejects_bad () =
+  ignore (check_err "short" (Bmp.decode (Bytes.make 10 'x')));
+  ignore (check_err "magic" (Bmp.decode (Bytes.make 60 'x')))
+
+let pnglite_roundtrip =
+  qcheck ~count:20 "pnglite roundtrip (both compressors)"
+    QCheck.(triple (int_range 1 32) (int_range 1 24) bool)
+    (fun (w, h, fixed) ->
+      let img =
+        {
+          Pnglite.width = w;
+          height = h;
+          pixels = Array.init (w * h) (fun i -> (i * 131071) land 0xffffff);
+        }
+      in
+      let compressor =
+        if fixed then Deflate.compress_fixed else Deflate.compress_stored
+      in
+      match Pnglite.decode (Pnglite.encode ~compressor img) with
+      | Ok back -> back.Pnglite.pixels = img.Pnglite.pixels
+      | Error _ -> false)
+
+let pnglite_checksum_detects_corruption () =
+  let img =
+    { Pnglite.width = 8; height = 8; pixels = Array.init 64 (fun i -> i * 999) }
+  in
+  let packed = Pnglite.encode img in
+  (* flip a payload byte past the header *)
+  Bytes.set_uint8 packed 24 (Bytes.get_uint8 packed 24 lxor 0x40);
+  match Pnglite.decode packed with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corruption not detected"
+
+let giflite_roundtrip () =
+  let width = 24 and height = 18 in
+  let frames =
+    Array.init 3 (fun f ->
+        Array.init (width * height) (fun i -> (i + (f * 37)) land 0xff))
+  in
+  let palette = Array.init 256 (fun i -> i * 65793) in
+  let gif = { Giflite.width; height; palette; frames; delay_ms = 100 } in
+  let back = check_ok "decode" (Giflite.decode (Giflite.encode gif)) in
+  check_int "frames" 3 (Array.length back.Giflite.frames);
+  check_bool "indices preserved" true (back.Giflite.frames = frames);
+  let out = Array.make (width * height) 0 in
+  Giflite.render back 1 out;
+  check_int "render uses palette" palette.(frames.(1).(0)) out.(0)
+
+let mv1_psnr () =
+  let width = 64 and height = 48 in
+  let frame =
+    {
+      Mv1.y_plane =
+        Array.init (width * height) (fun i ->
+            let x = i mod width and y = i / width in
+            (* smooth ramp: DCT-friendly, like natural video *)
+            16 + (x * 2) + y);
+      u_plane = Array.make (width / 2 * (height / 2)) 110;
+      v_plane = Array.make (width / 2 * (height / 2)) 140;
+    }
+  in
+  let payload = Mv1.encode_frame ~width ~height ~quality:Mv1.quality frame in
+  let back = Mv1.decode_frame ~width ~height ~quality:Mv1.quality payload in
+  (* DCT at quality 50 on smooth content: high PSNR expected *)
+  let mse = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let d = float_of_int (v - back.Mv1.y_plane.(i)) in
+      mse := !mse +. (d *. d))
+    frame.Mv1.y_plane;
+  let mse = !mse /. float_of_int (width * height) in
+  let psnr = 10.0 *. log10 (255.0 *. 255.0 /. Float.max 0.001 mse) in
+  check_bool "psnr above 30dB" true (psnr > 30.0);
+  check_bool "compressed smaller than raw" true
+    (Bytes.length payload < width * height)
+
+let mv1_container_roundtrip () =
+  let width = 32 and height = 32 in
+  let mk t =
+    {
+      Mv1.y_plane = Array.init (width * height) (fun i -> (i + t) land 0xff);
+      u_plane = Array.make (width / 2 * (height / 2)) 128;
+      v_plane = Array.make (width / 2 * (height / 2)) 128;
+    }
+  in
+  let frames = Array.init 4 (fun t -> Mv1.encode_frame ~width ~height ~quality:Mv1.quality (mk t)) in
+  let packed = Mv1.pack { Mv1.width; height; fps = 30; frames } in
+  let back = check_ok "unpack" (Mv1.unpack packed) in
+  check_int "fps" 30 back.Mv1.fps;
+  check_int "frames" 4 (Array.length back.Mv1.frames);
+  ignore (check_err "bad dims rejected"
+      (Mv1.unpack (Mv1.pack { Mv1.width = 30; height = 30; fps = 1; frames = [||] })))
+
+let suite_codecs =
+  ( "user.codecs",
+    [
+      deflate_stored_roundtrip;
+      deflate_fixed_roundtrip;
+      quick "fixed huffman code lengths" deflate_fixed_code_lengths;
+      quick "deflate rejects garbage" deflate_rejects_garbage;
+      quick "deflate resolves LZ77 back-references" deflate_backref_stream;
+      lzw_roundtrip;
+      quick "lzw compresses repetition" lzw_compresses_repetitive;
+      lzw_small_alphabet;
+      quick "adpcm tracks a sine (SNR)" adpcm_tracks_signal;
+      quick "vogg container roundtrip" adpcm_container_roundtrip;
+      yuv_roundtrip_tolerance;
+      quick "simd yuv: same pixels, cheaper" yuv_simd_same_pixels;
+      bmp_roundtrip;
+      quick "bmp rejects bad input" bmp_rejects_bad;
+      pnglite_roundtrip;
+      quick "pnglite adler32 detects corruption" pnglite_checksum_detects_corruption;
+      quick "giflite roundtrip" giflite_roundtrip;
+      quick "mv1 psnr at q50" mv1_psnr;
+      quick "mv1 container roundtrip" mv1_container_roundtrip;
+    ] )
+
+(* ---- crypto, against published vectors ---- *)
+
+let sha256_vectors () =
+  check_string "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex (Sha256.digest Bytes.empty));
+  check_string "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex (Sha256.digest (Bytes.of_string "abc")));
+  check_string "two blocks"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex
+       (Sha256.digest
+          (Bytes.of_string "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")))
+
+let sha256_block_count () =
+  let _, one = Sha256.digest_with_blocks (Bytes.make 10 'x') in
+  let _, two = Sha256.digest_with_blocks (Bytes.make 60 'x') in
+  check_int "one block" 1 one;
+  check_int "padding spills" 2 two
+
+let sha256_leading_zeros () =
+  check_int "no zeros" 0 (Sha256.leading_zero_bits (Bytes.of_string "\x80rest"));
+  check_int "one zero byte + msb set" 8
+    (Sha256.leading_zero_bits (Bytes.of_string "\x00\x80rest"));
+  check_int "12 bits" 12 (Sha256.leading_zero_bits (Bytes.of_string "\x00\x08rest"))
+
+let md5_vectors () =
+  check_string "empty" "d41d8cd98f00b204e9800998ecf8427e"
+    (Md5.hex (Md5.digest Bytes.empty));
+  check_string "abc" "900150983cd24fb0d6963f7d28e17f72"
+    (Md5.hex (Md5.digest (Bytes.of_string "abc")));
+  check_string "alphabet" "c3fcd3d76192e4007dfb496cca67e13b"
+    (Md5.hex (Md5.digest (Bytes.of_string "abcdefghijklmnopqrstuvwxyz")))
+
+let suite_crypto =
+  ( "user.crypto",
+    [
+      quick "sha256 FIPS vectors" sha256_vectors;
+      quick "sha256 block counting" sha256_block_count;
+      quick "sha256 difficulty bits" sha256_leading_zeros;
+      quick "md5 RFC vectors" md5_vectors;
+    ] )
+
+(* ---- gfx + events + minisdl against a live kernel ---- *)
+
+let gfx_direct_rendering () =
+  let kernel = boot_kernel () in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"painter" (fun () ->
+         let env = Uenv.create () in
+         env.Uenv.e_fb <- kernel.Core.Kernel.fb;
+         match Gfx.direct env with
+         | Error e -> e
+         | Ok gfx ->
+             Gfx.fill gfx (Gfx.rgb 10 20 30);
+             Gfx.put gfx ~x:5 ~y:5 0xffffff;
+             Gfx.text gfx ~x:20 ~y:20 ~color:0x00ff00 "HI";
+             Gfx.present gfx;
+             0)
+   with
+  | Ok (0, _) -> ()
+  | Ok (e, _) -> Alcotest.failf "painter failed: %d" e
+  | Error e -> Alcotest.fail e);
+  let fb = Option.get kernel.Core.Kernel.fb in
+  check_int "pixel visible after present" 0xffffff
+    (Hw.Framebuffer.display_pixel fb ~x:5 ~y:5);
+  check_int "background" (Gfx.rgb 10 20 30) (Hw.Framebuffer.display_pixel fb ~x:600 ~y:400)
+
+let event_encoding_roundtrip =
+  qcheck "kbd event wire encoding roundtrip"
+    QCheck.(triple (int_bound 255) bool (int_bound 255))
+    (fun (code, pressed, mods) ->
+      let ev =
+        {
+          Core.Kbd.ev_code = code;
+          ev_pressed = pressed;
+          ev_modifiers = mods;
+          ev_ts_ns = 123_000L;
+        }
+      in
+      let back = Core.Kbd.decode (Core.Kbd.encode ev) ~off:0 in
+      back.Core.Kbd.ev_code = code
+      && back.Core.Kbd.ev_pressed = pressed
+      && back.Core.Kbd.ev_modifiers = mods
+      && back.Core.Kbd.ev_ts_ns = 123_000L)
+
+let key_mapping () =
+  check_bool "arrows" true (Uevents.key_of_usage 0x52 = Uevents.Up);
+  check_bool "enter" true (Uevents.key_of_usage 0x28 = Uevents.Enter);
+  check_bool "letters" true (Uevents.key_of_usage 0x04 = Uevents.Char 'a');
+  check_bool "digits" true (Uevents.key_of_usage 0x1e = Uevents.Char '1');
+  check_bool "unknown" true (Uevents.key_of_usage 0xee = Uevents.Other 0xee)
+
+let minisdl_audio_thread () =
+  let kernel = boot_kernel () in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"sdl-app" (fun () ->
+         let env = Uenv.create () in
+         env.Uenv.e_fb <- kernel.Core.Kernel.fb;
+         match Minisdl.init env Minisdl.Fullscreen with
+         | Error e -> e
+         | Ok sdl ->
+             let served = ref 0 in
+             let callback n =
+               served := !served + n;
+               Array.init n (fun i -> (i * 13) land 0x3fff)
+             in
+             ignore (Minisdl.open_audio sdl callback);
+             Minisdl.delay 400;
+             Minisdl.quit sdl;
+             if !served > 8192 then 0 else 1)
+   with
+  | Ok (0, _) -> ()
+  | Ok (rc, _) -> Alcotest.failf "audio thread served too little (rc %d)" rc
+  | Error e -> Alcotest.fail e);
+  check_bool "samples flowed to the device" true
+    (Hw.Pwm_audio.samples_played kernel.Core.Kernel.board.Hw.Board.pwm > 4096)
+
+let suite_threads =
+  ( "user.runtime",
+    [
+      quick "gfx direct rendering" gfx_direct_rendering;
+      event_encoding_roundtrip;
+      quick "hid key mapping" key_mapping;
+      quick "minisdl audio thread streams" minisdl_audio_thread;
+    ] )

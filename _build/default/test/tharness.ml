@@ -1,0 +1,57 @@
+(** Shared fixtures for the kernel-level tests: boot small kernels, run
+    user closures to completion, drive the clock. *)
+
+let quick name f = Alcotest.test_case name `Quick f
+let slow name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* A ready-to-use prototype-5 kernel with no programs. *)
+let boot_kernel ?(config = Core.Kconfig.full) ?(platform = Hw.Board.pi3)
+    ?(seed = 7L) () =
+  Core.Kernel.boot
+    {
+      Core.Kernel.default_spec with
+      sp_platform = platform;
+      sp_config = config;
+      sp_seed = seed;
+      sp_fb = Some (640, 480);
+    }
+
+(* Run a user closure to completion on a fresh kernel; returns its value. *)
+let in_kernel ?config ?platform f =
+  let kernel = boot_kernel ?config ?platform () in
+  match Benchlib.Measure.run_task kernel ~name:"test" (fun () -> f kernel) with
+  | Ok (v, _elapsed) -> v
+  | Error e -> Alcotest.fail e
+
+(* Run a user closure and also return the virtual time it took (ns). *)
+let in_kernel_timed ?config f =
+  let kernel = boot_kernel ?config () in
+  match Benchlib.Measure.run_task kernel ~name:"test" (fun () -> f kernel) with
+  | Ok (v, elapsed) -> (v, elapsed)
+  | Error e -> Alcotest.fail e
+
+let run_for kernel s = Core.Kernel.run_for kernel (Sim.Engine.sec s)
+
+(* Assertions *)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let check_close ?(eps = 1e-6) name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %g, got %g" name expected actual
+
+let check_in_range name lo hi actual =
+  if actual < lo || actual > hi then
+    Alcotest.failf "%s: %g outside [%g, %g]" name actual lo hi
+
+let check_ok name = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" name e
+
+let check_err name = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" name
+  | Error e -> e
