@@ -74,6 +74,13 @@ let fig12 () =
   print_string (Benchlib.Powerbench.render (Benchlib.Powerbench.run ()));
   print_endline "paper: ~3 W at shell (3.7 h battery), ~4 W under load (~2.6 h)"
 
+let iobench () =
+  section "iobench: write-back / read-ahead / coalescing ablation";
+  let rows = Benchlib.Iobench.run () in
+  print_string (Benchlib.Iobench.render rows);
+  Benchlib.Iobench.write_json rows "BENCH_io.json";
+  print_endline "wrote BENCH_io.json"
+
 let ablations () =
   section "Ablations: the design choices DESIGN.md calls out";
   print_string (Benchlib.Ablation.render (Benchlib.Ablation.run ()))
@@ -95,6 +102,7 @@ let experiments =
     ("fig12", fig12);
     ("fig13", fig13);
     ("ablations", ablations);
+    ("iobench", iobench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

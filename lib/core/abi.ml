@@ -1,4 +1,4 @@
-(** The user/kernel ABI: VOS's 28 syscalls and the trap mechanism.
+(** The user/kernel ABI: VOS's syscalls and the trap mechanism.
 
     In the real VOS, user code at EL0 executes [svc #0] and the kernel
     resumes it after the trap. Here the trap boundary is an OCaml effect:
@@ -8,11 +8,13 @@
     for its own CPU work (every pixel pushed, hash computed, or sample
     decoded costs cycles), and is also the kernel's preemption point.
 
-    Exactly 28 syscalls, in the paper's three categories (§3):
+    The paper's 28 syscalls, in its three categories (§3), plus [fsync] —
+    added alongside the write-back buffer cache, since deferred writes
+    make durability an explicit request:
     - tasks & time: fork exec exit wait kill getpid sleep uptime sbrk
       cacheflush
     - files: open close read write lseek dup pipe fstat mkdir unlink chdir
-      mmap
+      mmap fsync
     - threading & sync: clone join sem_open sem_post sem_wait sem_close
 
     One concession to the host language: [fork] and [clone] carry the
@@ -78,6 +80,7 @@ type syscall =
   | Unlink of string
   | Chdir of string
   | Mmap of int  (** fd; only /dev/fb supports it *)
+  | Fsync of int  (** fd; flush the backing cache's dirty blocks *)
   (* threading & sync *)
   | Clone of (unit -> int)  (** CLONE_VM thread body *)
   | Join of int
@@ -86,7 +89,7 @@ type syscall =
   | Sem_wait of int
   | Sem_close of int
 
-let syscall_count = 28
+let syscall_count = 29
 
 let syscall_name = function
   | Fork _ -> "fork"
@@ -111,6 +114,7 @@ let syscall_name = function
   | Unlink _ -> "unlink"
   | Chdir _ -> "chdir"
   | Mmap _ -> "mmap"
+  | Fsync _ -> "fsync"
   | Clone _ -> "clone"
   | Join _ -> "join"
   | Sem_open _ -> "sem_open"

@@ -26,6 +26,19 @@ type t = {
   range_io_bypass : bool;  (** P5 + §5.2: FAT32 range reads skip the cache *)
   simd_pixel_ops : bool;  (** §5.2: NEON YUV conversion in the user lib *)
   demand_paging : bool;  (** P3+: stacks fault in page by page *)
+  writeback : bool;
+      (** block cache defers writes: dirty blocks flushed by a daemon,
+          on fsync, on eviction, and at shutdown (off = the paper's
+          write-through xv6-style cache) *)
+  readahead_blocks : int;
+      (** sequential read-ahead: blocks prefetched in one device command
+          when the cache detects a streaming miss pattern; 0 = off *)
+  flush_interval_ms : int;
+      (** period of the engine-scheduled flush daemon (used only when
+          [writeback] is on) *)
+  sd_coalescing : bool;
+      (** the SD request queue merges adjacent pending writes into one
+          command (elevator order); off = one command per block *)
 }
 
 let full =
@@ -49,6 +62,13 @@ let full =
     range_io_bypass = true;
     simd_pixel_ops = true;
     demand_paging = true;
+    (* the write-back fast path ships off by default so the stock
+       configuration still reproduces the paper's §5.2 numbers; iobench
+       and the ablations switch it on *)
+    writeback = false;
+    readahead_blocks = 0;
+    flush_interval_ms = 8;
+    sd_coalescing = true;
   }
 
 let rec prototype = function
@@ -73,6 +93,10 @@ let rec prototype = function
         range_io_bypass = false;
         simd_pixel_ops = false;
         demand_paging = false;
+        writeback = false;
+        readahead_blocks = 0;
+        flush_interval_ms = 0;
+        sd_coalescing = false;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

@@ -48,6 +48,15 @@ let fd_lookup = 180
 let vfs_dispatch = 320
 let bufcache_hit = 700
 let bufcache_miss_extra = 900 (* bookkeeping on top of the device time *)
+
+(* Write-back cache paths. The dirty mark and LRU relink are O(1) pointer
+   ops; the flush walk sorts the dirty set and stages each block into a
+   batch for the SD request queue; the read-ahead setup is the streaming
+   detector plus one prefetch command's argument marshalling. *)
+let bufcache_dirty_mark = 300
+let bufcache_flush_setup = 900
+let bufcache_flush_block = 250
+let readahead_setup = 500
 let pseudo_inode = 450 (* FAT path interposition (§4.5) *)
 
 (* Pipes: xv6's 512-byte buffer, byte-at-a-time copy loop. The paper's

@@ -267,7 +267,10 @@ let boot spec =
       let bc =
         Bufcache.create ~board
           ~backing:(Bufcache.Card (board.Hw.Board.sd, part2_lba))
-          ~block_sectors:1 ~capacity:64 ()
+          ~block_sectors:1 ~capacity:64
+          ~writeback:spec.sp_config.Kconfig.writeback
+          ~readahead:spec.sp_config.Kconfig.readahead_blocks
+          ~coalesce:spec.sp_config.Kconfig.sd_coalescing ()
       in
       let io =
         Bufcache.fat_io bc
@@ -309,7 +312,10 @@ let boot spec =
       Hw.Usb.attach_msd board.Hw.Board.usb image;
       let bc =
         Bufcache.create ~board ~backing:(Bufcache.Usb_msd board.Hw.Board.usb)
-          ~block_sectors:1 ~capacity:64 ()
+          ~block_sectors:1 ~capacity:64
+          ~writeback:spec.sp_config.Kconfig.writeback
+          ~readahead:spec.sp_config.Kconfig.readahead_blocks
+          ~coalesce:spec.sp_config.Kconfig.sd_coalescing ()
       in
       let io =
         Bufcache.fat_io bc ~range_bypass:spec.sp_config.Kconfig.range_io_bypass
@@ -317,6 +323,19 @@ let boot spec =
       match Fs.Fat32.mount io with
       | Ok fat -> Vfs.mount_fat vfs ~at:"/usb" fat bc
       | Error e -> invalid_arg ("boot: usb mount " ^ e));
+  (* Write-back mode: a periodic flush daemon per device-backed cache.
+     The daemon is an engine event, i.e. a kernel thread woken by timer —
+     its flushes are not billed to whichever task happens to be in a
+     syscall when it fires. *)
+  if
+    spec.sp_config.Kconfig.writeback
+    && spec.sp_config.Kconfig.flush_interval_ms > 0
+  then
+    List.iter
+      (fun bc ->
+        Bufcache.start_flush_daemon bc
+          ~interval_ms:spec.sp_config.Kconfig.flush_interval_ms)
+      (Vfs.fat_caches vfs);
   let sems = Sem.create sched in
   let proc = Proc.create ~sched ~fdt ~vfs ~kalloc ~config:spec.sp_config in
   List.iter
@@ -381,6 +400,15 @@ let boot spec =
     }
   in
   t
+
+(* Orderly shutdown: flush every cache's dirty blocks and stop the flush
+   daemons. Under write-through this is a no-op; under write-back it is
+   the moment deferred writes become durable (the real VOS would do this
+   from the power-button path). *)
+let shutdown t =
+  Vfs.sync_all t.vfs;
+  List.iter Bufcache.stop_flush_daemon (Vfs.fat_caches t.vfs);
+  Bufcache.stop_flush_daemon t.root_bc
 
 (* ---- conveniences ---- *)
 

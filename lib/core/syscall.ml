@@ -82,6 +82,8 @@ let dispatch s ctx =
       need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_unlink ctx s.s_vfs path)
   | Abi.Chdir path ->
       need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_chdir ctx s.s_vfs path)
+  | Abi.Fsync fd ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_fsync ctx s.s_vfs fd)
   | Abi.Mmap fd ->
       need cfg.Kconfig.user_separation (fun () ->
           if fd >= 0 && cfg.Kconfig.syscalls_files then

@@ -452,6 +452,36 @@ let op_dup ctx t fd =
   | Ok newfd -> Sched.finish ctx (Abi.R_int newfd)
   | Error e -> err ctx e
 
+(* fsync: push the backing cache's dirty blocks to the device. Under the
+   write-through configuration every cache is already clean, so this is a
+   cheap no-op — which is exactly the durability contract the paper's
+   cache gave implicitly. Pipes and devices have nothing to sync. *)
+let op_fsync ctx t fd =
+  charge_dispatch ctx;
+  match Fd.get t.fdt ~pid:ctx.Sched.task.Task.pid ~fd with
+  | None -> err ctx Errno.ebadf
+  | Some file -> (
+      match file.Fd.kind with
+      | Fd.K_xv6 _ ->
+          Bufcache.with_ctx t.root_bc ctx (fun () ->
+              ignore (Bufcache.flush t.root_bc);
+              Sched.finish ctx (Abi.R_int 0))
+      | Fd.K_fat (_, bc, _) ->
+          Bufcache.with_ctx bc ctx (fun () ->
+              ignore (Bufcache.flush bc);
+              Sched.finish ctx (Abi.R_int 0))
+      | Fd.K_dev _ | Fd.K_pipe_read _ | Fd.K_pipe_write _ ->
+          Sched.finish ctx (Abi.R_int 0))
+
+(* Flush every cache; the shutdown path (and nothing else) calls this with
+   no syscall context, so the device time lands on virtual time directly
+   rather than on a task. *)
+let sync_all t =
+  ignore (Bufcache.flush t.root_bc);
+  List.iter (fun (_, _, bc) -> ignore (Bufcache.flush bc)) t.fat_mounts
+
+let fat_caches t = List.map (fun (_, _, bc) -> bc) t.fat_mounts
+
 let op_mmap ctx t fd =
   charge_dispatch ctx;
   match Fd.get t.fdt ~pid:ctx.Sched.task.Task.pid ~fd with

@@ -7,10 +7,14 @@ let cmd_overhead_ns = 1_100_000L
 let per_sector_ns = 600_000L
 let init_cost_ns = 180_000_000L (* card identify + switch to high speed *)
 
+type pending = { p_lba : int; p_data : Bytes.t }
+
 type t = {
   image : Bytes.t;
   mutable reads : int;
   mutable writes : int;
+  mutable queue : pending list;  (** pending writes, most recent first *)
+  mutable merged : int;  (** requests absorbed into a neighbour's command *)
 }
 
 let create _engine ~size_mib =
@@ -19,6 +23,8 @@ let create _engine ~size_mib =
     image = Bytes.make (size_mib * 1024 * 1024) '\000';
     reads = 0;
     writes = 0;
+    queue = [];
+    merged = 0;
   }
 
 let sectors t = Bytes.length t.image / sector_bytes
@@ -48,6 +54,72 @@ let write t ~lba ~data =
       Ok (cost_ns ~count)
     end
   end
+
+(* ---- request queue ----
+
+   Pending writes accumulate here (the buffer cache's flush path feeds
+   it one block at a time) and are issued by [flush_queue] in a single
+   ascending-LBA elevator sweep, with adjacent transfers coalesced into
+   one command — so a batch of contiguous dirty blocks pays the command
+   overhead once, exactly like the range operations above. *)
+
+let enqueue_write t ~lba ~data =
+  let len = Bytes.length data in
+  if len = 0 || len mod sector_bytes <> 0 then
+    Error "sd: write must be whole sectors"
+  else begin
+    let count = len / sector_bytes in
+    if lba < 0 || lba > sectors t - count then Error "sd: write out of range"
+    else begin
+      t.queue <- { p_lba = lba; p_data = Bytes.copy data } :: t.queue;
+      Ok ()
+    end
+  end
+
+let queued t = List.length t.queue
+
+let flush_queue ?(coalesce = true) t =
+  (* elevator order: one ascending sweep; stable so same-LBA requests
+     keep submission order (the later write lands last) *)
+  let reqs =
+    List.stable_sort (fun a b -> compare a.p_lba b.p_lba) (List.rev t.queue)
+  in
+  t.queue <- [];
+  let sectors_of r = Bytes.length r.p_data / sector_bytes in
+  (* group exactly-adjacent requests into single commands *)
+  let runs =
+    if not coalesce then List.rev_map (fun r -> [ r ]) reqs |> List.rev
+    else
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | (last :: _ as run) :: rest
+            when last.p_lba + sectors_of last = r.p_lba ->
+              t.merged <- t.merged + 1;
+              (r :: run) :: rest
+          | _ -> [ r ] :: acc)
+        [] reqs
+      |> List.rev_map List.rev
+  in
+  let rec issue cost commands = function
+    | [] -> Ok (cost, commands)
+    | run :: rest -> (
+        let run_lba = (List.hd run).p_lba in
+        let total = List.fold_left (fun a r -> a + sectors_of r) 0 run in
+        let data = Bytes.create (total * sector_bytes) in
+        ignore
+          (List.fold_left
+             (fun off r ->
+               Bytes.blit r.p_data 0 data off (Bytes.length r.p_data);
+               off + Bytes.length r.p_data)
+             0 run);
+        match write t ~lba:run_lba ~data with
+        | Ok c -> issue (Int64.add cost c) (commands + 1) rest
+        | Error e -> Error e)
+  in
+  issue 0L 0 runs
+
+let merged_count t = t.merged
 
 let load t ~lba data =
   Bytes.blit data 0 t.image (lba * sector_bytes) (Bytes.length data)

@@ -29,6 +29,27 @@ val write : t -> lba:int -> data:Bytes.t -> (int64, string) result
 (** Write [data] (a whole number of sectors) starting at [lba]; returns the
     polling cost. *)
 
+(** {1 Request queue}
+
+    Pending writes queued by the kernel's write-back flush path. The queue
+    is drained in a single ascending-LBA elevator sweep; with [coalesce]
+    (the default) exactly-adjacent transfers merge into one command, so a
+    run of contiguous blocks pays [cmd_overhead_ns] once. *)
+
+val enqueue_write : t -> lba:int -> data:Bytes.t -> (unit, string) result
+(** Queue a whole-sector write without issuing it. Bounds-checked now;
+    no cost until [flush_queue]. *)
+
+val queued : t -> int
+(** Number of pending queued requests. *)
+
+val flush_queue : ?coalesce:bool -> t -> (int64 * int, string) result
+(** Issue all queued writes in elevator order; returns the total polling
+    cost and the number of device commands actually issued. *)
+
+val merged_count : t -> int
+(** Cumulative requests absorbed into a neighbour's command. *)
+
 val load : t -> lba:int -> Bytes.t -> unit
 (** Stamp raw bytes onto the card with no cost (development-machine side,
     like dd-ing an image before inserting the card). *)

@@ -60,22 +60,20 @@ let step t =
       f ();
       true
 
+(* O(1) peek at the next live event's time. Cancelled entries at the top
+   are popped and discarded; a live top is only inspected, never
+   reinserted — so [run]'s peek+step cycle costs exactly one heap pop per
+   fired event. *)
 let rec peek_live_time t =
-  match Heap.peek_time t.heap with
+  match Heap.peek t.heap with
   | None -> None
-  | Some _ -> (
-      (* Peek may show a cancelled entry; pop-and-discard those lazily. *)
-      match Heap.pop t.heap with
-      | None -> None
-      | Some (time, seq, (id, f)) ->
-          if Hashtbl.mem t.cancelled id then begin
-            Hashtbl.remove t.cancelled id;
-            peek_live_time t
-          end
-          else begin
-            Heap.push t.heap ~time ~seq (id, f);
-            Some time
-          end)
+  | Some (time, _, (id, _)) ->
+      if Hashtbl.mem t.cancelled id then begin
+        ignore (Heap.pop t.heap);
+        Hashtbl.remove t.cancelled id;
+        peek_live_time t
+      end
+      else Some time
 
 let run t ?until ?(max_events = max_int) () =
   let fired = ref 0 in

@@ -58,3 +58,9 @@ let pop t =
   end
 
 let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let top = t.data.(0) in
+    Some (top.time, top.seq, top.payload)

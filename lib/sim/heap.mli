@@ -19,3 +19,6 @@ val pop : 'a t -> (int64 * int * 'a) option
 
 val peek_time : 'a t -> int64 option
 (** Key of the minimum element without removing it. *)
+
+val peek : 'a t -> (int64 * int * 'a) option
+(** The minimum element without removing it — O(1), no sifting. *)

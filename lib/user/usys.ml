@@ -52,6 +52,7 @@ let fstat fd =
   | Abi.R_int n -> Error (-n)
   | Abi.R_bytes _ | Abi.R_pair _ | Abi.R_mmap _ -> Error Errno.einval
 
+let fsync fd = as_int (sys (Abi.Fsync fd))
 let mkdir path = as_int (sys (Abi.Mkdir path))
 let unlink path = as_int (sys (Abi.Unlink path))
 let chdir path = as_int (sys (Abi.Chdir path))

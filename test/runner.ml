@@ -13,6 +13,7 @@ let () =
       Test_kernel.suite_vm;
       Test_kernel.suite_ipc;
       Test_kernel.suite_files;
+      Test_kernel.suite_io;
       Test_kernel.suite_devices;
       Test_kernel.suite_wm;
       Test_kernel.suite_debug;

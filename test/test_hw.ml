@@ -280,6 +280,57 @@ let sd_bounds () =
   ignore (check_err "unaligned write"
       (Hw.Sd.write b.Hw.Board.sd ~lba:0 ~data:(Bytes.make 100 'x')))
 
+let sector c = Bytes.make Hw.Sd.sector_bytes c
+
+let sd_queue_coalesces_adjacent () =
+  let b = fresh () in
+  let sd = b.Hw.Board.sd in
+  (* three adjacent sectors enqueued out of order, plus one loner: the
+     elevator sweep must issue exactly two commands *)
+  ignore (check_ok "q12" (Hw.Sd.enqueue_write sd ~lba:12 ~data:(sector 'c')));
+  ignore (check_ok "q10" (Hw.Sd.enqueue_write sd ~lba:10 ~data:(sector 'a')));
+  ignore (check_ok "q20" (Hw.Sd.enqueue_write sd ~lba:20 ~data:(sector 'z')));
+  ignore (check_ok "q11" (Hw.Sd.enqueue_write sd ~lba:11 ~data:(sector 'b')));
+  check_int "queued" 4 (Hw.Sd.queued sd);
+  let writes0 = Hw.Sd.write_count sd in
+  let cost, commands = check_ok "flush" (Hw.Sd.flush_queue sd) in
+  check_int "two commands" 2 commands;
+  check_int "device saw two writes" 2 (Hw.Sd.write_count sd - writes0);
+  check_int "two requests absorbed" 2 (Hw.Sd.merged_count sd);
+  check_int "queue drained" 0 (Hw.Sd.queued sd);
+  (* one 3-sector command + one single: cheaper than four singles *)
+  check_bool "cost is coalesced" true
+    (Int64.equal cost
+       (Int64.add (Hw.Sd.cost_ns ~count:3) (Hw.Sd.cost_ns ~count:1)));
+  let back, _ = check_ok "readback" (Hw.Sd.read sd ~lba:10 ~count:3) in
+  check_string "elevator ordered data" "abc"
+    (Printf.sprintf "%c%c%c" (Bytes.get back 0)
+       (Bytes.get back Hw.Sd.sector_bytes)
+       (Bytes.get back (2 * Hw.Sd.sector_bytes)))
+
+let sd_queue_without_coalescing () =
+  let b = fresh () in
+  let sd = b.Hw.Board.sd in
+  List.iter
+    (fun lba ->
+      ignore (check_ok "q" (Hw.Sd.enqueue_write sd ~lba ~data:(sector 'x'))))
+    [ 5; 6; 7 ];
+  let cost, commands = check_ok "flush" (Hw.Sd.flush_queue ~coalesce:false sd) in
+  check_int "one command per request" 3 commands;
+  check_int "nothing merged" 0 (Hw.Sd.merged_count sd);
+  check_bool "three single-sector costs" true
+    (Int64.equal cost (Int64.mul 3L (Hw.Sd.cost_ns ~count:1)))
+
+let sd_queue_last_write_wins () =
+  let b = fresh () in
+  let sd = b.Hw.Board.sd in
+  ignore (check_ok "first" (Hw.Sd.enqueue_write sd ~lba:9 ~data:(sector 'o')));
+  ignore (check_ok "second" (Hw.Sd.enqueue_write sd ~lba:9 ~data:(sector 'n')));
+  ignore (check_ok "flush" (Hw.Sd.flush_queue sd));
+  let back, _ = check_ok "readback" (Hw.Sd.read sd ~lba:9 ~count:1) in
+  check_bool "later write landed last" true (Bytes.get back 0 = 'n');
+  ignore (check_err "queue bounds" (Hw.Sd.enqueue_write sd ~lba:(-1) ~data:(sector 'x')))
+
 (* ---- usb ---- *)
 
 let usb_reports_after_init () =
@@ -372,6 +423,9 @@ let suite =
       quick "sd roundtrip" sd_roundtrip;
       quick "sd range amortizes command" sd_range_amortizes_command;
       quick "sd bounds" sd_bounds;
+      quick "sd queue coalesces adjacent" sd_queue_coalesces_adjacent;
+      quick "sd queue without coalescing" sd_queue_without_coalescing;
+      quick "sd queue last write wins" sd_queue_last_write_wins;
       quick "usb reports after init" usb_reports_after_init;
       quick "usb frame quantization" usb_frame_quantization;
       quick "usb release and modifiers" usb_release_and_modifiers;

@@ -1025,3 +1025,194 @@ let suite_debug =
       quick "spinlock discipline" spinlock_discipline;
       slow "boot time ~6s (fig 8)" boot_time_is_paper_shaped;
     ] )
+
+(* ---- the write-back block I/O path ---- *)
+
+(* A Card-backed cache over a fresh board, no kernel: the unit fixture
+   for LRU/dirty behaviour. With no syscall context, cycle/IO charges are
+   dropped, so these tests see pure cache mechanics. *)
+let fresh_bc ?(capacity = 4) ?(writeback = false) ?(readahead = 0)
+    ?(coalesce = true) () =
+  let board = Hw.Board.create ~seed:3L () in
+  let bc =
+    Core.Bufcache.create ~board
+      ~backing:(Core.Bufcache.Card (board.Hw.Board.sd, 0))
+      ~block_sectors:1 ~capacity ~writeback ~readahead ~coalesce ()
+  in
+  (board, bc)
+
+let io_lru_eviction_order () =
+  let _, bc = fresh_bc ~capacity:4 () in
+  (* non-adjacent blocks so the streaming detector never engages *)
+  List.iter (fun n -> ignore (Core.Bufcache.bread bc n)) [ 10; 20; 30; 40 ];
+  check_int "four misses" 4 (Core.Bufcache.misses bc);
+  ignore (Core.Bufcache.bread bc 10);
+  check_int "refreshing 10 is a hit" 1 (Core.Bufcache.hits bc);
+  (* 20 is now LRU; inserting 50 must evict exactly it *)
+  ignore (Core.Bufcache.bread bc 50);
+  List.iter (fun n -> ignore (Core.Bufcache.bread bc n)) [ 30; 40; 10; 50 ];
+  check_int "survivors all hit" 5 (Core.Bufcache.hits bc);
+  ignore (Core.Bufcache.bread bc 20);
+  check_int "20 was the victim" 6 (Core.Bufcache.misses bc)
+
+let io_dirty_flush_on_evict () =
+  let board, bc = fresh_bc ~capacity:2 ~writeback:true () in
+  let block = Bytes.make Fs.Blockdev.sector_bytes 'd' in
+  Core.Bufcache.bwrite bc 5 block;
+  check_int "deferred, not on device" 0 (Hw.Sd.write_count board.Hw.Board.sd);
+  check_int "one dirty block" 1 (Core.Bufcache.dirty_blocks bc);
+  (* fill the cache past capacity: the dirty victim must reach the card *)
+  ignore (Core.Bufcache.bread bc 7);
+  ignore (Core.Bufcache.bread bc 9);
+  check_int "evicted write hit the device" 1 (Core.Bufcache.evict_writes bc);
+  check_int "no dirty blocks left" 0 (Core.Bufcache.dirty_blocks bc);
+  let back, _ =
+    Result.get_ok (Hw.Sd.read board.Hw.Board.sd ~lba:5 ~count:1)
+  in
+  check_bool "device has the data" true (Bytes.get back 0 = 'd')
+
+let io_flush_batches_adjacent_blocks () =
+  let board, bc = fresh_bc ~capacity:8 ~writeback:true ~coalesce:true () in
+  let blk c = Bytes.make Fs.Blockdev.sector_bytes c in
+  List.iter
+    (fun (n, c) -> Core.Bufcache.bwrite bc n (blk c))
+    [ (12, 'c'); (10, 'a'); (11, 'b'); (30, 'z') ];
+  check_int "all deferred" 0 (Hw.Sd.write_count board.Hw.Board.sd);
+  let batches = Core.Bufcache.flush bc in
+  check_int "adjacent run is one command" 2 batches;
+  check_int "device saw two commands" 2 (Hw.Sd.write_count board.Hw.Board.sd);
+  check_int "four blocks flushed" 4 (Core.Bufcache.flushed_blocks bc);
+  check_int "clean after flush" 0 (Core.Bufcache.dirty_blocks bc);
+  let back, _ =
+    Result.get_ok (Hw.Sd.read board.Hw.Board.sd ~lba:10 ~count:3)
+  in
+  check_bool "sorted run landed in order" true
+    (Bytes.get back 0 = 'a'
+    && Bytes.get back Fs.Blockdev.sector_bytes = 'b'
+    && Bytes.get back (2 * Fs.Blockdev.sector_bytes) = 'c');
+  (* a second flush with nothing dirty is free *)
+  check_int "idempotent" 0 (Core.Bufcache.flush bc)
+
+let io_readahead_serves_streaming_reads () =
+  let board, bc = fresh_bc ~capacity:16 ~readahead:8 () in
+  let reads0 = Hw.Sd.read_count board.Hw.Board.sd in
+  (* a cold sequential scan: first miss is single, the second engages the
+     detector and prefetches a batch *)
+  for n = 0 to 15 do
+    ignore (Core.Bufcache.bread bc n)
+  done;
+  check_bool "prefetch batched device commands" true
+    (Hw.Sd.read_count board.Hw.Board.sd - reads0 <= 4);
+  check_bool "read-ahead blocks counted" true (Core.Bufcache.prefetched bc >= 7);
+  check_bool "most reads were hits" true (Core.Bufcache.hits bc >= 12)
+
+let io_writeback_range_coherence () =
+  let _, bc = fresh_bc ~capacity:16 ~writeback:true ~readahead:8 () in
+  let data = Bytes.make (2 * Fs.Blockdev.sector_bytes) 'r' in
+  (* absorbed as dirty blocks, not written through *)
+  Core.Bufcache.write_range bc ~lba:4 data;
+  check_int "range absorbed dirty" 2 (Core.Bufcache.dirty_blocks bc);
+  (* the bypass read path must see the dirty data, not the stale device *)
+  let direct = Core.Bufcache.read_range_direct bc ~lba:3 ~count:4 in
+  check_bool "overlay serves dirty sectors" true
+    (Bytes.get direct Fs.Blockdev.sector_bytes = 'r'
+    && Bytes.get direct (2 * Fs.Blockdev.sector_bytes) = 'r'
+    && Bytes.get direct 0 = '\000');
+  (* a streaming prefetch sweeping over the dirty block must not clobber
+     it with stale device contents *)
+  for n = 0 to 7 do
+    ignore (Core.Bufcache.bread bc n)
+  done;
+  check_bool "prefetch kept dirty data" true
+    (Bytes.get (Core.Bufcache.bread bc 4) 0 = 'r')
+
+let writeback_config =
+  {
+    Core.Kconfig.full with
+    Core.Kconfig.writeback = true;
+    readahead_blocks = 32;
+    (* no daemon: the test controls exactly when flushes happen *)
+    flush_interval_ms = 0;
+  }
+
+let io_fsync_flushes_dirty () =
+  in_kernel ~config:writeback_config (fun kernel ->
+      let bc = Option.get kernel.Core.Kernel.fat_bc in
+      let fd =
+        Usys.open_ "/d/sync.dat" (Core.Abi.o_create lor Core.Abi.o_wronly)
+      in
+      check_bool "open" true (fd >= 0);
+      check_int "write" 4096 (Usys.write fd (Bytes.make 4096 's'));
+      check_bool "writes deferred" true (Core.Bufcache.dirty_blocks bc > 0);
+      check_int "fsync ok" 0 (Usys.fsync fd);
+      check_int "fsync drained the cache" 0 (Core.Bufcache.dirty_blocks bc);
+      check_bool "flush was batched" true
+        (Core.Bufcache.flushed_blocks bc > Core.Bufcache.flush_batches bc);
+      ignore (Usys.close fd);
+      check_int "fsync on a bad fd" (-Core.Errno.ebadf) (Usys.fsync 99))
+
+let io_flush_daemon_drains () =
+  let config = { writeback_config with Core.Kconfig.flush_interval_ms = 8 } in
+  let kernel = boot_kernel ~config () in
+  (match
+     Benchlib.Measure.run_task kernel ~name:"dirty" (fun () ->
+         let fd =
+           Usys.open_ "/d/daemon.dat" (Core.Abi.o_create lor Core.Abi.o_wronly)
+         in
+         ignore (Usys.write fd (Bytes.make 4096 'q'));
+         ignore (Usys.close fd);
+         0)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* no fsync, no eviction pressure: only the daemon can clean the cache *)
+  Core.Kernel.run_for kernel (Sim.Engine.ms 50);
+  let bc = Option.get kernel.Core.Kernel.fat_bc in
+  check_int "daemon flushed everything" 0 (Core.Bufcache.dirty_blocks bc);
+  check_bool "daemon used batches" true (Core.Bufcache.flush_batches bc > 0);
+  Core.Kernel.shutdown kernel;
+  check_int "shutdown leaves nothing dirty" 0 (Core.Bufcache.dirty_blocks bc)
+
+let io_writeback_determinism () =
+  let workload kernel =
+    Benchlib.Micro.prepare_file kernel ~path:"/d/det.dat" ~bytes:(64 * 1024);
+    ignore
+      (Benchlib.Micro.fs_throughput_kbps kernel ~path:"/d/det.dat"
+         ~bytes:(64 * 1024) ~chunk:4096 ~direction:`Read);
+    Core.Kernel.shutdown kernel;
+    Core.Kernel.now kernel
+  in
+  let config = { writeback_config with Core.Kconfig.flush_interval_ms = 8 } in
+  let t1 = workload (boot_kernel ~config ~seed:11L ()) in
+  let t2 = workload (boot_kernel ~config ~seed:11L ()) in
+  check_bool "same seed, same virtual time" true (Int64.equal t1 t2)
+
+let io_iobench_smoke () =
+  let rows = Benchlib.Iobench.run () in
+  let last = List.nth rows (List.length rows - 1) in
+  check_bool "fast path mostly hits" true
+    (last.Benchlib.Iobench.hits > last.Benchlib.Iobench.misses);
+  check_bool "coalescing merged requests" true
+    (last.Benchlib.Iobench.sd_merged > 0);
+  check_in_range "throughput is sane"
+    100.0 10_000.0 last.Benchlib.Iobench.seq_kbps;
+  (* the acceptance floors, with a little head-room below the measured
+     2.7x / ~100x so timing-model tweaks don't flake the suite *)
+  check_bool "seq read speedup >= 1.8x" true
+    (Benchlib.Iobench.seq_speedup rows >= 1.8);
+  check_bool "random write latency speedup >= 1.5x" true
+    (Benchlib.Iobench.randw_speedup rows >= 1.5)
+
+let suite_io =
+  ( "kernel.io",
+    [
+      quick "LRU eviction order" io_lru_eviction_order;
+      quick "dirty flush on evict" io_dirty_flush_on_evict;
+      quick "flush batches adjacent blocks" io_flush_batches_adjacent_blocks;
+      quick "read-ahead serves streaming reads" io_readahead_serves_streaming_reads;
+      quick "write-back range coherence" io_writeback_range_coherence;
+      quick "fsync flushes dirty blocks" io_fsync_flushes_dirty;
+      quick "flush daemon drains dirty set" io_flush_daemon_drains;
+      slow "write-back determinism" io_writeback_determinism;
+      slow "iobench smoke (BENCH_io ladder)" io_iobench_smoke;
+    ] )

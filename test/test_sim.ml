@@ -28,6 +28,22 @@ let heap_fifo_at_same_time () =
     | None -> Alcotest.fail "heap empty early"
   done
 
+let heap_peek_non_destructive () =
+  let h = Sim.Heap.create () in
+  check_bool "empty peek" true (Sim.Heap.peek h = None);
+  Sim.Heap.push h ~time:30L ~seq:0 "c";
+  Sim.Heap.push h ~time:10L ~seq:1 "a";
+  (match Sim.Heap.peek h with
+  | Some (t, _, v) ->
+      check_string "peek sees min" "a" v;
+      check_bool "peek time" true (t = 10L)
+  | None -> Alcotest.fail "peek on non-empty heap");
+  check_int "peek does not remove" 2 (Sim.Heap.size h);
+  (match Sim.Heap.pop h with
+  | Some (_, _, v) -> check_string "pop agrees with peek" "a" v
+  | None -> Alcotest.fail "pop after peek");
+  check_int "pop removes" 1 (Sim.Heap.size h)
+
 let heap_sorted_prop =
   qcheck "heap pops in nondecreasing time order"
     QCheck.(list (int_bound 10_000))
@@ -209,6 +225,7 @@ let suite =
     [
       quick "heap pop order" heap_pop_order;
       quick "heap fifo ties" heap_fifo_at_same_time;
+      quick "heap peek non-destructive" heap_peek_non_destructive;
       heap_sorted_prop;
       heap_size_tracks;
       quick "engine fires in order" engine_fires_in_order;
