@@ -81,6 +81,13 @@ let iobench () =
   Benchlib.Iobench.write_json rows "BENCH_io.json";
   print_endline "wrote BENCH_io.json"
 
+let schedbench () =
+  section "schedbench: scheduling class / wake model / affinity ablation";
+  let rows = Benchlib.Schedbench.run () in
+  print_string (Benchlib.Schedbench.render rows);
+  Benchlib.Schedbench.write_json rows "BENCH_sched.json";
+  print_endline "wrote BENCH_sched.json"
+
 let ablations () =
   section "Ablations: the design choices DESIGN.md calls out";
   print_string (Benchlib.Ablation.render (Benchlib.Ablation.run ()))
@@ -103,6 +110,7 @@ let experiments =
     ("fig13", fig13);
     ("ablations", ablations);
     ("iobench", iobench);
+    ("schedbench", schedbench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

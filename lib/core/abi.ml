@@ -10,8 +10,9 @@
 
     The paper's 28 syscalls, in its three categories (§3), plus [fsync] —
     added alongside the write-back buffer cache, since deferred writes
-    make durability an explicit request:
-    - tasks & time: fork exec exit wait kill getpid sleep uptime sbrk
+    make durability an explicit request — and [nice], added with the MLFQ
+    scheduling class so a task can declare its own weight:
+    - tasks & time: fork exec exit wait kill getpid sleep uptime nice sbrk
       cacheflush
     - files: open close read write lseek dup pipe fstat mkdir unlink chdir
       mmap fsync
@@ -65,6 +66,7 @@ type syscall =
   | Getpid
   | Sleep of int  (** milliseconds *)
   | Uptime
+  | Nice of int  (** adjust own scheduling weight, -20..19; returns it *)
   | Sbrk of int  (** bytes, may be negative *)
   | Cacheflush  (** clean the framebuffer range (§4.3) *)
   (* files *)
@@ -89,7 +91,7 @@ type syscall =
   | Sem_wait of int
   | Sem_close of int
 
-let syscall_count = 29
+let syscall_count = 30
 
 let syscall_name = function
   | Fork _ -> "fork"
@@ -100,6 +102,7 @@ let syscall_name = function
   | Getpid -> "getpid"
   | Sleep _ -> "sleep"
   | Uptime -> "uptime"
+  | Nice _ -> "nice"
   | Sbrk _ -> "sbrk"
   | Cacheflush -> "cacheflush"
   | Open _ -> "open"

@@ -91,7 +91,7 @@ let event1_ops t =
                         Buffer.add_bytes buf (Kbd.encode (Queue.pop s.Wm.events))
                       done;
                       Sched.charge ctx (Kcost.event_copy * nev);
-                      Sched.trace_emit ctx.Sched.sched
+                      Sched.trace_emit_task ctx.Sched.sched ctx.Sched.task
                         (Ktrace.Event_delivered pid);
                       Sched.finish ctx (Abi.R_bytes (Buffer.to_bytes buf))
                     end
@@ -227,7 +227,7 @@ let surface_ops t =
                     done;
                     s.Wm.dirty <- true;
                     s.Wm.frames <- s.Wm.frames + 1;
-                    Sched.trace_emit ctx.Sched.sched
+                    Sched.trace_emit_task ctx.Sched.sched ctx.Sched.task
                       (Ktrace.Frame_present ctx.Sched.task.Task.pid);
                     Sched.charge ctx (Kcost.copy_cycles ~bytes:(4 * npx));
                     Sched.finish ctx (Abi.R_int (Bytes.length data))

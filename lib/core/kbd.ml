@@ -160,7 +160,7 @@ let read ctx t ~len ~nonblock =
         incr delivered
       done;
       Sched.charge ctx (Kcost.event_copy * !delivered);
-      Sched.trace_emit ctx.Sched.sched
+      Sched.trace_emit_task ctx.Sched.sched ctx.Sched.task
         (Ktrace.Event_delivered ctx.Sched.task.Task.pid);
       Sched.finish ctx (Abi.R_bytes (Buffer.to_bytes buf))
     end

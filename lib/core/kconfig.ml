@@ -6,6 +6,21 @@
     ENOSYS for capabilities the stage lacks, which is also how the
     feature-matrix validation of Table 1 is enforced mechanically. *)
 
+(** Which scheduling class the per-core runqueues run. [Sched_rr] is the
+    paper's round-robin (one quantum for everyone); [Sched_mlfq] is the
+    multi-level feedback queue with per-task nice values, quantum scaling
+    and a sleeper boost. *)
+type sched_policy = Sched_rr | Sched_mlfq
+
+(** How an idle core learns that a wakeup was queued for it.
+    [Wake_direct] is the seed's idealization: the remote runqueue insert
+    schedules the idle core instantly, for free — it keeps all paper
+    numbers bit-identical. [Wake_tick] models WFI honestly: an idle core
+    notices new work only at its next local timer tick. [Wake_ipi] adds
+    the reschedule IPI: the waking core writes the target's mailbox and
+    the target responds in IPI latency rather than tick latency. *)
+type wake_model = Wake_direct | Wake_tick | Wake_ipi
+
 type t = {
   stage : int;  (** prototype number, 1–5 *)
   multitasking : bool;  (** P2+: scheduler with multiple tasks *)
@@ -39,6 +54,19 @@ type t = {
   sd_coalescing : bool;
       (** the SD request queue merges adjacent pending writes into one
           command (elevator order); off = one command per block *)
+  sched_policy : sched_policy;
+      (** scheduling class for the per-core runqueues; [Sched_rr] keeps
+          the paper's behavior *)
+  wake_model : wake_model;
+      (** cross-core wakeup mechanism; [Wake_direct] keeps the seed's
+          instant (cost-free) remote scheduling *)
+  wake_affinity : bool;
+      (** wake placement prefers the task's last-run core (cache
+          affinity); migrations then charge {!Kcost.sched_migrate} *)
+  load_balance_ms : int;
+      (** period of the load-balance pass that equalizes runqueue depth
+          across cores; 0 = off (idle cores steal at pick time instead,
+          as in the seed) *)
 }
 
 let full =
@@ -69,6 +97,14 @@ let full =
     readahead_blocks = 0;
     flush_interval_ms = 8;
     sd_coalescing = true;
+    (* like write-back, the rebuilt scheduler ships in its paper
+       configuration (round-robin, instant wakeups, no affinity or
+       balancing) so the stock numbers don't move; schedbench and the
+       ablations turn the new machinery on *)
+    sched_policy = Sched_rr;
+    wake_model = Wake_direct;
+    wake_affinity = false;
+    load_balance_ms = 0;
   }
 
 let rec prototype = function
@@ -97,6 +133,10 @@ let rec prototype = function
         readahead_blocks = 0;
         flush_interval_ms = 0;
         sd_coalescing = false;
+        sched_policy = Sched_rr;
+        wake_model = Wake_direct;
+        wake_affinity = false;
+        load_balance_ms = 0;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

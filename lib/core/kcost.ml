@@ -69,6 +69,19 @@ let pipe_per_byte = 28
 let wakeup = 2_900
 let sem_op = 650
 
+(* Cross-core scheduling. An IPI is the sender's local-mailbox write plus
+   the interconnect + GICD propagation until the target's vector entry
+   (~2 us on the A53, vs the up-to-1 ms tick-polling a WFI'd core pays
+   without it); the handler body is the reschedule check. A migrated task
+   refills L1/L2 on its new core — charged up front at its first dispatch
+   there when the affinity model is on. The balance pass walks four queue
+   depths and requeues the surplus. *)
+let ipi_send = 150
+let ipi_latency = 1_800
+let ipi_handler = 900
+let sched_migrate = 4_500
+let load_balance_pass = 2_000
+
 (* Window manager compositing: per-pixel blend cost and per-window
    bookkeeping (the ~800 SLoC WM of §4.5). *)
 let wm_per_pixel_opaque = 1 (* NEON copy path: ~1 cycle/pixel *)

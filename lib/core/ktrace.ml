@@ -12,6 +12,9 @@ type event =
   | Irq_enter of string
   | Irq_exit of string
   | Sched_wakeup of int  (** pid made runnable *)
+  | Sched_migrate of int * int * int  (** pid, from core, to core *)
+  | Ipi_send of int  (** reschedule IPI: target core (entry core = sender) *)
+  | Ipi_recv of int  (** reschedule IPI taken on this core *)
   | Kbd_report  (** USB report arrived in the driver *)
   | Event_delivered of int  (** pid that read the input event *)
   | Frame_present of int  (** pid that pushed a frame *)
@@ -58,6 +61,10 @@ let describe ev =
   | Irq_enter line -> "irq_enter " ^ line
   | Irq_exit line -> "irq_exit " ^ line
   | Sched_wakeup pid -> Printf.sprintf "wakeup pid=%d" pid
+  | Sched_migrate (pid, a, b) ->
+      Printf.sprintf "migrate pid=%d core%d->core%d" pid a b
+  | Ipi_send target -> Printf.sprintf "ipi_send core%d" target
+  | Ipi_recv core -> Printf.sprintf "ipi_recv core%d" core
   | Kbd_report -> "kbd_report"
   | Event_delivered pid -> Printf.sprintf "event_delivered pid=%d" pid
   | Frame_present pid -> Printf.sprintf "frame_present pid=%d" pid

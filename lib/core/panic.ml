@@ -25,7 +25,7 @@ let render t ~fiq_core =
       in
       Buffer.add_string buf
         (Printf.sprintf "core %d: %s, runq=%d, busy=%.2f ms\n" i who
-           (Queue.length core.Sched.queue)
+           (Sched.runq_len core)
            (Int64.to_float core.Sched.busy_ns /. 1e6)))
     sched.Sched.cores;
   Buffer.add_string buf (Unwind.dump_all sched);

@@ -150,6 +150,12 @@ let sys_sleep ctx ms =
   if ms <= 0 then Sched.finish ctx (Abi.R_int 0)
   else Sched.finish_after ctx ~delay_ns:(Sim.Engine.ms ms) (Abi.R_int 0)
 
+let sys_nice ctx inc =
+  let task = ctx.Sched.task in
+  task.Task.nice <- max (-20) (min 19 inc);
+  Sched.charge ctx Kcost.sched_pick;
+  Sched.finish ctx (Abi.R_int task.Task.nice)
+
 let sys_uptime ctx t =
   let ms = Int64.to_int (Int64.div (Hw.Board.now t.sched.Sched.board) 1_000_000L) in
   Sched.finish ctx (Abi.R_int ms)

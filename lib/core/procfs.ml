@@ -1,4 +1,5 @@
-(** procfs: /proc/cpuinfo, /proc/meminfo, /proc/uptime, /proc/tasks.
+(** procfs: /proc/cpuinfo, /proc/meminfo, /proc/uptime, /proc/tasks,
+    /proc/sched.
 
     Files are snapshots rendered at open time (like Linux's seq_file, one
     generation per open) and then read as ordinary byte streams; sysmon
@@ -52,15 +53,52 @@ let render_tasks t =
     (Sched.all_tasks t.sched);
   Buffer.contents buf
 
+(* Per-core scheduler statistics, one block per core like /proc/cpuinfo:
+   context switches, migrations, steals, balance moves, IPIs and the
+   run-delay (runnable -> running) distribution. *)
+let render_sched t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "policy\t\t: %s\n\n" (Sched.class_name t.sched));
+  let plat = t.board.Hw.Board.platform in
+  for core = 0 to plat.Hw.Board.num_cores - 1 do
+    let s = Sched.stats t.sched core in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "core\t\t: %d\nswitches\t: %d\nmigrations\t: %d\nsteals\t\t: \
+          %d\nbalance_moves\t: %d\nipis_sent_to\t: %d\nipis_taken\t: %d\n"
+         core
+         (Sched.core_switches t.sched core)
+         s.Sched.migrations s.Sched.steals s.Sched.balance_moves
+         s.Sched.ipis_to s.Sched.ipis_recv);
+    if s.Sched.delay_count > 0 then begin
+      Buffer.add_string buf
+        (Printf.sprintf "run_delay_avg\t: %Ld ns\nrun_delay_max\t: %Ld ns\n"
+           (Int64.div s.Sched.delay_total_ns
+              (Int64.of_int s.Sched.delay_count))
+           s.Sched.delay_max_ns);
+      Buffer.add_string buf "run_delay_hist\t:";
+      Array.iteri
+        (fun bucket n ->
+          if n > 0 then
+            Buffer.add_string buf (Printf.sprintf " 2^%d:%d" bucket n))
+        s.Sched.delay_hist;
+      Buffer.add_char buf '\n'
+    end;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
 let render t name =
   match name with
   | "cpuinfo" -> Some (render_cpuinfo t)
   | "meminfo" -> Some (render_meminfo t)
   | "uptime" -> Some (render_uptime t)
   | "tasks" -> Some (render_tasks t)
+  | "sched" -> Some (render_sched t)
   | _ -> None
 
-let names = [ "cpuinfo"; "meminfo"; "uptime"; "tasks" ]
+let names = [ "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched" ]
 
 (* Build dev_ops for one opened proc file. *)
 let ops t name =

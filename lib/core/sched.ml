@@ -12,7 +12,29 @@
     (one core); Prototype 5 gives each core its own queue (§4.5), with idle
     cores stealing work so a multiprogrammed load scales (Figure 10). IRQs
     from devices are routed to core 0; each core receives its own generic
-    timer tick. *)
+    timer tick.
+
+    Beyond the paper, the scheduler is split into policy and mechanism:
+
+    - a {!sched_class} (enqueue / pick / steal / quantum / priority) owns
+      the per-core runqueue representation. Two classes are selectable via
+      {!Kconfig.sched_policy}: the paper's round-robin (default — keeps
+      every paper number bit-identical) and an MLFQ class with per-task
+      nice values, quantum scaling, a sleeper boost and periodic
+      anti-starvation boosts;
+    - wake placement can prefer the task's last-run core (cache affinity,
+      {!Kconfig.wake_affinity}); a task dispatched on a different core
+      then pays the modeled {!Kcost.sched_migrate} cache-refill penalty;
+    - cross-core wakeups follow {!Kconfig.wake_model}: the seed's instant
+      (free) remote scheduling, honest WFI-until-tick polling, or
+      reschedule IPIs through {!Hw.Intc.send_ipi} with a modeled
+      mailbox-to-vector latency — also used by [force_kill] so a victim
+      spinning on a remote core dies at IPI latency, not burn completion;
+    - an optional periodic load-balance pass equalizes runqueue depth
+      across cores ({!Kconfig.load_balance_ms}), replacing pick-time
+      stealing when enabled;
+    - per-core counters (migrations, steals, IPIs, a run-delay histogram)
+      feed /proc/sched and the schedbench ladder. *)
 
 type ctx = {
   sched : t;
@@ -26,8 +48,12 @@ type ctx = {
 
 and core_state = {
   core_id : int;
-  queue : Task.t Queue.t;
+  mutable rq : runqueue;
+  stats : core_stats;
   mutable current : Task.t option;
+  mutable last_pid : int;  (** pid last dispatched here, for Ctx_switch *)
+  mutable ipi_pending : bool;  (** a reschedule IPI is in flight to us *)
+  mutable ticks : int;
   mutable burn_started : int64;
   mutable burn_until : int64;
   mutable burn_event : Sim.Engine.event_id option;
@@ -37,11 +63,30 @@ and core_state = {
   mutable switches : int;
 }
 
+and runqueue =
+  | Rq_rr of Task.t Queue.t
+  | Rq_mlfq of Task.t Queue.t array  (** index 0 = highest priority *)
+
+and core_stats = {
+  mutable migrations : int;
+      (** dispatches of a task that last ran on another core *)
+  mutable steals : int;  (** tasks this core stole at pick time *)
+  mutable balance_moves : int;  (** tasks the balancer moved onto this core *)
+  mutable ipis_to : int;  (** reschedule IPIs sent to this core *)
+  mutable ipis_recv : int;  (** reschedule IPIs actually taken *)
+  delay_hist : int array;
+      (** run-delay (runnable → running) histogram, bucket i = [2^i] ns *)
+  mutable delay_count : int;
+  mutable delay_total_ns : int64;
+  mutable delay_max_ns : int64;
+}
+
 and t = {
   board : Hw.Board.t;
   config : Kconfig.t;
   kalloc : Kalloc.t;
   trace : Ktrace.t;
+  cls : sched_class;
   cores : core_state array;
   active_cores : int;
   tasks : (int, Task.t) Hashtbl.t;
@@ -60,6 +105,125 @@ and t = {
   mutable started : bool;
 }
 
+(** A scheduling class: the policy face of the per-core runqueues. The
+    mechanism (cores, burns, context switches, IPIs) never inspects the
+    queue representation — it goes through these hooks, so classes are
+    pluggable per {!Kconfig.sched_policy}. *)
+and sched_class = {
+  sc_name : string;
+  sc_make : unit -> runqueue;
+  sc_enqueue : runqueue -> Task.t -> unit;  (** wakeup or new arrival *)
+  sc_requeue : runqueue -> Task.t -> unit;  (** preempted: back of its level *)
+  sc_pick : runqueue -> Task.t option;
+  sc_steal : runqueue -> Task.t option;
+      (** victim side of work stealing / load balancing *)
+  sc_prio : Task.t -> int;  (** smaller = more urgent *)
+  sc_best_prio : runqueue -> int option;  (** most urgent queued priority *)
+  sc_quantum : Task.t -> int;  (** ticks until preemption *)
+  sc_on_block_wake : Task.t -> unit;  (** sleeper boost *)
+  sc_on_expire : Task.t -> unit;  (** quantum ran out: demotion *)
+}
+
+(* ---- runqueue plumbing shared by both classes ---- *)
+
+let rq_len = function
+  | Rq_rr q -> Queue.length q
+  | Rq_mlfq levels -> Array.fold_left (fun n q -> n + Queue.length q) 0 levels
+
+(* ---- the round-robin class: the paper's scheduler, bit-identical ---- *)
+
+let rr_class =
+  let q = function
+    | Rq_rr q -> q
+    | Rq_mlfq _ -> invalid_arg "sched: rr class on mlfq queue"
+  in
+  {
+    sc_name = "rr";
+    sc_make = (fun () -> Rq_rr (Queue.create ()));
+    sc_enqueue = (fun rq task -> Queue.add task (q rq));
+    sc_requeue = (fun rq task -> Queue.add task (q rq));
+    sc_pick = (fun rq -> Queue.take_opt (q rq));
+    sc_steal = (fun rq -> Queue.take_opt (q rq));
+    sc_prio = (fun _ -> 0);
+    sc_best_prio = (fun rq -> if Queue.is_empty (q rq) then None else Some 0);
+    sc_quantum = (fun _ -> Task.default_quantum);
+    sc_on_block_wake = (fun _ -> ());
+    sc_on_expire = (fun _ -> ());
+  }
+
+(* ---- the MLFQ class: nice values, quantum scaling, sleeper boost ---- *)
+
+let mlfq_levels = 4
+let mlfq_quanta = [| 2; 4; 8; 16 |]  (* ticks; interactive levels run short *)
+let mlfq_boost_ticks = 100  (* periodic anti-starvation boost, per core *)
+
+let mlfq_class =
+  let levels = function
+    | Rq_mlfq a -> a
+    | Rq_rr _ -> invalid_arg "sched: mlfq class on rr queue"
+  in
+  let clamp_level l = max 0 (min (mlfq_levels - 1) l) in
+  {
+    sc_name = "mlfq";
+    sc_make = (fun () -> Rq_mlfq (Array.init mlfq_levels (fun _ -> Queue.create ())));
+    sc_enqueue =
+      (fun rq task ->
+        task.Task.mlfq_level <- clamp_level task.Task.mlfq_level;
+        Queue.add task (levels rq).(task.Task.mlfq_level));
+    sc_requeue =
+      (fun rq task ->
+        task.Task.mlfq_level <- clamp_level task.Task.mlfq_level;
+        Queue.add task (levels rq).(task.Task.mlfq_level));
+    sc_pick =
+      (fun rq ->
+        let a = levels rq in
+        let rec go l =
+          if l >= mlfq_levels then None
+          else
+            match Queue.take_opt a.(l) with
+            | Some task -> Some task
+            | None -> go (l + 1)
+        in
+        go 0);
+    sc_steal =
+      (fun rq ->
+        (* steal batch work first: interactive tasks stay cache-hot *)
+        let a = levels rq in
+        let rec go l =
+          if l < 0 then None
+          else
+            match Queue.take_opt a.(l) with
+            | Some task -> Some task
+            | None -> go (l - 1)
+        in
+        go (mlfq_levels - 1));
+    sc_prio = (fun task -> task.Task.mlfq_level);
+    sc_best_prio =
+      (fun rq ->
+        let a = levels rq in
+        let rec go l =
+          if l >= mlfq_levels then None
+          else if not (Queue.is_empty a.(l)) then Some l
+          else go (l + 1)
+        in
+        go 0);
+    sc_quantum =
+      (fun task ->
+        (* nice scaling: -20 doubles the slice, +19 shrinks it to a tick *)
+        let base = mlfq_quanta.(clamp_level task.Task.mlfq_level) in
+        max 1 (base * (20 - task.Task.nice) / 20));
+    sc_on_block_wake =
+      (fun task ->
+        (* sleeper boost: a task that voluntarily blocked is interactive *)
+        task.Task.mlfq_level <- 0);
+    sc_on_expire =
+      (fun task -> task.Task.mlfq_level <- clamp_level (task.Task.mlfq_level + 1));
+  }
+
+let class_of_policy = function
+  | Kconfig.Sched_rr -> rr_class
+  | Kconfig.Sched_mlfq -> mlfq_class
+
 let engine t = t.board.Hw.Board.engine
 let now t = Sim.Engine.now (engine t)
 let cyc t n = Hw.Board.cycles_to_ns t.board n
@@ -69,18 +233,35 @@ let create board config kalloc =
     if config.Kconfig.multicore then board.Hw.Board.platform.Hw.Board.num_cores
     else 1
   in
+  let cls = class_of_policy config.Kconfig.sched_policy in
   let t =
     {
       board;
       config;
       kalloc;
       trace = Ktrace.create ();
+      cls;
       cores =
         Array.init board.Hw.Board.platform.Hw.Board.num_cores (fun core_id ->
             {
               core_id;
-              queue = Queue.create ();
+              rq = cls.sc_make ();
+              stats =
+                {
+                  migrations = 0;
+                  steals = 0;
+                  balance_moves = 0;
+                  ipis_to = 0;
+                  ipis_recv = 0;
+                  delay_hist = Array.make 32 0;
+                  delay_count = 0;
+                  delay_total_ns = 0L;
+                  delay_max_ns = 0L;
+                };
               current = None;
+              last_pid = 0;
+              ipi_pending = false;
+              ticks = 0;
               burn_started = 0L;
               burn_until = 0L;
               burn_event = None;
@@ -105,15 +286,30 @@ let create board config kalloc =
   in
   t
 
-let trace_emit t ev =
-  (match ev with
+let bump_frames t ev =
+  match ev with
   | Ktrace.Frame_present pid ->
       Hashtbl.replace t.frame_counts pid
         (1 + Option.value ~default:0 (Hashtbl.find_opt t.frame_counts pid))
-  | _ -> ());
+  | _ -> ()
+
+(* Events with no task context (device IRQs routed to core 0, kernel
+   daemons): attributed to core 0. Task-attributed events go through
+   [trace_emit_task], which stamps the core the task occupies. *)
+let trace_emit t ev =
+  bump_frames t ev;
   Ktrace.emit t.trace ~ts_ns:(now t) ~core:0 ev
 
 let trace_emit_core t ~core ev = Ktrace.emit t.trace ~ts_ns:(now t) ~core ev
+
+let trace_emit_task t task ev =
+  bump_frames t ev;
+  let core =
+    match task.Task.state with
+    | Task.Running c -> c
+    | Task.Runnable | Task.Blocked _ | Task.Zombie -> max 0 task.Task.last_core
+  in
+  Ktrace.emit t.trace ~ts_ns:(now t) ~core ev
 
 let is_zombie task = task.Task.state = Task.Zombie
 
@@ -123,6 +319,53 @@ let add_busy core ns =
   core.busy_ns <- Int64.add core.busy_ns ns
 
 let add_io_busy core ns = core.io_busy_ns <- Int64.add core.io_busy_ns ns
+
+(* ---- per-core scheduler statistics ---- *)
+
+let delay_bucket ns =
+  let n = Int64.to_int ns in
+  if n <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref n in
+    while !v > 1 && !b < 31 do
+      incr b;
+      v := !v lsr 1
+    done;
+    !b
+  end
+
+let record_run_delay core delay_ns =
+  if Int64.compare delay_ns 0L >= 0 then begin
+    let s = core.stats in
+    s.delay_hist.(delay_bucket delay_ns) <-
+      s.delay_hist.(delay_bucket delay_ns) + 1;
+    s.delay_count <- s.delay_count + 1;
+    s.delay_total_ns <- Int64.add s.delay_total_ns delay_ns;
+    if Int64.compare delay_ns s.delay_max_ns > 0 then s.delay_max_ns <- delay_ns
+  end
+
+let stats t core_id = t.cores.(core_id).stats
+let core_switches t core_id = t.cores.(core_id).switches
+let runq_len core = rq_len core.rq
+let class_name t = t.cls.sc_name
+
+(* ---- reschedule IPIs ---- *)
+
+(* Kick [core]: write its local mailbox. The modeled latency spans the
+   sender's mailbox write through interconnect propagation to the target's
+   vector entry; duplicate kicks while one is in flight coalesce, like the
+   level-triggered mailbox bit they model. *)
+let send_ipi t core =
+  if not core.ipi_pending then begin
+    core.ipi_pending <- true;
+    core.stats.ipis_to <- core.stats.ipis_to + 1;
+    trace_emit_core t ~core:core.core_id (Ktrace.Ipi_send core.core_id);
+    ignore
+      (Sim.Engine.schedule_after (engine t)
+         (cyc t (Kcost.ipi_send + Kcost.ipi_latency))
+         (fun () ->
+           Hw.Intc.send_ipi t.board.Hw.Board.intc ~target:core.core_id))
+  end
 
 (* ---- burns: occupying a core for simulated time ---- *)
 
@@ -177,49 +420,82 @@ and steal_cycles t core ns =
 (* ---- run queues ---- *)
 
 and pick_target_core t task =
-  ignore task;
   if t.active_cores = 1 then t.cores.(0)
   else begin
     (* prefer an idle core, else the shortest queue *)
     let best = ref t.cores.(0) in
     let score c =
-      (match c.current with None -> 0 | Some _ -> 1000)
-      + Queue.length c.queue
+      (match c.current with None -> 0 | Some _ -> 1000) + rq_len c.rq
     in
     for i = 1 to t.active_cores - 1 do
       if score t.cores.(i) < score !best then best := t.cores.(i)
     done;
-    !best
+    if
+      t.config.Kconfig.wake_affinity
+      && task.Task.last_core >= 0
+      && task.Task.last_core < t.active_cores
+    then begin
+      (* cache affinity: stay on the last-run core unless it is
+         meaningfully busier than the best candidate (one slot of slack) *)
+      let home = t.cores.(task.Task.last_core) in
+      if score home <= score !best + 1 then home else !best
+    end
+    else !best
   end
 
 and enqueue_task t task =
   assert (task.Task.state = Task.Runnable);
   assert (task.Task.resume <> None);
   let core = pick_target_core t task in
-  Queue.add task core.queue;
-  if core.current = None && core.burn_event = None then schedule_core t core
+  task.Task.runnable_since <- now t;
+  t.cls.sc_enqueue core.rq task;
+  trace_emit_core t ~core:core.core_id (Ktrace.Sched_wakeup task.Task.pid);
+  kick_core t core task
 
-(* Steal a task from the back of the longest other queue. *)
+(* The woken core learns about the new arrival per the wake model: the
+   seed's instant scheduling, nothing (its next tick polls the queue), or
+   a reschedule IPI — also sent when the arrival should preempt what the
+   core currently runs (MLFQ priority). *)
+and kick_core t core task =
+  let idle = core.current = None && core.burn_event = None in
+  match t.config.Kconfig.wake_model with
+  | Kconfig.Wake_direct -> if idle then schedule_core t core
+  | Kconfig.Wake_tick -> ()
+  | Kconfig.Wake_ipi ->
+      if idle then send_ipi t core
+      else begin
+        match core.current with
+        | Some cur when t.cls.sc_prio task < t.cls.sc_prio cur -> send_ipi t core
+        | Some _ | None -> ()
+      end
+
+(* Steal a task from the longest other queue (pick-time stealing is the
+   seed's mechanism; it yields to the balance pass when that is on). *)
 and try_steal t thief =
-  if t.active_cores = 1 then None
+  if t.active_cores = 1 || t.config.Kconfig.load_balance_ms > 0 then None
   else begin
     let victim = ref None in
     for i = 0 to t.active_cores - 1 do
       let c = t.cores.(i) in
-      if c.core_id <> thief.core_id && Queue.length c.queue > 0 then
+      if c.core_id <> thief.core_id && rq_len c.rq > 0 then
         match !victim with
-        | Some v when Queue.length v.queue >= Queue.length c.queue -> ()
+        | Some v when rq_len v.rq >= rq_len c.rq -> ()
         | Some _ | None -> victim := Some c
     done;
     match !victim with
-    | Some v -> Queue.take_opt v.queue
+    | Some v ->
+        let stolen = t.cls.sc_steal v.rq in
+        (match stolen with
+        | Some _ -> thief.stats.steals <- thief.stats.steals + 1
+        | None -> ());
+        stolen
     | None -> None
   end
 
 and schedule_core t core =
   if core.current = None && core.burn_event = None then begin
     let next =
-      match Queue.take_opt core.queue with
+      match t.cls.sc_pick core.rq with
       | Some task -> Some task
       | None -> try_steal t core
     in
@@ -230,14 +506,38 @@ and schedule_core t core =
         else begin
           core.current <- Some task;
           core.switches <- core.switches + 1;
+          let migrated =
+            task.Task.last_core >= 0 && task.Task.last_core <> core.core_id
+          in
+          if migrated then begin
+            core.stats.migrations <- core.stats.migrations + 1;
+            trace_emit_core t ~core:core.core_id
+              (Ktrace.Sched_migrate
+                 (task.Task.pid, task.Task.last_core, core.core_id))
+          end;
+          (if Int64.compare task.Task.runnable_since 0L >= 0 then begin
+             record_run_delay core
+               (Int64.sub (now t) task.Task.runnable_since);
+             task.Task.runnable_since <- (-1L)
+           end);
+          task.Task.last_core <- core.core_id;
           task.Task.state <- Task.Running core.core_id;
-          task.Task.quantum_left <- Task.default_quantum;
+          task.Task.quantum_left <- t.cls.sc_quantum task;
           let resume = Option.get task.Task.resume in
           task.Task.resume <- None;
           trace_emit_core t ~core:core.core_id
-            (Ktrace.Ctx_switch (0, task.Task.pid));
-          (* the context-switch cost precedes the task's first instruction *)
-          let switch_ns = cyc t (Kcost.ctx_switch + Kcost.sched_pick) in
+            (Ktrace.Ctx_switch (core.last_pid, task.Task.pid));
+          core.last_pid <- task.Task.pid;
+          (* the context-switch cost precedes the task's first instruction;
+             a migrated task also refills its caches when the affinity
+             model is on *)
+          let switch_cycles =
+            Kcost.ctx_switch + Kcost.sched_pick
+            + if migrated && t.config.Kconfig.wake_affinity then
+                Kcost.sched_migrate
+              else 0
+          in
+          let switch_ns = cyc t switch_cycles in
           add_busy core switch_ns;
           ignore
             (Sim.Engine.schedule_after (engine t) switch_ns (fun () ->
@@ -333,7 +633,7 @@ and wake_all t chan =
           if not (is_zombie task) then begin
             task.Task.state <- Task.Runnable;
             task.Task.resume <- Some retry;
-            trace_emit t (Ktrace.Sched_wakeup task.Task.pid);
+            t.cls.sc_on_block_wake task;
             enqueue_task t task
           end)
         entries
@@ -349,7 +649,7 @@ let wake_one t chan =
           else begin
             task.Task.state <- Task.Runnable;
             task.Task.resume <- Some retry;
-            trace_emit t (Ktrace.Sched_wakeup task.Task.pid);
+            t.cls.sc_on_block_wake task;
             enqueue_task t task;
             true
           end)
@@ -376,7 +676,7 @@ let finish ctx ret =
         add_io_busy t.cores.(c) ctx.charge_io
   | Task.Runnable | Task.Blocked _ | Task.Zombie -> ());
   start_burn t task total (fun () ->
-      trace_emit t
+      trace_emit_task t task
         (Ktrace.Syscall_exit (task.Task.pid, Abi.syscall_name ctx.call));
       Effect.Deep.continue ctx.kont ret)
 
@@ -405,6 +705,7 @@ let finish_after ctx ~delay_ns ret =
          if not (is_zombie task) then begin
            task.Task.state <- Task.Runnable;
            task.Task.resume <- Some (fun () -> finish ctx ret);
+           t.cls.sc_on_block_wake task;
            enqueue_task t task
          end))
 
@@ -430,7 +731,7 @@ let rec run_computation t task main () =
       retc = (fun code -> do_exit t task code);
       exnc =
         (fun exn ->
-          trace_emit t
+          trace_emit_task t task
             (Ktrace.Custom
                (Printf.sprintf "task %d (%s) uncaught exception: %s"
                   task.Task.pid task.Task.name (Printexc.to_string exn)));
@@ -469,7 +770,8 @@ let rec run_computation t task main () =
 
 and handle_trap t task call k =
   task.Task.syscall_count <- task.Task.syscall_count + 1;
-  trace_emit t (Ktrace.Syscall_enter (task.Task.pid, Abi.syscall_name call));
+  trace_emit_task t task
+    (Ktrace.Syscall_enter (task.Task.pid, Abi.syscall_name call));
   let entry_cycles =
     if task.Task.kind = Task.User then
       Kcost.syscall_entry + Kcost.syscall_dispatch
@@ -493,8 +795,9 @@ and handle_trap t task call k =
 
 (* ---- spawning ---- *)
 
-let spawn t ~name ~kind ?vm ?(parent = 0) main =
+let spawn t ~name ~kind ?vm ?(parent = 0) ?(nice = 0) main =
   let task = Task.create ~name ~kind ?vm ~parent () in
+  task.Task.nice <- max (-20) (min 19 nice);
   Hashtbl.replace t.tasks task.Task.pid task;
   (match Hashtbl.find_opt t.tasks parent with
   | Some p -> p.Task.children <- task.Task.pid :: p.Task.children
@@ -529,26 +832,36 @@ let exec_replace ctx main =
           schedule_core t t.cores.(c)
       | Task.Runnable | Task.Blocked _ | Task.Zombie -> ())
 
-(* Kill a task that is not currently on a CPU: pull it out of whatever
-   wait channel holds it and terminate it. Running tasks die at their next
-   preemption point via the [killed] flag. *)
+(* Kill a task that is not currently on a CPU: pull it out of the one wait
+   channel it records in [Task.Blocked chan] and terminate it. Running
+   tasks die at their next preemption point via the [killed] flag — under
+   the IPI wake model that point is brought forward to IPI latency by
+   kicking the victim's core. *)
 let force_kill t task =
   task.Task.killed <- true;
   match task.Task.state with
-  | Task.Running _ -> () (* dies at the next burn completion *)
+  | Task.Running c ->
+      (* dies at the next burn completion — or at the reschedule IPI *)
+      if t.config.Kconfig.wake_model = Kconfig.Wake_ipi then
+        send_ipi t t.cores.(c)
   | Task.Zombie -> ()
-  | Task.Runnable | Task.Blocked _ ->
-      (* remove from wait channels; queued Runnable entries are skipped by
-         schedule_core once the task is a zombie *)
-      Hashtbl.iter
-        (fun _ q ->
+  | Task.Blocked chan ->
+      (* a blocked task records its channel: remove it from that one
+         queue, O(queue) instead of O(all wait channels). "sleep" and
+         other timer parks have no channel queue — the engine callback
+         checks for zombies. *)
+      (match Hashtbl.find_opt t.wait_chans chan with
+      | None -> ()
+      | Some q ->
           let entries = Queue.to_seq q |> List.of_seq in
           Queue.clear q;
           List.iter
             (fun ((waiting, _) as entry) ->
               if waiting.Task.pid <> task.Task.pid then Queue.add entry q)
-            entries)
-        t.wait_chans;
+            entries);
+      do_exit t task (-1)
+  | Task.Runnable ->
+      (* queued on some core: schedule_core skips it once it is a zombie *)
       do_exit t task (-1)
 
 (* ---- timer ticks and preemption ---- *)
@@ -566,35 +879,106 @@ let preempt t core =
       core.burn_after <- None;
       core.current <- None;
       task.Task.state <- Task.Runnable;
+      task.Task.runnable_since <- now t;
       task.Task.resume <-
         Some (fun () -> start_burn t task remaining after);
-      (* go to the back of this core's own queue *)
-      Queue.add task core.queue;
+      (* go to the back of this core's own queue (its own level in MLFQ) *)
+      t.cls.sc_requeue core.rq task;
       schedule_core t core
   | Some _, None | None, _ -> ()
 
+(* Reschedule IPI taken on [core_id]: run the same checks a tick would,
+   at IPI latency — dispatch queued work on an idle core, kill a flagged
+   victim, or preempt for a higher-priority arrival. *)
+let ipi_recv t core_id =
+  let core = t.cores.(core_id) in
+  core.ipi_pending <- false;
+  core.stats.ipis_recv <- core.stats.ipis_recv + 1;
+  trace_emit_core t ~core:core_id (Ktrace.Ipi_recv core_id);
+  steal_cycles t core (cyc t Kcost.ipi_handler);
+  match core.current with
+  | None -> schedule_core t core
+  | Some task when task.Task.killed -> preempt t core
+  | Some cur -> (
+      match t.cls.sc_best_prio core.rq with
+      | Some p when p < t.cls.sc_prio cur -> preempt t core
+      | Some _ | None -> ())
+
 let rec tick t core_id =
   let core = t.cores.(core_id) in
+  core.ticks <- core.ticks + 1;
   steal_cycles t core (cyc t Kcost.timer_tick_work);
+  (* MLFQ anti-starvation: periodically boost everything queued here back
+     to the top level so demoted batch work cannot starve *)
+  (match core.rq with
+  | Rq_mlfq levels when core.ticks mod mlfq_boost_ticks = 0 ->
+      for l = 1 to mlfq_levels - 1 do
+        Queue.iter
+          (fun task ->
+            task.Task.mlfq_level <- 0;
+            Queue.add task levels.(0))
+          levels.(l);
+        Queue.clear levels.(l)
+      done
+  | Rq_mlfq _ | Rq_rr _ -> ());
   (match core.current with
   | Some task ->
       task.Task.quantum_left <- task.Task.quantum_left - 1;
       if
         task.Task.quantum_left <= 0
-        && (Queue.length core.queue > 0
+        && (rq_len core.rq > 0
            || (t.active_cores > 1 && try_steal_peek t core))
-      then preempt t core
+      then begin
+        t.cls.sc_on_expire task;
+        preempt t core
+      end
   | None -> schedule_core t core);
   Hw.Timer.arm_core_timer t.board.Hw.Board.timer ~core:core_id
     ~delta_ns:(Sim.Engine.ms t.tick_interval_ms)
 
 and try_steal_peek t thief =
-  let found = ref false in
-  for i = 0 to t.active_cores - 1 do
-    let c = t.cores.(i) in
-    if c.core_id <> thief.core_id && Queue.length c.queue > 0 then found := true
+  if t.config.Kconfig.load_balance_ms > 0 then false
+  else begin
+    let found = ref false in
+    for i = 0 to t.active_cores - 1 do
+      let c = t.cores.(i) in
+      if c.core_id <> thief.core_id && rq_len c.rq > 0 then found := true
+    done;
+    !found
+  end
+
+(* ---- periodic load balancing ---- *)
+
+(* Equalize runqueue depth: repeatedly move one task from the deepest to
+   the shallowest queue until they are within one of each other. Replaces
+   pick-time stealing (see [try_steal]) when enabled. The pass runs as a
+   kernel daemon billed to core 0, like the tick's bookkeeping. *)
+let rec balance_pass t =
+  steal_cycles t t.cores.(0) (cyc t Kcost.load_balance_pass);
+  let moved = ref true in
+  while !moved do
+    moved := false;
+    let busiest = ref t.cores.(0) and idlest = ref t.cores.(0) in
+    for i = 1 to t.active_cores - 1 do
+      let c = t.cores.(i) in
+      if rq_len c.rq > rq_len !busiest.rq then busiest := c;
+      if rq_len c.rq < rq_len !idlest.rq then idlest := c
+    done;
+    if rq_len !busiest.rq > rq_len !idlest.rq + 1 then begin
+      match t.cls.sc_steal !busiest.rq with
+      | Some task ->
+          let dst = !idlest in
+          t.cls.sc_enqueue dst.rq task;
+          dst.stats.balance_moves <- dst.stats.balance_moves + 1;
+          kick_core t dst task;
+          moved := true
+      | None -> ()
+    end
   done;
-  !found
+  ignore
+    (Sim.Engine.schedule_after (engine t)
+       (Sim.Engine.ms t.config.Kconfig.load_balance_ms) (fun () ->
+         balance_pass t))
 
 (* ---- interrupts ---- *)
 
@@ -608,6 +992,7 @@ let on_irq t core_id line =
   steal_cycles t core (cyc t (Kcost.irq_entry + Kcost.irq_exit));
   (match line with
   | Hw.Irq.Core_timer c -> tick t c
+  | Hw.Irq.Ipi c -> ipi_recv t c
   | Hw.Irq.Fiq_button -> (
       match t.on_panic with Some f -> f core_id | None -> ())
   | Hw.Irq.Sys_timer | Hw.Irq.Uart_rx | Hw.Irq.Usb_hc | Hw.Irq.Dma_channel _
@@ -617,7 +1002,7 @@ let on_irq t core_id line =
       with
       | Some (_, handler) -> handler ()
       | None ->
-          trace_emit t
+          trace_emit_core t ~core:core_id
             (Ktrace.Custom ("spurious irq " ^ Hw.Irq.describe line))));
   trace_emit_core t ~core:core_id (Ktrace.Irq_exit (Hw.Irq.describe line))
 
@@ -632,7 +1017,12 @@ let start t =
     for c = 0 to t.active_cores - 1 do
       Hw.Timer.arm_core_timer t.board.Hw.Board.timer ~core:c
         ~delta_ns:(Sim.Engine.ms t.tick_interval_ms)
-    done
+    done;
+    if t.active_cores > 1 && t.config.Kconfig.load_balance_ms > 0 then
+      ignore
+        (Sim.Engine.schedule_after (engine t)
+           (Sim.Engine.ms t.config.Kconfig.load_balance_ms) (fun () ->
+             balance_pass t))
   end
 
 (* ---- inspection ---- *)

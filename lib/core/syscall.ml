@@ -36,6 +36,8 @@ let dispatch s ctx =
   | Abi.Sleep ms ->
       need cfg.Kconfig.multitasking (fun () -> Proc.sys_sleep ctx ms)
   | Abi.Uptime -> Proc.sys_uptime ctx s.s_proc
+  | Abi.Nice inc ->
+      need cfg.Kconfig.multitasking (fun () -> Proc.sys_nice ctx inc)
   | Abi.Sbrk delta ->
       need cfg.Kconfig.syscalls_tasks (fun () -> Proc.sys_sbrk ctx delta)
   | Abi.Cacheflush -> (
@@ -45,7 +47,7 @@ let dispatch s ctx =
           let rows = Hw.Framebuffer.stale_rows fb in
           Sched.charge ctx (Kcost.cache_flush_per_row * max 1 rows);
           Hw.Framebuffer.flush fb;
-          Sched.trace_emit ctx.Sched.sched
+          Sched.trace_emit_task ctx.Sched.sched ctx.Sched.task
             (Ktrace.Frame_present ctx.Sched.task.Task.pid);
           Sched.finish ctx (Abi.R_int rows))
   (* ---- files ---- *)

@@ -26,6 +26,13 @@ type t = {
   mutable exit_code : int;
   mutable killed : bool;
   mutable cwd : string;
+  (* scheduling *)
+  mutable nice : int;  (** -20 (greedy) .. 19 (meek); scales the quantum *)
+  mutable last_core : int;  (** core the task last ran on; -1 = never ran *)
+  mutable mlfq_level : int;  (** current MLFQ level, 0 = highest priority *)
+  mutable runnable_since : int64;
+      (** when the task last became runnable; -1 = not waiting. Feeds the
+          run-delay histogram. *)
   (* accounting *)
   mutable cpu_ns : int64;
   mutable quantum_left : int;  (** scheduler ticks until preemption *)
@@ -54,6 +61,10 @@ let create ~name ~kind ?vm ?(parent = 0) () =
     exit_code = 0;
     killed = false;
     cwd = "/";
+    nice = 0;
+    last_core = -1;
+    mlfq_level = 0;
+    runnable_since = -1L;
     cpu_ns = 0L;
     quantum_left = default_quantum;
     syscall_count = 0;

@@ -29,6 +29,7 @@ let create ~cores =
 let route t line ~core =
   (match line with
   | Irq.Core_timer _ -> invalid_arg "Intc.route: per-core timer lines are fixed"
+  | Irq.Ipi _ -> invalid_arg "Intc.route: IPI mailboxes are per-core"
   | Irq.Sys_timer | Irq.Uart_rx | Irq.Usb_hc | Irq.Dma_channel _
   | Irq.Gpio_bank | Irq.Sd_card | Irq.Fiq_button ->
       ());
@@ -73,6 +74,18 @@ let raise_line t line =
       let core = t.fiq_next in
       t.fiq_next <- (t.fiq_next + 1) mod Array.length t.cores;
       deliver t.cores.(core) line
+  | Irq.Ipi core ->
+      (* The mailbox write targets exactly one core; delivery respects the
+         target's IRQ mask like any other interrupt (multiple raises of a
+         pending mailbox coalesce — it is one level-triggered bit). *)
+      if core < 0 || core >= Array.length t.cores then
+        invalid_arg "Intc.raise_line: bad IPI target";
+      let state = t.cores.(core) in
+      if state.mask_depth > 0 || state.handler = None then begin
+        if not (List.exists (Irq.equal line) state.pending) then
+          state.pending <- line :: state.pending
+      end
+      else deliver state line
   | Irq.Core_timer _ | Irq.Sys_timer | Irq.Uart_rx | Irq.Usb_hc
   | Irq.Dma_channel _ | Irq.Gpio_bank | Irq.Sd_card ->
       let core = target_core t line in
@@ -82,5 +95,10 @@ let raise_line t line =
           state.pending <- line :: state.pending
       end
       else deliver state line
+
+(* Software-generated interrupt: one core kicks another. This is the
+   device-register face of the reschedule-IPI path — the scheduler models
+   the mailbox-write-to-vector latency before calling this. *)
+let send_ipi t ~target = raise_line t (Irq.Ipi target)
 
 let pending_count t ~core = List.length t.cores.(core).pending

@@ -39,5 +39,11 @@ val raise_line : t -> Irq.line -> unit
     unmasked and a handler is installed; otherwise left pending (multiple
     raises of a pending line coalesce, like a level-triggered controller). *)
 
+val send_ipi : t -> target:int -> unit
+(** Software-generated interrupt: write core [target]'s local mailbox, so
+    that core takes an [Irq.Ipi] interrupt. Equivalent to
+    [raise_line t (Irq.Ipi target)]; masked or handler-less targets keep it
+    pending like any level-triggered line. *)
+
 val pending_count : t -> core:int -> int
 (** Number of distinct lines pending on [core]; for tests and panic dumps. *)

@@ -7,6 +7,10 @@
 
 type line =
   | Core_timer of int  (** per-core ARM generic timer, core id *)
+  | Ipi of int
+      (** software-generated inter-processor interrupt, target core id —
+          the BCM2836 local mailbox registers: any core writes the target's
+          mailbox and the target takes an interrupt *)
   | Sys_timer  (** SoC-level system timer *)
   | Uart_rx
   | Usb_hc  (** USB host controller *)

@@ -21,6 +21,7 @@ let kill pid = as_int (sys (Abi.Kill pid))
 let getpid () = as_int (sys Abi.Getpid)
 let sleep ms = as_int (sys (Abi.Sleep ms))
 let uptime_ms () = as_int (sys Abi.Uptime)
+let nice n = as_int (sys (Abi.Nice n))
 let sbrk bytes = as_int (sys (Abi.Sbrk bytes))
 let cacheflush () = as_int (sys Abi.Cacheflush)
 

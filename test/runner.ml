@@ -10,6 +10,7 @@ let () =
       Test_fs.suite_xv6fs;
       Test_fs.suite_fat32;
       Test_kernel.suite_sched;
+      Test_kernel.suite_sched_classes;
       Test_kernel.suite_vm;
       Test_kernel.suite_ipc;
       Test_kernel.suite_files;
