@@ -88,6 +88,13 @@ let schedbench () =
   Benchlib.Schedbench.write_json rows "BENCH_sched.json";
   print_endline "wrote BENCH_sched.json"
 
+let ipcbench () =
+  section "ipcbench: pipe ring / edge wakeup / poll ablation";
+  let rows = Benchlib.Ipcbench.run () in
+  print_string (Benchlib.Ipcbench.render rows);
+  Benchlib.Ipcbench.write_json rows "BENCH_ipc.json";
+  print_endline "wrote BENCH_ipc.json"
+
 let ablations () =
   section "Ablations: the design choices DESIGN.md calls out";
   print_string (Benchlib.Ablation.render (Benchlib.Ablation.run ()))
@@ -111,6 +118,7 @@ let experiments =
     ("ablations", ablations);
     ("iobench", iobench);
     ("schedbench", schedbench);
+    ("ipcbench", ipcbench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

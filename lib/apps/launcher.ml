@@ -68,8 +68,7 @@ let main env argv =
                   | Uevents.Left | Uevents.Right | Uevents.Tab | Uevents.Space
                   | Uevents.Char _ | Uevents.Other _ ->
                       ())
-              (Minisdl.poll_events sdl);
-            Minisdl.delay 33
+              (Minisdl.wait_events sdl ~timeout_ms:33)
           done;
           Minisdl.quit sdl;
           0)

@@ -10,12 +10,15 @@
 
     The paper's 28 syscalls, in its three categories (§3), plus [fsync] —
     added alongside the write-back buffer cache, since deferred writes
-    make durability an explicit request — and [nice], added with the MLFQ
-    scheduling class so a task can declare its own weight:
+    make durability an explicit request — [nice], added with the MLFQ
+    scheduling class so a task can declare its own weight — and [poll]
+    (number 31), added with the IPC rebuild so event-driven apps can
+    multiplex pipes, /dev/events and the console instead of spinning on
+    O_NONBLOCK reads:
     - tasks & time: fork exec exit wait kill getpid sleep uptime nice sbrk
       cacheflush
     - files: open close read write lseek dup pipe fstat mkdir unlink chdir
-      mmap fsync
+      mmap fsync poll
     - threading & sync: clone join sem_open sem_post sem_wait sem_close
 
     One concession to the host language: [fork] and [clone] carry the
@@ -76,13 +79,17 @@ type syscall =
   | Write of int * Bytes.t
   | Lseek of int * int * int  (** fd, offset, whence *)
   | Dup of int
-  | Pipe
+  | Pipe of int  (** flags: O_NONBLOCK applies to both ends *)
   | Fstat of int
   | Mkdir of string
   | Unlink of string
   | Chdir of string
   | Mmap of int  (** fd; only /dev/fb supports it *)
   | Fsync of int  (** fd; flush the backing cache's dirty blocks *)
+  | Poll of int list * int
+      (** fds, timeout in ms (negative = forever, 0 = just probe);
+          returns a readiness bitmask, bit i set when the i-th fd would
+          not block (data/EOF on read ends, space on pipe write ends) *)
   (* threading & sync *)
   | Clone of (unit -> int)  (** CLONE_VM thread body *)
   | Join of int
@@ -91,7 +98,7 @@ type syscall =
   | Sem_wait of int
   | Sem_close of int
 
-let syscall_count = 30
+let syscall_count = 31
 
 let syscall_name = function
   | Fork _ -> "fork"
@@ -111,13 +118,14 @@ let syscall_name = function
   | Write _ -> "write"
   | Lseek _ -> "lseek"
   | Dup _ -> "dup"
-  | Pipe -> "pipe"
+  | Pipe _ -> "pipe"
   | Fstat _ -> "fstat"
   | Mkdir _ -> "mkdir"
   | Unlink _ -> "unlink"
   | Chdir _ -> "chdir"
   | Mmap _ -> "mmap"
   | Fsync _ -> "fsync"
+  | Poll _ -> "poll"
   | Clone _ -> "clone"
   | Join _ -> "join"
   | Sem_open _ -> "sem_open"

@@ -11,10 +11,14 @@ type t = { board : Hw.Board.t; sched : Sched.t; rx_chan : string }
 let create board sched =
   let t = { board; sched; rx_chan = "uart:rx" } in
   Sched.register_irq sched Hw.Irq.Uart_rx (fun () ->
-      Sched.wake_all sched t.rx_chan);
+      Sched.wake_all sched t.rx_chan;
+      Sched.poll_wake sched);
   t
 
 let uart t = t.board.Hw.Board.uart
+
+(* poll(2) readiness: input buffered in the RX FIFO. *)
+let rx_ready t = Hw.Uart.rx_available (uart t) > 0
 
 (* Kernel-context printk: no task to charge; the wire time is real but the
    kernel simply spins through it, which is why heavy printk visibly slows

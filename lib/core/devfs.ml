@@ -32,6 +32,7 @@ let null_ops =
       (fun ctx _ data -> Sched.finish ctx (Abi.R_int (Bytes.length data)));
     dev_mmap = None;
     dev_close = (fun _ -> ());
+    dev_poll = None;
   }
 
 (* ---- /dev/console ---- *)
@@ -45,6 +46,7 @@ let console_ops t =
     dev_write = (fun ctx _ data -> Console.write ctx t.console data);
     dev_mmap = None;
     dev_close = (fun _ -> ());
+    dev_poll = Some (fun _ _ -> Console.rx_ready t.console);
   }
 
 (* ---- /dev/events: the raw keyboard queue ---- *)
@@ -58,6 +60,7 @@ let events_ops t =
     dev_write = (fun ctx _ _ -> finish_err ctx Errno.einval);
     dev_mmap = None;
     dev_close = (fun _ -> ());
+    dev_poll = Some (fun _ _ -> Kbd.pending t.kbd > 0);
   }
 
 (* ---- /dev/event1: WM-routed events for the opener's surface ---- *)
@@ -77,14 +80,15 @@ let event1_ops t =
                 | Some sid -> sid
                 | None -> file.Fd.dev_cookie
               in
+              if len < Kbd.event_bytes then finish_err ctx Errno.einval
+              else
               match Wm.surface wm sid with
               | None -> finish_err ctx Errno.ebadf
               | Some s ->
                   let rec attempt () =
                     if not (Queue.is_empty s.Wm.events) then begin
                       let nev =
-                        max 1
-                          (min (len / Kbd.event_bytes) (Queue.length s.Wm.events))
+                        min (len / Kbd.event_bytes) (Queue.length s.Wm.events)
                       in
                       let buf = Buffer.create (nev * Kbd.event_bytes) in
                       for _ = 1 to nev do
@@ -102,6 +106,17 @@ let event1_ops t =
           dev_write = (fun ctx _ _ -> finish_err ctx Errno.einval);
           dev_mmap = None;
           dev_close = (fun _ -> ());
+          dev_poll =
+            Some
+              (fun ctx file ->
+                let sid =
+                  match ctx.Sched.task.Task.wm_surface with
+                  | Some sid -> sid
+                  | None -> file.Fd.dev_cookie
+                in
+                match Wm.surface wm sid with
+                | None -> true (* let the read report the error *)
+                | Some s -> not (Queue.is_empty s.Wm.events));
         }
 
 (* ---- /dev/fb: write path and mmap ---- *)
@@ -148,6 +163,7 @@ let fb_ops t =
                 Sched.finish ctx
                   (Abi.R_mmap (Vm.fb_bus_address, width, Hw.Framebuffer.height fb)));
           dev_close = (fun _ -> ());
+          dev_poll = None;
         }
 
 (* ---- /dev/sb: sound ---- *)
@@ -163,6 +179,7 @@ let sb_ops t =
           dev_write = (fun ctx _ data -> Audio.write ctx audio data);
           dev_mmap = None;
           dev_close = (fun _ -> ());
+          dev_poll = None;
         }
 
 (* ---- /dev/surface: indirect rendering through the WM ----
@@ -237,6 +254,7 @@ let surface_ops t =
             (fun file ->
               if file.Fd.dev_cookie >= 0 then
                 Wm.remove_surface wm file.Fd.dev_cookie);
+          dev_poll = None;
         }
 
 (* ---- lookup ---- *)

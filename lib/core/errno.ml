@@ -17,6 +17,7 @@ let efbig = 27
 let enospc = 28
 let espipe = 29
 let erofs = 30
+let epipe = 32
 let enosys = 38
 let enotempty = 39
 
@@ -38,6 +39,7 @@ let name = function
   | 28 -> "ENOSPC"
   | 29 -> "ESPIPE"
   | 30 -> "EROFS"
+  | 32 -> "EPIPE"
   | 38 -> "ENOSYS"
   | 39 -> "ENOTEMPTY"
   | n -> Printf.sprintf "E%d" n

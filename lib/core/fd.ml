@@ -11,6 +11,8 @@ type dev_ops = {
   dev_write : Sched.ctx -> file -> Bytes.t -> unit;
   dev_mmap : (Sched.ctx -> file -> unit) option;
   dev_close : file -> unit;
+  dev_poll : (Sched.ctx -> file -> bool) option;
+      (** would a read return without blocking? [None] = always ready *)
 }
 
 (** FAT32 files are identified by path and carry a pseudo-inode holding the
@@ -101,6 +103,11 @@ let close t ~pid ~fd =
       drop_ref t file;
       Ok ()
 
+(* Handle lifetime is the file record's refcount; the pipe's own
+   reader/writer counts track file *records*, of which there is exactly
+   one per end. Bumping both (as dup/fork once did) left a pipe whose
+   reader count could never reach zero after a fork — blocked writers
+   slept forever instead of seeing EPIPE. *)
 let dup t ~pid ~fd =
   match get t ~pid ~fd with
   | None -> Error Errno.ebadf
@@ -109,10 +116,6 @@ let dup t ~pid ~fd =
       | Error e -> Error e
       | Ok newfd ->
           file.refs <- file.refs + 1;
-          (match file.kind with
-          | K_pipe_read p -> Pipe.dup_read p
-          | K_pipe_write p -> Pipe.dup_write p
-          | K_xv6 _ | K_fat _ | K_dev _ -> ());
           Ok newfd)
 
 (* fork: the child inherits a copy of the parent's table with bumped
@@ -126,10 +129,6 @@ let clone_table t ~parent ~child =
         | None -> None
         | Some file ->
             file.refs <- file.refs + 1;
-            (match file.kind with
-            | K_pipe_read p -> Pipe.dup_read p
-            | K_pipe_write p -> Pipe.dup_write p
-            | K_xv6 _ | K_fat _ | K_dev _ -> ());
             Some file)
       src.slots
   in

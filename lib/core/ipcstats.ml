@@ -1,0 +1,49 @@
+(** IPC-path counters, surfaced through [/proc/ipc].
+
+    One instance per kernel (benches boot many kernels per process, so
+    these must not be module globals). The wakeup counters are the
+    observable for the edge-triggered ablation: under the xv6 model every
+    pipe op issues a wakeup; under [pipe_wake_edge] only the empty→
+    non-empty and full→not-full transitions do, and the ops that would
+    have woken someone are tallied as suppressed. *)
+
+type t = {
+  mutable pipe_writes : int;
+  mutable pipe_reads : int;
+  mutable pipe_bytes : int;  (** bytes moved through pipes, both ways *)
+  mutable wakeups_issued : int;
+  mutable wakeups_suppressed : int;
+  mutable polls : int;  (** poll syscalls entered *)
+  mutable poll_immediate : int;  (** returned ready without blocking *)
+  mutable poll_blocked : int;  (** had to sleep at least once *)
+  mutable poll_timeouts : int;  (** returned 0 on timeout expiry *)
+}
+
+let create () =
+  {
+    pipe_writes = 0;
+    pipe_reads = 0;
+    pipe_bytes = 0;
+    wakeups_issued = 0;
+    wakeups_suppressed = 0;
+    polls = 0;
+    poll_immediate = 0;
+    poll_blocked = 0;
+    poll_timeouts = 0;
+  }
+
+let render t =
+  String.concat ""
+    (List.map
+       (fun (k, v) -> Printf.sprintf "%-18s %d\n" k v)
+       [
+         ("pipe_writes", t.pipe_writes);
+         ("pipe_reads", t.pipe_reads);
+         ("pipe_bytes", t.pipe_bytes);
+         ("wakeups_issued", t.wakeups_issued);
+         ("wakeups_suppressed", t.wakeups_suppressed);
+         ("polls", t.polls);
+         ("poll_immediate", t.poll_immediate);
+         ("poll_blocked", t.poll_blocked);
+         ("poll_timeouts", t.poll_timeouts);
+       ])

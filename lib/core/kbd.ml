@@ -80,7 +80,8 @@ let push_event t ev =
       t.dropped <- t.dropped + 1
     end;
     Queue.add ev t.ring;
-    Sched.wake_all t.sched t.chan
+    Sched.wake_all t.sched t.chan;
+    Sched.poll_wake t.sched
   end
 
 let on_usb_irq t () =
@@ -148,11 +149,15 @@ let pending t = Queue.length t.ring
 let dropped t = t.dropped
 
 (* Read events as bytes; [nonblock] peeks the ring without waiting, the
-   Prototype 5 enhancement DOOM's key polling needs (§4.5). *)
+   Prototype 5 enhancement DOOM's key polling needs (§4.5). Events are
+   never split: a buffer shorter than one event is an error, not a
+   truncated (or, before the fix, overrun) delivery. *)
 let read ctx t ~len ~nonblock =
+  if len < event_bytes then Sched.finish ctx (Abi.R_int (-Errno.einval))
+  else
   let rec attempt () =
     if not (Queue.is_empty t.ring) then begin
-      let nev = max 1 (min (len / event_bytes) (Queue.length t.ring)) in
+      let nev = min (len / event_bytes) (Queue.length t.ring) in
       let buf = Buffer.create (nev * event_bytes) in
       let delivered = ref 0 in
       while !delivered < nev && not (Queue.is_empty t.ring) do

@@ -67,6 +67,18 @@ type t = {
       (** period of the load-balance pass that equalizes runqueue depth
           across cores; 0 = off (idle cores steal at pick time instead,
           as in the seed) *)
+  pipe_ring : bool;
+      (** pipes use a power-of-two ring buffer with [Bytes.blit] bulk
+          copies instead of xv6's byte-at-a-time loop; off = the paper's
+          512-byte byte-copy pipe *)
+  pipe_buffer_bytes : int;
+      (** capacity of the ring pipe (rounded up to a power of two); only
+          consulted when [pipe_ring] is on — the xv6 path is pinned at
+          {!Kcost.pipe_buffer_bytes} *)
+  pipe_wake_edge : bool;
+      (** edge-triggered pipe wakeups: wake readers only on
+          empty→non-empty and writers only on full→not-full, instead of
+          on every operation *)
 }
 
 let full =
@@ -105,6 +117,12 @@ let full =
     wake_model = Wake_direct;
     wake_affinity = false;
     load_balance_ms = 0;
+    (* the IPC rebuild follows the same rule: xv6 pipes with wake-on-
+       every-op stay the default so Figure 8/11 numbers are untouched;
+       ipcbench walks the ring/edge/poll ladder explicitly *)
+    pipe_ring = false;
+    pipe_buffer_bytes = 4096;
+    pipe_wake_edge = false;
   }
 
 let rec prototype = function
@@ -137,6 +155,9 @@ let rec prototype = function
         wake_model = Wake_direct;
         wake_affinity = false;
         load_balance_ms = 0;
+        pipe_ring = false;
+        pipe_buffer_bytes = 512;
+        pipe_wake_edge = false;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

@@ -65,6 +65,10 @@ let pipe_buffer_bytes = 512
 let pipe_setup = 2_200
 let pipe_per_byte = 28
 
+(* poll: per-fd readiness probe (fd lookup + one vtable call); charged on
+   every scan, including the recheck after each wakeup. *)
+let poll_fd_check = 180
+
 (* Wakeups and semaphores. *)
 let wakeup = 2_900
 let sem_op = 650

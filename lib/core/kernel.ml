@@ -257,9 +257,14 @@ let boot spec =
     | _, (Some _ | None) -> None
   in
   let devfs = Devfs.create ~board ~sched ~console ~kbd ~audio ~wm ~fb in
-  let procfs = Procfs.create ~board ~sched ~kalloc in
+  let ipcstats = Ipcstats.create () in
+  let procfs = Procfs.create ~board ~sched ~kalloc ~ipc:ipcstats in
   let fdt = Fd.create sched in
-  let vfs = Vfs.create ~sched ~config:spec.sp_config ~fdt ~root:rootfs ~root_bc ~devfs ~procfs in
+  let vfs =
+    Vfs.create ~sched ~config:spec.sp_config ~fdt ~root:rootfs ~root_bc ~devfs
+      ~procfs
+      ~ipc:(Pipe.params_of_config spec.sp_config ipcstats)
+  in
   (* FAT32 partition under /d *)
   let fat_bc =
     if spec.sp_config.Kconfig.fat32 then begin
@@ -337,7 +342,9 @@ let boot spec =
           ~interval_ms:spec.sp_config.Kconfig.flush_interval_ms)
       (Vfs.fat_caches vfs);
   let sems = Sem.create sched in
-  let proc = Proc.create ~sched ~fdt ~vfs ~kalloc ~config:spec.sp_config in
+  let proc =
+    Proc.create ~sched ~fdt ~vfs ~sems ~kalloc ~config:spec.sp_config
+  in
   List.iter
     (fun p -> Proc.register_program proc p.prog_name p.prog_main)
     spec.sp_programs;
@@ -357,6 +364,7 @@ let boot spec =
   sched.Sched.on_task_exit <-
     [
       (fun task -> Fd.close_all fdt ~pid:task.Task.pid);
+      (fun task -> Sem.task_exit sems ~pid:task.Task.pid);
       (fun task ->
         match (wm, task.Task.wm_surface) with
         | Some wm, Some sid -> Wm.remove_surface wm sid

@@ -17,6 +17,7 @@ type event =
   | Ipi_recv of int  (** reschedule IPI taken on this core *)
   | Kbd_report  (** USB report arrived in the driver *)
   | Event_delivered of int  (** pid that read the input event *)
+  | Poll_return of int * int  (** pid, ready-fd count (0 = timeout) *)
   | Frame_present of int  (** pid that pushed a frame *)
   | Wm_composite
   | Custom of string
@@ -67,6 +68,8 @@ let describe ev =
   | Ipi_recv core -> Printf.sprintf "ipi_recv core%d" core
   | Kbd_report -> "kbd_report"
   | Event_delivered pid -> Printf.sprintf "event_delivered pid=%d" pid
+  | Poll_return (pid, nready) ->
+      Printf.sprintf "poll_return pid=%d ready=%d" pid nready
   | Frame_present pid -> Printf.sprintf "frame_present pid=%d" pid
   | Wm_composite -> "wm_composite"
   | Custom s -> s

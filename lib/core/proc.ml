@@ -10,13 +10,14 @@ type t = {
   sched : Sched.t;
   fdt : Fd.t;
   vfs : Vfs.t;
+  sems : Sem.t;
   progs : (string, string list -> int) Hashtbl.t;
   kalloc : Kalloc.t;
   config : Kconfig.t;
 }
 
-let create ~sched ~fdt ~vfs ~kalloc ~config =
-  { sched; fdt; vfs; progs = Hashtbl.create 32; kalloc; config }
+let create ~sched ~fdt ~vfs ~sems ~kalloc ~config =
+  { sched; fdt; vfs; sems; progs = Hashtbl.create 32; kalloc; config }
 
 let register_program t name main = Hashtbl.replace t.progs name main
 
@@ -45,6 +46,7 @@ let sys_fork ctx t child_main =
           in
           child.Task.cwd <- parent.Task.cwd;
           Fd.clone_table t.fdt ~parent:parent.Task.pid ~child:child.Task.pid;
+          Sem.fork t.sems ~parent:parent.Task.pid ~child:child.Task.pid;
           Sched.finish ctx (Abi.R_int child.Task.pid))
 
 let sys_exec ctx t path argv =
@@ -118,6 +120,7 @@ let sys_clone ctx t thread_main =
     in
     child.Task.cwd <- parent.Task.cwd;
     Fd.share_table t.fdt ~parent:parent.Task.pid ~child:child.Task.pid;
+    Sem.share t.sems ~parent:parent.Task.pid ~child:child.Task.pid;
     Sched.finish ctx (Abi.R_int child.Task.pid)
   end
 

@@ -1,5 +1,5 @@
 (** procfs: /proc/cpuinfo, /proc/meminfo, /proc/uptime, /proc/tasks,
-    /proc/sched.
+    /proc/sched, /proc/ipc.
 
     Files are snapshots rendered at open time (like Linux's seq_file, one
     generation per open) and then read as ordinary byte streams; sysmon
@@ -9,11 +9,12 @@ type t = {
   board : Hw.Board.t;
   sched : Sched.t;
   kalloc : Kalloc.t;
+  ipc : Ipcstats.t;
   snapshots : (int, string) Hashtbl.t;  (** file_id -> rendered content *)
 }
 
-let create ~board ~sched ~kalloc =
-  { board; sched; kalloc; snapshots = Hashtbl.create 16 }
+let create ~board ~sched ~kalloc ~ipc =
+  { board; sched; kalloc; ipc; snapshots = Hashtbl.create 16 }
 
 let render_cpuinfo t =
   let buf = Buffer.create 256 in
@@ -89,6 +90,19 @@ let render_sched t =
   done;
   Buffer.contents buf
 
+(* The IPC path's configuration and counters; the wakeup lines are how
+   the edge-triggered ablation is observable from inside the machine. *)
+let render_ipc t =
+  let cfg = t.sched.Sched.config in
+  Printf.sprintf "%-18s %s\n%-18s %s\n%-18s %d\n" "pipe_impl"
+    (if cfg.Kconfig.pipe_ring then "ring" else "xv6")
+    "wake_mode"
+    (if cfg.Kconfig.pipe_wake_edge then "edge" else "level")
+    "buffer_bytes"
+    (if cfg.Kconfig.pipe_ring then cfg.Kconfig.pipe_buffer_bytes
+     else Kcost.pipe_buffer_bytes)
+  ^ Ipcstats.render t.ipc
+
 let render t name =
   match name with
   | "cpuinfo" -> Some (render_cpuinfo t)
@@ -96,9 +110,10 @@ let render t name =
   | "uptime" -> Some (render_uptime t)
   | "tasks" -> Some (render_tasks t)
   | "sched" -> Some (render_sched t)
+  | "ipc" -> Some (render_ipc t)
   | _ -> None
 
-let names = [ "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched" ]
+let names = [ "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched"; "ipc" ]
 
 (* Build dev_ops for one opened proc file. *)
 let ops t name =
@@ -127,4 +142,5 @@ let ops t name =
             (fun ctx _ _ -> Sched.finish ctx (Abi.R_int (-Errno.erofs)));
           dev_mmap = None;
           dev_close = (fun file -> Hashtbl.remove t.snapshots file.Fd.file_id);
+          dev_poll = None;
         }

@@ -654,6 +654,19 @@ let wake_one t chan =
             true
           end)
 
+(* All pollers park on one shared channel: a task can only block on one
+   chan, so poll cannot sleep on each fd's own channel. Producers (pipes,
+   keyboard, UART, WM event queues) call [poll_wake] at every readiness
+   transition; each woken poller rescans its own fd set and re-blocks if
+   still idle. Free when nobody is polling, so the paper paths that never
+   poll are untouched. *)
+let poll_chan = "poll:waiters"
+
+let poll_wake t =
+  match Hashtbl.find_opt t.wait_chans poll_chan with
+  | None -> ()
+  | Some q -> if not (Queue.is_empty q) then wake_all t poll_chan
+
 (* ---- the syscall context API (used by the dispatcher in Syscall) ---- *)
 
 let charge ctx cycles = ctx.charge_cycles <- ctx.charge_cycles + cycles

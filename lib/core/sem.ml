@@ -2,7 +2,13 @@
 
     The primitive behind the threading syscalls: user-level mutexes and
     condition variables are built on these in the user library, exactly as
-    the paper describes. *)
+    the paper describes.
+
+    Reference counts track every pid holding the semaphore open: fork
+    duplicates the parent's holds (so a child's sem_close no longer frees
+    the parent's semaphore out from under it), task exit drops whatever
+    the task still held. CLONE_VM threads share the process's holds the
+    way they share the fd table. *)
 
 type sem = {
   sem_id : int;
@@ -11,21 +17,50 @@ type sem = {
   chan : string;
 }
 
+(** What a process holds open, shared by its CLONE_VM threads the way the
+    fd table is (a thread's sem_close closes for all; the last sharer's
+    exit releases the holds). *)
+type holds = { mutable ids : int list; mutable sharers : int }
+
 type t = {
   sched : Sched.t;
   sems : (int, sem) Hashtbl.t;
+  held : (int, holds) Hashtbl.t;  (** pid -> held sem ids, multiplicity *)
   mutable next_id : int;
 }
 
-let create sched = { sched; sems = Hashtbl.create 16; next_id = 1 }
+let create sched =
+  { sched; sems = Hashtbl.create 16; held = Hashtbl.create 16; next_id = 1 }
 
-let sem_open t ~value =
+let holds_of t pid =
+  match Hashtbl.find_opt t.held pid with
+  | Some h -> h
+  | None ->
+      let h = { ids = []; sharers = 1 } in
+      Hashtbl.replace t.held pid h;
+      h
+
+(* Remove one instance of [id] from [pid]'s holds. *)
+let drop_hold t ~pid id =
+  match Hashtbl.find_opt t.held pid with
+  | None -> ()
+  | Some h ->
+      let rec remove_first = function
+        | [] -> []
+        | x :: rest when x = id -> rest
+        | x :: rest -> x :: remove_first rest
+      in
+      h.ids <- remove_first h.ids
+
+let sem_open t ~pid ~value =
   if value < 0 then Error Errno.einval
   else begin
     let id = t.next_id in
     t.next_id <- id + 1;
     Hashtbl.replace t.sems id
       { sem_id = id; value; refs = 1; chan = Printf.sprintf "sem:%d" id };
+    let h = holds_of t pid in
+    h.ids <- id :: h.ids;
     Ok id
   end
 
@@ -55,12 +90,55 @@ let wait ctx t id =
       in
       attempt ()
 
+let release t sem =
+  sem.refs <- sem.refs - 1;
+  if sem.refs <= 0 then Hashtbl.remove t.sems sem.sem_id
+
 let close ctx t id =
   match find t id with
   | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
   | Some sem ->
-      sem.refs <- sem.refs - 1;
-      if sem.refs <= 0 then Hashtbl.remove t.sems id;
+      drop_hold t ~pid:ctx.Sched.task.Task.pid id;
+      release t sem;
       Sched.finish ctx (Abi.R_int 0)
+
+(* fork: the child gets its own copy of the parent's holds, each hold a
+   new reference — the lifetime fix: before this, a fork'd child's
+   sem_close dropped the parent's only reference. *)
+let fork t ~parent ~child =
+  match Hashtbl.find_opt t.held parent with
+  | None -> ()
+  | Some h ->
+      let live =
+        List.filter_map
+          (fun id ->
+            match find t id with
+            | Some sem ->
+                sem.refs <- sem.refs + 1;
+                Some id
+            | None -> None)
+          h.ids
+      in
+      Hashtbl.replace t.held child { ids = live; sharers = 1 }
+
+(* clone(CLONE_VM): threads share the process's holds. *)
+let share t ~parent ~child =
+  let h = holds_of t parent in
+  h.sharers <- h.sharers + 1;
+  Hashtbl.replace t.held child h
+
+(* Task exit: the last sharer releases everything still held. *)
+let task_exit t ~pid =
+  match Hashtbl.find_opt t.held pid with
+  | None -> ()
+  | Some h ->
+      h.sharers <- h.sharers - 1;
+      if h.sharers <= 0 then begin
+        List.iter
+          (fun id -> match find t id with Some sem -> release t sem | None -> ())
+          h.ids;
+        h.ids <- []
+      end;
+      Hashtbl.remove t.held pid
 
 let live_count t = Hashtbl.length t.sems

@@ -74,8 +74,8 @@ let dispatch s ctx =
           Vfs.op_lseek ctx s.s_vfs fd off whence)
   | Abi.Dup fd ->
       need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_dup ctx s.s_vfs fd)
-  | Abi.Pipe ->
-      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_pipe ctx s.s_vfs)
+  | Abi.Pipe flags ->
+      need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_pipe ctx s.s_vfs flags)
   | Abi.Fstat fd ->
       need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_fstat ctx s.s_vfs fd)
   | Abi.Mkdir path ->
@@ -86,6 +86,12 @@ let dispatch s ctx =
       need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_chdir ctx s.s_vfs path)
   | Abi.Fsync fd ->
       need cfg.Kconfig.syscalls_files (fun () -> Vfs.op_fsync ctx s.s_vfs fd)
+  | Abi.Poll (fds, timeout_ms) ->
+      (* poll ships with the nonblocking-IO stage: both exist so
+         event-driven apps stop spinning *)
+      need
+        (cfg.Kconfig.syscalls_files && cfg.Kconfig.nonblocking_io)
+        (fun () -> Vfs.op_poll ctx s.s_vfs fds timeout_ms)
   | Abi.Mmap fd ->
       need cfg.Kconfig.user_separation (fun () ->
           if fd >= 0 && cfg.Kconfig.syscalls_files then
@@ -119,7 +125,7 @@ let dispatch s ctx =
           Proc.sys_join ctx s.s_proc tid)
   | Abi.Sem_open value ->
       need cfg.Kconfig.syscalls_threads (fun () ->
-          match Sem.sem_open s.s_sems ~value with
+          match Sem.sem_open s.s_sems ~pid:ctx.Sched.task.Task.pid ~value with
           | Ok id -> Sched.finish ctx (Abi.R_int id)
           | Error e -> err ctx e)
   | Abi.Sem_post id ->

@@ -17,10 +17,11 @@ type t = {
           USB mass-storage sticks ("/usb") *)
   devfs : Devfs.t;
   procfs : Procfs.t;
+  ipc : Pipe.params;  (** pipe implementation knobs + the IPC counters *)
 }
 
-let create ~sched ~config ~fdt ~root ~root_bc ~devfs ~procfs =
-  { sched; config; fdt; root; root_bc; fat_mounts = []; devfs; procfs }
+let create ~sched ~config ~fdt ~root ~root_bc ~devfs ~procfs ~ipc =
+  { sched; config; fdt; root; root_bc; fat_mounts = []; devfs; procfs; ipc }
 
 let mount_fat t ~at fat bc = t.fat_mounts <- t.fat_mounts @ [ (at, fat, bc) ]
 
@@ -156,7 +157,10 @@ let op_open ctx t path flags =
           | Some ops ->
               let file =
                 Fd.make_file ~kind:(Fd.K_dev ops) ~readable:true
-                  ~writable:(want_write flags) ~nonblock:false
+                  ~writable:(want_write flags)
+                  ~nonblock:
+                    (t.config.Kconfig.nonblocking_io
+                    && flags land Abi.o_nonblock <> 0)
               in
               (match Fd.alloc t.fdt ~pid:ctx.Sched.task.Task.pid file with
               | Ok fd -> Sched.finish ctx (Abi.R_int fd)
@@ -250,7 +254,7 @@ let op_write ctx t fd data =
       else begin
         match file.Fd.kind with
         | Fd.K_dev ops -> ops.Fd.dev_write ctx file data
-        | Fd.K_pipe_write p -> Pipe.write ctx p data
+        | Fd.K_pipe_write p -> Pipe.write ctx p data ~nonblock:file.Fd.nonblock
         | Fd.K_pipe_read _ -> err ctx Errno.ebadf
         | Fd.K_xv6 (fsys, node) ->
             Bufcache.with_ctx t.root_bc ctx (fun () ->
@@ -418,17 +422,20 @@ let op_chdir ctx t path =
   end
   else err ctx Errno.enoent
 
-let op_pipe ctx t =
+let op_pipe ctx t flags =
   charge_dispatch ctx;
   Sched.charge ctx Kcost.pipe_setup;
-  let p = Pipe.create () in
+  let p = Pipe.create t.ipc in
+  let nonblock =
+    t.config.Kconfig.nonblocking_io && flags land Abi.o_nonblock <> 0
+  in
   let rf =
     Fd.make_file ~kind:(Fd.K_pipe_read p) ~readable:true ~writable:false
-      ~nonblock:false
+      ~nonblock
   in
   let wf =
     Fd.make_file ~kind:(Fd.K_pipe_write p) ~readable:false ~writable:true
-      ~nonblock:false
+      ~nonblock
   in
   let pid = ctx.Sched.task.Task.pid in
   match Fd.alloc t.fdt ~pid rf with
@@ -439,6 +446,85 @@ let op_pipe ctx t =
           ignore (Fd.close t.fdt ~pid ~fd:rfd);
           err ctx e
       | Ok wfd -> Sched.finish ctx (Abi.R_pair (rfd, wfd)))
+
+(* ---- poll ---- *)
+
+let file_ready ctx file =
+  match file.Fd.kind with
+  | Fd.K_pipe_read p -> Pipe.read_ready p
+  | Fd.K_pipe_write p -> Pipe.write_ready p
+  | Fd.K_dev ops -> (
+      match ops.Fd.dev_poll with Some ready -> ready ctx file | None -> true)
+  | Fd.K_xv6 _ | Fd.K_fat _ -> true (* regular files never block *)
+
+(* poll(2): readiness multiplexing over pipes, /dev/events, the console
+   and anything else with a [dev_poll] hook. All pollers sleep on the one
+   shared {!Sched.poll_chan} (a task can block on exactly one channel);
+   every producer-side readiness transition wakes the channel and each
+   poller rescans its own fd set — so wakeups can be spurious for a given
+   caller, but never lost. [timeout_ms]: negative waits forever, 0 is a
+   pure probe, positive arms an engine timer whose expiry also kicks the
+   shared channel. *)
+let op_poll ctx t fds timeout_ms =
+  charge_dispatch ctx;
+  let pid = ctx.Sched.task.Task.pid in
+  let sched = ctx.Sched.sched in
+  let stats = t.ipc.Pipe.stats in
+  stats.Ipcstats.polls <- stats.Ipcstats.polls + 1;
+  if fds = [] || List.length fds > Fd.max_files then err ctx Errno.einval
+  else begin
+    let expired = ref false in
+    let blocked = ref false in
+    let scan () =
+      Sched.charge ctx (Kcost.poll_fd_check * List.length fds);
+      let mask = ref 0 and bad = ref false in
+      List.iteri
+        (fun i fd ->
+          match Fd.get t.fdt ~pid ~fd with
+          | None -> bad := true
+          | Some file -> if file_ready ctx file then mask := !mask lor (1 lsl i))
+        fds;
+      if !bad then Error Errno.ebadf else Ok !mask
+    in
+    let rec attempt () =
+      match scan () with
+      | Error e -> err ctx e
+      | Ok mask when mask <> 0 ->
+          if not !blocked then
+            stats.Ipcstats.poll_immediate <- stats.Ipcstats.poll_immediate + 1;
+          let nready =
+            List.fold_left
+              (fun n i -> if mask land (1 lsl i) <> 0 then n + 1 else n)
+              0
+              (List.mapi (fun i _ -> i) fds)
+          in
+          Sched.trace_emit_task sched ctx.Sched.task
+            (Ktrace.Poll_return (pid, nready));
+          Sched.finish ctx (Abi.R_int mask)
+      | Ok _ when timeout_ms = 0 || !expired ->
+          (if !expired then
+             stats.Ipcstats.poll_timeouts <- stats.Ipcstats.poll_timeouts + 1
+           else
+             stats.Ipcstats.poll_immediate <-
+               stats.Ipcstats.poll_immediate + 1);
+          Sched.trace_emit_task sched ctx.Sched.task
+            (Ktrace.Poll_return (pid, 0));
+          Sched.finish ctx (Abi.R_int 0)
+      | Ok _ ->
+          if not !blocked then begin
+            blocked := true;
+            stats.Ipcstats.poll_blocked <- stats.Ipcstats.poll_blocked + 1;
+            if timeout_ms > 0 then
+              ignore
+                (Sim.Engine.schedule_after (Sched.engine sched)
+                   (Sim.Engine.ms timeout_ms) (fun () ->
+                     expired := true;
+                     Sched.poll_wake sched))
+          end;
+          Sched.block ctx ~chan:Sched.poll_chan ~retry:attempt
+    in
+    attempt ()
+  end
 
 let op_close ctx t fd =
   charge_dispatch ctx;

@@ -163,6 +163,7 @@ and deliver t ev =
       if Queue.length s.events >= 64 then ignore (Queue.pop s.events);
       Queue.add ev s.events;
       Sched.wake_all t.sched s.ev_chan;
+      Sched.poll_wake t.sched;
       true
 
 (* ---- composition ---- *)

@@ -45,19 +45,28 @@ let encode ~min_code_size data =
       | [ single ] -> Some single
       | _ -> Hashtbl.find_opt table seq
     in
+    (* The width check rides each emit and runs *before* the pending
+       table insert. At that instant the decoder (whose insert for this
+       code also hasn't happened yet) counts exactly as many entries, so
+       the two sides widen for the same code — including the clear/end
+       codes, which follow an emit with no insert of their own. Checking
+       after the insert instead desynced the end code's width whenever
+       the final data code landed on a power-of-two boundary. *)
+    let emit_prefix seq =
+      emit (Option.get (code_of seq));
+      if !next_code >= 1 lsl !code_size && !code_size < max_bits then
+        incr code_size
+    in
     for i = 1 to n - 1 do
       let c = Bytes.get_uint8 data i in
       let candidate = !prefix @ [ c ] in
       match code_of candidate with
       | Some _ -> prefix := candidate
       | None ->
-          emit (Option.get (code_of !prefix));
+          emit_prefix !prefix;
           if !next_code < 1 lsl max_bits then begin
             Hashtbl.replace table candidate !next_code;
-            incr next_code;
-            (* grow once codes no longer fit the current width *)
-            if !next_code = 1 lsl !code_size && !code_size < max_bits then
-              incr code_size
+            incr next_code
           end
           else begin
             emit clear_code;
@@ -65,7 +74,7 @@ let encode ~min_code_size data =
           end;
           prefix := [ c ]
     done;
-    emit (Option.get (code_of !prefix))
+    emit_prefix !prefix
   end;
   emit end_code;
   if !bitcnt > 0 then Buffer.add_char out (Char.chr (!bitbuf land 0xff));
@@ -127,12 +136,12 @@ let decode ~min_code_size data =
       | Some p when !next_code < 1 lsl max_bits ->
           table.(!next_code) <- Some (p @ [ List.hd entry ]);
           incr next_code;
-          (* "early change": the decoder's table lags the encoder's by one
-             entry, so it must widen one entry sooner *)
-          if
-            !next_code = (1 lsl !code_size) - 1
-            && !code_size < max_bits
-          then incr code_size
+          (* post-insert here lines up with the encoder's pre-insert
+             check: the decoder's insert for code k happens one code
+             later than the encoder's, so both see the same table size
+             when deciding the width of code k+1 *)
+          if !next_code >= 1 lsl !code_size && !code_size < max_bits then
+            incr code_size
       | Some _ | None -> ());
       prev := Some entry
     end

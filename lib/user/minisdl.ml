@@ -41,6 +41,18 @@ let poll_events t = Uevents.poll_events t.ev_fd
 
 let delay ms = ignore (Usys.sleep ms)
 
+(* Block in poll(2) until an input event arrives or [timeout_ms] lapses,
+   then drain the queue. On kernels without poll (xv6 config) degrade to
+   the sleep-then-spin loop so callers keep their frame pacing. *)
+let wait_events t ~timeout_ms =
+  let r = Usys.poll [ t.ev_fd ] ~timeout_ms in
+  if r > 0 then Uevents.read_events t.ev_fd
+  else if r = 0 then []
+  else begin
+    delay (max 1 timeout_ms);
+    Uevents.poll_events t.ev_fd
+  end
+
 (* SDL-style audio: [callback n] returns the next [n] samples; a dedicated
    thread keeps the device fed, running concurrently with the decoder. *)
 let audio_chunk = 2048

@@ -41,11 +41,13 @@ let write_str fd s = write fd (Bytes.of_string s)
 let lseek fd off whence = as_int (sys (Abi.Lseek (fd, off, whence)))
 let dup fd = as_int (sys (Abi.Dup fd))
 
-let pipe () =
-  match sys Abi.Pipe with
+let pipe2 flags =
+  match sys (Abi.Pipe flags) with
   | Abi.R_pair (r, w) -> Ok (r, w)
   | Abi.R_int n -> Error (-n)
   | Abi.R_bytes _ | Abi.R_stat _ | Abi.R_mmap _ -> Error Errno.einval
+
+let pipe () = pipe2 0
 
 let fstat fd =
   match sys (Abi.Fstat fd) with
@@ -54,6 +56,11 @@ let fstat fd =
   | Abi.R_bytes _ | Abi.R_pair _ | Abi.R_mmap _ -> Error Errno.einval
 
 let fsync fd = as_int (sys (Abi.Fsync fd))
+
+(* poll(2): block until one of [fds] is ready (or the timeout lapses).
+   Returns a bitmask, bit i for fds.(i); 0 = timed out, negative = errno.
+   [timeout_ms] < 0 waits forever, 0 probes without blocking. *)
+let poll fds ~timeout_ms = as_int (sys (Abi.Poll (fds, timeout_ms)))
 let mkdir path = as_int (sys (Abi.Mkdir path))
 let unlink path = as_int (sys (Abi.Unlink path))
 let chdir path = as_int (sys (Abi.Chdir path))

@@ -366,6 +366,173 @@ let pipe_fork_shares_ends () =
       ignore child;
       ignore (Usys.wait ()))
 
+(* ---- the POSIX pipe fixes, poll(2) and the rebuilt fast path ---- *)
+
+let pipe_epipe_without_readers () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      check_int "close read end" 0 (Usys.close r);
+      check_int "write is EPIPE" (-Core.Errno.epipe)
+        (Usys.write w (Bytes.of_string "nobody")))
+
+let pipe_partial_write_when_readers_vanish () =
+  let n = ref 0 in
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      let child =
+        Usys.fork (fun () ->
+            ignore (Usys.sleep 10);
+            ignore (Usys.read r 512);
+            ignore (Usys.close r);
+            0)
+      in
+      ignore (Usys.close r);
+      (* 2048 > the 512-byte buffer, so the write blocks mid-transfer; the
+         reader drains once and closes, and the write must report the
+         bytes already sent — before the fix it returned -EINVAL *)
+      n := Usys.write w (Bytes.make 2048 'p');
+      ignore child;
+      ignore (Usys.wait ()));
+  check_bool "partial count, not an error" true (!n > 0 && !n < 2048)
+
+let kbd_short_read_einval () =
+  in_kernel (fun _ ->
+      let fd = Usys.open_ "/dev/events" Core.Abi.o_rdonly in
+      check_bool "open /dev/events" true (fd >= 0);
+      (* a buffer shorter than one 8-byte event used to overrun; now it is
+         rejected outright *)
+      (match Usys.read fd 4 with
+      | Error e -> check_int "EINVAL" Core.Errno.einval e
+      | Ok _ -> Alcotest.fail "short event read succeeded");
+      check_int "close" 0 (Usys.close fd))
+
+let pipe_nonblock_read_eagain () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe2 Core.Abi.o_nonblock) in
+      (match Usys.read r 8 with
+      | Error e -> check_int "EAGAIN when empty" Core.Errno.eagain e
+      | Ok _ -> Alcotest.fail "empty nonblocking read succeeded");
+      ignore (Usys.write w (Bytes.of_string "data"));
+      check_string "readable once data arrives" "data"
+        (Bytes.to_string (Result.get_ok (Usys.read r 8)));
+      (* an overfull nonblocking write takes the partial and returns *)
+      check_int "partial nonblocking write" 512
+        (Usys.write w (Bytes.make 600 'f')))
+
+let sem_refs_across_fork_and_exit () =
+  in_kernel (fun _ ->
+      let sem = Usys.sem_open 0 in
+      check_bool "opened" true (sem > 0);
+      let child =
+        Usys.fork (fun () ->
+            (* fork gave the child its own reference: closing it and
+               exiting must not free the parent's semaphore *)
+            ignore (Usys.sem_post sem);
+            ignore (Usys.sem_close sem);
+            0)
+      in
+      ignore (Usys.wait ());
+      check_int "parent's ref survives the child" 0 (Usys.sem_wait sem);
+      ignore child;
+      (* but a semaphore whose only holder exits is released *)
+      let id = ref (-1) in
+      ignore (Usys.fork (fun () -> id := Usys.sem_open 0; 0));
+      ignore (Usys.wait ());
+      check_int "orphaned sem is gone" (-Core.Errno.einval)
+        (Usys.sem_post !id))
+
+let poll_pipe_multiplex () =
+  in_kernel (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      check_int "bad fd" (-Core.Errno.ebadf) (Usys.poll [ 99 ] ~timeout_ms:0);
+      check_int "probe empty" 0 (Usys.poll [ r ] ~timeout_ms:0);
+      ignore (Usys.write w (Bytes.of_string "x"));
+      check_int "read end ready" 1 (Usys.poll [ r ] ~timeout_ms:0);
+      check_int "both ends ready" 3 (Usys.poll [ r; w ] ~timeout_ms:0);
+      ignore (Usys.read r 1);
+      (* a blocking poll parks until a producer makes the fd ready *)
+      let child =
+        Usys.fork (fun () ->
+            ignore (Usys.sleep 20);
+            Usys.write w (Bytes.of_string "y"))
+      in
+      let t0 = Usys.uptime_ms () in
+      check_int "woken ready" 1 (Usys.poll [ r ] ~timeout_ms:(-1));
+      check_bool "blocked until the write" true (Usys.uptime_ms () - t0 >= 18);
+      ignore child;
+      ignore (Usys.wait ()))
+
+let poll_timeout_expires () =
+  in_kernel (fun _ ->
+      let r, _w = Result.get_ok (Usys.pipe ()) in
+      let t0 = Usys.uptime_ms () in
+      check_int "timed out empty-handed" 0 (Usys.poll [ r ] ~timeout_ms:25);
+      check_in_range "~25ms" 24.0 35.0 (float_of_int (Usys.uptime_ms () - t0)))
+
+let proc_ipc_reports_edge_stats () =
+  let edge_cfg =
+    {
+      Core.Kconfig.full with
+      Core.Kconfig.pipe_ring = true;
+      pipe_wake_edge = true;
+    }
+  in
+  in_kernel ~config:edge_cfg (fun _ ->
+      let r, w = Result.get_ok (Usys.pipe ()) in
+      ignore (Usys.write w (Bytes.of_string "abc")); (* empty->non-empty *)
+      ignore (Usys.read r 3); (* pipe was not full: wakeup suppressed *)
+      let text = Bytes.to_string (Result.get_ok (Usys.slurp "/proc/ipc")) in
+      let field key =
+        let lines = String.split_on_char '\n' text in
+        match
+          List.find_opt (fun l -> String.starts_with ~prefix:key l) lines
+        with
+        | None -> Alcotest.failf "missing %s in /proc/ipc" key
+        | Some l -> (
+            match List.rev (String.split_on_char ' ' (String.trim l)) with
+            | v :: _ -> v
+            | [] -> "")
+      in
+      check_string "ring impl" "ring" (field "pipe_impl");
+      check_string "edge mode" "edge" (field "wake_mode");
+      check_bool "a wakeup was issued" true
+        (int_of_string (field "wakeups_issued") >= 1);
+      check_bool "a wakeup was suppressed" true
+        (int_of_string (field "wakeups_suppressed") >= 1);
+      check_bool "writes counted" true
+        (int_of_string (field "pipe_writes") >= 1))
+
+(* The fast path must be a pure performance change: the byte stream a
+   ring pipe delivers — including across the wrap boundary — is identical
+   to the xv6 pipe's. *)
+let ring_pipe_matches_xv6_data () =
+  let stream config =
+    in_kernel ~config (fun _ ->
+        let r, w = Result.get_ok (Usys.pipe ()) in
+        let buf = Buffer.create 1024 in
+        (* 10 x 100 bytes through a 256-byte ring: wraps repeatedly *)
+        for i = 0 to 9 do
+          let chunk =
+            Bytes.init 100 (fun j -> Char.chr (((i * 31) + (j * 7)) land 0xff))
+          in
+          ignore (Usys.write w chunk);
+          Buffer.add_bytes buf (Result.get_ok (Usys.read r 100))
+        done;
+        Buffer.contents buf)
+  in
+  let ring_cfg =
+    {
+      Core.Kconfig.full with
+      Core.Kconfig.pipe_ring = true;
+      pipe_buffer_bytes = 256;
+      pipe_wake_edge = true;
+    }
+  in
+  let a = stream Core.Kconfig.full in
+  let b = stream ring_cfg in
+  check_int "same length" (String.length a) (String.length b);
+  check_bool "identical byte stream" true (String.equal a b)
+
 let sem_mutual_exclusion () =
   in_kernel (fun _ ->
       let m = Uthread.Mutex.create () in
@@ -456,6 +623,16 @@ let suite_ipc =
       quick "join returns exit code" join_returns_exit_code;
       quick "semaphore counting" semaphore_counting;
       quick "pipe IPC latency ~21us" ipc_latency_in_range;
+      quick "write without readers is EPIPE" pipe_epipe_without_readers;
+      quick "blocked write returns partial when readers vanish"
+        pipe_partial_write_when_readers_vanish;
+      quick "short /dev/events read is EINVAL" kbd_short_read_einval;
+      quick "O_NONBLOCK pipe EAGAIN and partial write" pipe_nonblock_read_eagain;
+      quick "semaphore refs across fork and exit" sem_refs_across_fork_and_exit;
+      quick "poll multiplexes pipe fds" poll_pipe_multiplex;
+      quick "poll timeout expires" poll_timeout_expires;
+      quick "/proc/ipc reports edge wakeup counts" proc_ipc_reports_edge_stats;
+      quick "ring pipe bytes identical to xv6 pipe" ring_pipe_matches_xv6_data;
     ] )
 
 (* ---- file syscalls through the VFS ---- *)
@@ -1451,6 +1628,8 @@ let sc_kill_one_of_two_blocked () =
   ignore
     (Core.Kernel.spawn_user kernel ~name:"semowner" (fun () ->
          sem := Usys.sem_open 0;
+         (* stay alive: a semaphore's refs drop with its holder's exit *)
+         ignore (Usys.sleep 10_000);
          0));
   run_for kernel 1;
   let t1 =
