@@ -42,6 +42,9 @@ let kconfig_of row =
     Core.Kconfig.pipe_ring = row.ic_ring;
     pipe_wake_edge = row.ic_edge;
     pipe_buffer_bytes = row.ic_buf;
+    (* zero-cycle sanitizer on: the pingpong/events workloads double as
+       a refcount/deadlock soak without moving a single number *)
+    kcheck = true;
   }
 
 let ipc_stats kernel = kernel.Core.Kernel.vfs.Core.Vfs.ipc.Core.Pipe.stats

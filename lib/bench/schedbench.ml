@@ -83,6 +83,10 @@ let kconfig_of row =
     wake_model = row.rc_wake;
     wake_affinity = row.rc_affinity;
     load_balance_ms = row.rc_lb_ms;
+    (* the sanitizer rides along: zero virtual cycles, so every number
+       below is identical with it off — and the bench doubles as a
+       lockdep/deadlock soak test *)
+    kcheck = true;
   }
 
 (* ---- workload ---- *)

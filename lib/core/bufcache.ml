@@ -130,13 +130,13 @@ let device_read t ~lba ~count =
       | Ok (data, cost) ->
           charge_io t cost;
           data
-      | Error e -> invalid_arg e)
+      | Error e -> Kpanic.panicf "%s" e)
   | Usb_msd usb -> (
       match Hw.Usb.msd_read usb ~lba ~count with
       | Ok (data, cost) ->
           charge_io t cost;
           data
-      | Error e -> invalid_arg e)
+      | Error e -> Kpanic.panicf "%s" e)
 
 let device_write t ~lba data =
   match t.backing with
@@ -146,11 +146,11 @@ let device_write t ~lba data =
   | Card (sd, first) -> (
       match Hw.Sd.write sd ~lba:(first + lba) ~data with
       | Ok cost -> charge_io t cost
-      | Error e -> invalid_arg e)
+      | Error e -> Kpanic.panicf "%s" e)
   | Usb_msd usb -> (
       match Hw.Usb.msd_write usb ~lba ~data with
       | Ok cost -> charge_io t cost
-      | Error e -> invalid_arg e)
+      | Error e -> Kpanic.panicf "%s" e)
 
 let device_sectors t =
   match t.backing with
@@ -237,14 +237,14 @@ let flush t =
                   ~data:e.e_data
               with
               | Ok () -> ()
-              | Error msg -> invalid_arg msg)
+              | Error msg -> Kpanic.panicf "%s" msg)
             dirty;
           (match Hw.Sd.flush_queue ~coalesce:t.coalesce sd with
           | Ok (cost, commands) ->
               t.flush_ns <- Int64.add t.flush_ns cost;
               charge_io t cost;
               commands
-          | Error msg -> invalid_arg msg)
+          | Error msg -> Kpanic.panicf "%s" msg)
       | Ram _ | Usb_msd _ ->
           (* group contiguous keys into one range write per run *)
           let runs =

@@ -163,3 +163,92 @@ let open_count t ~pid =
       Array.fold_left
         (fun n slot -> if slot = None then n else n + 1)
         0 tbl.slots
+
+(* ---- kcheck support ---- *)
+
+(* CLONE_VM threads map to the very same table, so audits must dedupe by
+   physical identity or shared slots would be double-counted. *)
+let distinct_tables t =
+  Hashtbl.fold
+    (fun _ tbl acc -> if List.memq tbl acc then acc else tbl :: acc)
+    t.tables []
+
+(* The pids holding an end of pipe [pipe_id] open: the candidate wakers
+   of the opposite end's channel in the blocked-task deadlock walk. *)
+let pipe_end_owners t ~pipe_id ~write =
+  Hashtbl.fold
+    (fun pid tbl acc ->
+      let has =
+        Array.exists
+          (fun slot ->
+            match slot with
+            | None -> false
+            | Some file -> (
+                match file.kind with
+                | K_pipe_write p -> write && p.Pipe.pipe_id = pipe_id
+                | K_pipe_read p -> (not write) && p.Pipe.pipe_id = pipe_id
+                | K_dev _ | K_xv6 _ | K_fat _ -> false))
+          tbl.slots
+      in
+      if has then pid :: acc else acc)
+    t.tables []
+
+(* Re-derive every refcount from the table ground truth: a file record's
+   [refs] must equal the slots referencing it across distinct tables, and
+   a pipe's reader/writer counts must equal its live read/write file
+   records — the exact invariants whose violations PR 3 debugged by hand
+   (dup/fork double-counting pipe ends). *)
+let audit t =
+  let slot_counts : (int, file * int ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun tbl ->
+      Array.iter
+        (fun slot ->
+          match slot with
+          | None -> ()
+          | Some file -> (
+              match Hashtbl.find_opt slot_counts file.file_id with
+              | Some (_, n) -> incr n
+              | None -> Hashtbl.replace slot_counts file.file_id (file, ref 1)))
+        tbl.slots)
+    (distinct_tables t);
+  let problems = ref [] in
+  let pipes : (int, Pipe.t * int ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let pipe_entry p =
+    match Hashtbl.find_opt pipes p.Pipe.pipe_id with
+    | Some e -> e
+    | None ->
+        let e = (p, ref 0, ref 0) in
+        Hashtbl.replace pipes p.Pipe.pipe_id e;
+        e
+  in
+  Hashtbl.iter
+    (fun _ (file, n) ->
+      if file.refs <> !n then
+        problems :=
+          Printf.sprintf "file %d: refs=%d but %d table slots" file.file_id
+            file.refs !n
+          :: !problems;
+      match file.kind with
+      | K_pipe_read p ->
+          let _, r, _ = pipe_entry p in
+          incr r
+      | K_pipe_write p ->
+          let _, _, w = pipe_entry p in
+          incr w
+      | K_dev _ | K_xv6 _ | K_fat _ -> ())
+    slot_counts;
+  Hashtbl.iter
+    (fun id (p, r, w) ->
+      if p.Pipe.readers <> !r then
+        problems :=
+          Printf.sprintf "pipe %d: readers=%d but %d live read ends" id
+            p.Pipe.readers !r
+          :: !problems;
+      if p.Pipe.writers <> !w then
+        problems :=
+          Printf.sprintf "pipe %d: writers=%d but %d live write ends" id
+            p.Pipe.writers !w
+          :: !problems)
+    pipes;
+  !problems

@@ -69,7 +69,7 @@ let alloc_pages t ~owner n =
 
 let free_page t frame =
   if not (Hashtbl.mem t.allocated frame) then
-    invalid_arg (Printf.sprintf "kalloc: double free of frame %d" frame);
+    Kpanic.panicf "kalloc: double free of frame %d" frame;
   Hashtbl.remove t.allocated frame;
   Stack.push frame t.free_list;
   t.free_pages <- t.free_pages + 1
@@ -92,7 +92,7 @@ let kmalloc t ~bytes =
   t.kmalloc_live <- t.kmalloc_live + 1
 
 let kfree t ~bytes =
-  if t.kmalloc_live = 0 then invalid_arg "kalloc: kfree with no live objects";
+  if t.kmalloc_live = 0 then Kpanic.panicf "kalloc: kfree with no live objects";
   t.kmalloc_bytes <- t.kmalloc_bytes - bytes;
   t.kmalloc_live <- t.kmalloc_live - 1
 

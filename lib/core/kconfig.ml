@@ -79,6 +79,12 @@ type t = {
       (** edge-triggered pipe wakeups: wake readers only on
           empty→non-empty and writers only on full→not-full, instead of
           on every operation *)
+  kcheck : bool;
+      (** the runtime sanitizer ({!Kcheck}): lockdep order checking,
+          blocked-task deadlock scans, sleep-in-atomic detection and
+          refcount audits at fork/clone/exit. Host-side instrumentation
+          only — charges zero virtual cycles, so every paper number is
+          unchanged. Off in the stock kernel, on under the test harness. *)
 }
 
 let full =
@@ -123,6 +129,9 @@ let full =
     pipe_ring = false;
     pipe_buffer_bytes = 4096;
     pipe_wake_edge = false;
+    (* pure host-side checking, but the stock kernel stays exactly the
+       artifact the paper describes; the harness flips it on *)
+    kcheck = false;
   }
 
 let rec prototype = function
@@ -158,6 +167,7 @@ let rec prototype = function
         pipe_ring = false;
         pipe_buffer_bytes = 512;
         pipe_wake_edge = false;
+        kcheck = false;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->
@@ -182,4 +192,4 @@ let rec prototype = function
         simd_pixel_ops = false;
       }
   | 5 -> full
-  | k -> invalid_arg (Printf.sprintf "Kconfig.prototype: no prototype %d" k)
+  | k -> Kpanic.panicf "Kconfig.prototype: no prototype %d" k

@@ -64,6 +64,7 @@ type t = {
   root_bc : Bufcache.t;
   fat_bc : Bufcache.t option;
   devfs : Devfs.t;
+  kcheck : Kcheck.t option;
   kernel_reserved_bytes : int;
   mutable boot_ready_ns : int64;
 }
@@ -84,7 +85,7 @@ let mkdirs_xv6 fsys path =
         | Error _ -> (
             match Fs.Xv6fs.create fsys next Fs.Xv6fs.Dir with
             | Ok _ -> ()
-            | Error e -> invalid_arg ("boot: " ^ e)));
+            | Error e -> Kpanic.panicf "boot: %s" e));
         go next rest
   in
   go "" (Fs.Vpath.split (Fs.Vpath.dirname path))
@@ -99,7 +100,7 @@ let mkdirs_fat fat path =
         | Error _ -> (
             match Fs.Fat32.mkdir fat next with
             | Ok () -> ()
-            | Error e -> invalid_arg ("boot: " ^ e)));
+            | Error e -> Kpanic.panicf "boot: %s" e));
         go next rest
   in
   go "" (Fs.Vpath.split (Fs.Vpath.dirname path))
@@ -131,17 +132,17 @@ let build_ramdisk spec =
   let fsys =
     match Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image image) with
     | Ok f -> f
-    | Error e -> invalid_arg ("boot: ramdisk " ^ e)
+    | Error e -> Kpanic.panicf "boot: ramdisk %s" e
   in
   List.iter
     (fun (path, data) ->
       mkdirs_xv6 fsys path;
       match Fs.Xv6fs.create fsys path Fs.Xv6fs.Reg with
-      | Error e -> invalid_arg ("boot: " ^ e)
+      | Error e -> Kpanic.panicf "boot: %s" e
       | Ok node -> (
           match Fs.Xv6fs.writei fsys node ~off:0 ~data with
           | Ok _ -> ()
-          | Error e -> invalid_arg ("boot: " ^ path ^ ": " ^ e)))
+          | Error e -> Kpanic.panicf "boot: %s: %s" path e))
     all_files;
   image
 
@@ -166,7 +167,7 @@ let build_fat_partition board spec =
        |]
    with
   | Ok () -> ()
-  | Error e -> invalid_arg ("boot: mbr " ^ e));
+  | Error e -> Kpanic.panicf "boot: mbr %s" e);
   let pdev =
     Fs.Blockdev.of_sd sd ~name:"sd:p2" ~first_lba:part2_lba
       ~sectors:part2_sectors ()
@@ -176,17 +177,17 @@ let build_fat_partition board spec =
   let fat =
     match Fs.Fat32.mount io with
     | Ok f -> f
-    | Error e -> invalid_arg ("boot: fat " ^ e)
+    | Error e -> Kpanic.panicf "boot: fat %s" e
   in
   List.iter
     (fun (path, data) ->
       mkdirs_fat fat path;
       (match Fs.Fat32.create fat path with
       | Ok () -> ()
-      | Error e -> invalid_arg ("boot: " ^ e));
+      | Error e -> Kpanic.panicf "boot: %s" e);
       match Fs.Fat32.write_file fat path ~off:0 ~data with
       | Ok _ -> ()
-      | Error e -> invalid_arg ("boot: " ^ path ^ ": " ^ e))
+      | Error e -> Kpanic.panicf "boot: %s: %s" path e)
     spec.sp_fat_files
 
 let boot spec =
@@ -218,7 +219,7 @@ let boot spec =
             List.find_map
               (function Hw.Mailbox.Buffer fb -> Some fb | _ -> None)
               results
-        | Error e -> invalid_arg ("boot: mailbox " ^ e))
+        | Error e -> Kpanic.panicf "boot: mailbox %s" e)
   in
   (* root filesystem on ramdisk *)
   let ramdisk = build_ramdisk spec in
@@ -234,13 +235,25 @@ let boot spec =
       ~kernel_reserved_bytes:kernel_reserved
   in
   let sched = Sched.create board spec.sp_config kalloc in
+  (* the runtime sanitizer comes up with the scheduler so every later
+     subsystem can feed it; kernel-side knowledge (channel-name parsing,
+     semaphore holders, fd walks) is injected below once those exist *)
+  let kcheck =
+    if spec.sp_config.Kconfig.kcheck then Some (Kcheck.create ()) else None
+  in
+  sched.Sched.kcheck <- kcheck;
+  (match kcheck with
+  | Some kc ->
+      Kcheck.set_emit kc (fun ev -> Sched.trace_emit sched ev);
+      sched.Sched.ptable <- Some (Spinlock.create ~kcheck:kc "ptable")
+  | None -> ());
   let root_bc =
     Bufcache.create ~board ~backing:(Bufcache.Ram ramdisk) ~block_sectors:2 ()
   in
   let rootfs =
     match Fs.Xv6fs.mount (Bufcache.xv6_io root_bc) with
     | Ok f -> f
-    | Error e -> invalid_arg ("boot: root mount " ^ e)
+    | Error e -> Kpanic.panicf "boot: root mount %s" e
   in
   let console = Console.create board sched in
   let kbd = Kbd.create board sched in
@@ -283,7 +296,7 @@ let boot spec =
       in
       (match Fs.Fat32.mount io with
       | Ok fat -> Vfs.mount_fat vfs ~at:"/d" fat bc
-      | Error e -> invalid_arg ("boot: fat mount " ^ e));
+      | Error e -> Kpanic.panicf "boot: fat mount %s" e);
       Some bc
     end
     else None
@@ -294,7 +307,7 @@ let boot spec =
   | None -> ()
   | Some files ->
       if not spec.sp_config.Kconfig.fat32 then
-        invalid_arg "boot: USB storage needs the FAT32 feature";
+        Kpanic.panicf "boot: USB storage needs the FAT32 feature";
       let sectors = 32768 (* a 16 MiB stick *) in
       let image = Bytes.make (sectors * Fs.Blockdev.sector_bytes) '\000' in
       let raw_io = Fs.Fat32.io_of_blockdev (Fs.Blockdev.of_image ~name:"usb0" image) in
@@ -302,17 +315,17 @@ let boot spec =
       (let fat0 =
          match Fs.Fat32.mount raw_io with
          | Ok f -> f
-         | Error e -> invalid_arg ("boot: usb mkfs " ^ e)
+         | Error e -> Kpanic.panicf "boot: usb mkfs %s" e
        in
        List.iter
          (fun (path, data) ->
            mkdirs_fat fat0 path;
            (match Fs.Fat32.create fat0 path with
            | Ok () -> ()
-           | Error e -> invalid_arg ("boot: usb " ^ e));
+           | Error e -> Kpanic.panicf "boot: usb %s" e);
            match Fs.Fat32.write_file fat0 path ~off:0 ~data with
            | Ok _ -> ()
-           | Error e -> invalid_arg ("boot: usb " ^ path ^ ": " ^ e))
+           | Error e -> Kpanic.panicf "boot: usb %s: %s" path e)
          files);
       Hw.Usb.attach_msd board.Hw.Board.usb image;
       let bc =
@@ -327,7 +340,7 @@ let boot spec =
       in
       match Fs.Fat32.mount io with
       | Ok fat -> Vfs.mount_fat vfs ~at:"/usb" fat bc
-      | Error e -> invalid_arg ("boot: usb mount " ^ e));
+      | Error e -> Kpanic.panicf "boot: usb mount %s" e);
   (* Write-back mode: a periodic flush daemon per device-backed cache.
      The daemon is an engine event, i.e. a kernel thread woken by timer —
      its flushes are not billed to whichever task happens to be in a
@@ -345,6 +358,55 @@ let boot spec =
   let proc =
     Proc.create ~sched ~fdt ~vfs ~sems ~kalloc ~config:spec.sp_config
   in
+  (* now that tasks, semaphores and fd tables exist, teach kcheck who
+     could wake each wait channel and how to re-derive every refcount *)
+  (match kcheck with
+  | Some kc ->
+      let blocked_chan pid =
+        match Sched.task_by_pid sched pid with
+        | Some task -> (
+            match task.Task.state with
+            | Task.Blocked chan -> Some chan
+            | Task.Runnable | Task.Running _ | Task.Zombie -> None)
+        | None -> None
+      in
+      let wakers chan =
+        match String.split_on_char ':' chan with
+        | [ "exit"; pid ] -> (
+            (* joiners are woken by the joinee's exit *)
+            match Sched.task_by_pid sched (int_of_string pid) with
+            | Some task when task.Task.state <> Task.Zombie ->
+                [ task.Task.pid ]
+            | Some _ | None -> [])
+        | [ "children"; pid ] -> (
+            (* wait(2) is woken by any live child's exit *)
+            match Sched.task_by_pid sched (int_of_string pid) with
+            | Some parent ->
+                List.filter
+                  (fun c ->
+                    match Sched.task_by_pid sched c with
+                    | Some child -> child.Task.state <> Task.Zombie
+                    | None -> false)
+                  parent.Task.children
+            | None -> [])
+        | [ "sem"; id ] ->
+            (* only a task holding the semaphore open plausibly posts it *)
+            Sem.holders sems (int_of_string id)
+        | [ "pipe"; id; "r" ] ->
+            (* blocked readers are woken by the write side (and vice
+               versa): data arriving or the last end closing *)
+            Fd.pipe_end_owners fdt ~pipe_id:(int_of_string id) ~write:true
+        | [ "pipe"; id; "w" ] ->
+            Fd.pipe_end_owners fdt ~pipe_id:(int_of_string id) ~write:false
+        | _ ->
+            (* sleep, debug, poll:waiters, device queues: woken by timers
+               or IRQs — external, so the deadlock walk stops here *)
+            []
+      in
+      Kcheck.set_env kc { Kcheck.blocked_chan; wakers };
+      Kcheck.register_auditor kc ~name:"fd/pipe refs" (fun () -> Fd.audit fdt);
+      Kcheck.register_auditor kc ~name:"sem refs" (fun () -> Sem.audit sems)
+  | None -> ());
   List.iter
     (fun p -> Proc.register_program proc p.prog_name p.prog_main)
     spec.sp_programs;
@@ -403,6 +465,7 @@ let boot spec =
       root_bc;
       fat_bc;
       devfs;
+      kcheck;
       kernel_reserved_bytes = kernel_reserved;
       boot_ready_ns = Sim.Engine.now engine;
     }
@@ -447,7 +510,7 @@ let spawn_user t ~name main =
   in
   let pages = (size / Kalloc.page_bytes) + 1 in
   match Vm.create t.kalloc ~code_pages:pages with
-  | Error e -> invalid_arg ("spawn: " ^ e)
+  | Error e -> Kpanic.panicf "spawn: %s" e
   | Ok vm ->
       let task = Sched.spawn t.sched ~name ~kind:Task.User ~vm main in
       setup_std_fds t ~pid:task.Task.pid;

@@ -20,6 +20,10 @@ type event =
   | Poll_return of int * int  (** pid, ready-fd count (0 = timeout) *)
   | Frame_present of int  (** pid that pushed a frame *)
   | Wm_composite
+  | Lock_acquire of string * int  (** lock name, core *)
+  | Lock_release of string * int  (** lock name, core *)
+  | Sem_block of int * int  (** pid, sem id *)
+  | Sem_wake of int * int  (** pid woken (or -1 if none), sem id *)
   | Custom of string
 
 type entry = { ts_ns : int64; core : int; ev : event }
@@ -72,6 +76,12 @@ let describe ev =
       Printf.sprintf "poll_return pid=%d ready=%d" pid nready
   | Frame_present pid -> Printf.sprintf "frame_present pid=%d" pid
   | Wm_composite -> "wm_composite"
+  | Lock_acquire (name, core) ->
+      Printf.sprintf "lock_acquire %s core%d" name core
+  | Lock_release (name, core) ->
+      Printf.sprintf "lock_release %s core%d" name core
+  | Sem_block (pid, id) -> Printf.sprintf "sem_block pid=%d sem=%d" pid id
+  | Sem_wake (pid, id) -> Printf.sprintf "sem_wake pid=%d sem=%d" pid id
   | Custom s -> s
 
 let format_entry e =

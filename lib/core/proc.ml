@@ -33,6 +33,9 @@ let sys_fork ctx t child_main =
           ~parent:parent.Task.pid child_main
       in
       Sched.charge ctx Kcost.fork_base;
+      Sched.kcheck_audit t.sched
+        ~reason:(Printf.sprintf "fork %d -> %d" parent.Task.pid
+                   child.Task.pid);
       Sched.finish ctx (Abi.R_int child.Task.pid)
   | Some vm -> (
       match Vm.fork_copy vm with
@@ -47,6 +50,9 @@ let sys_fork ctx t child_main =
           child.Task.cwd <- parent.Task.cwd;
           Fd.clone_table t.fdt ~parent:parent.Task.pid ~child:child.Task.pid;
           Sem.fork t.sems ~parent:parent.Task.pid ~child:child.Task.pid;
+          Sched.kcheck_audit t.sched
+            ~reason:(Printf.sprintf "fork %d -> %d" parent.Task.pid
+                       child.Task.pid);
           Sched.finish ctx (Abi.R_int child.Task.pid))
 
 let sys_exec ctx t path argv =
@@ -121,6 +127,8 @@ let sys_clone ctx t thread_main =
     child.Task.cwd <- parent.Task.cwd;
     Fd.share_table t.fdt ~parent:parent.Task.pid ~child:child.Task.pid;
     Sem.share t.sems ~parent:parent.Task.pid ~child:child.Task.pid;
+    Sched.kcheck_audit t.sched
+      ~reason:(Printf.sprintf "clone %d -> %d" parent.Task.pid child.Task.pid);
     Sched.finish ctx (Abi.R_int child.Task.pid)
   end
 

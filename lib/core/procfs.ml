@@ -19,6 +19,8 @@ let create ~board ~sched ~kalloc ~ipc =
 let render_cpuinfo t =
   let buf = Buffer.create 256 in
   let plat = t.board.Hw.Board.platform in
+  Buffer.add_string buf
+    (Printf.sprintf "prototype\t: %d\n\n" t.sched.Sched.config.Kconfig.stage);
   for core = 0 to plat.Hw.Board.num_cores - 1 do
     Buffer.add_string buf
       (Printf.sprintf
@@ -103,6 +105,19 @@ let render_ipc t =
      else Kcost.pipe_buffer_bytes)
   ^ Ipcstats.render t.ipc
 
+(* Spinlock statistics and the sanitizer's own counters/violations. Both
+   render even when kcheck is off (header-only / "disabled"), so sysmon
+   can always open them. *)
+let render_locks t =
+  match t.sched.Sched.kcheck with
+  | Some kc -> Kcheck.render_locks kc
+  | None -> "kcheck disabled: no lock registry\n"
+
+let render_kcheck t =
+  match t.sched.Sched.kcheck with
+  | Some kc -> Kcheck.render_report kc
+  | None -> "kcheck\t\t: disabled\n"
+
 let render t name =
   match name with
   | "cpuinfo" -> Some (render_cpuinfo t)
@@ -111,9 +126,12 @@ let render t name =
   | "tasks" -> Some (render_tasks t)
   | "sched" -> Some (render_sched t)
   | "ipc" -> Some (render_ipc t)
+  | "locks" -> Some (render_locks t)
+  | "kcheck" -> Some (render_kcheck t)
   | _ -> None
 
-let names = [ "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched"; "ipc" ]
+let names =
+  [ "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched"; "ipc"; "locks"; "kcheck" ]
 
 (* Build dev_ops for one opened proc file. *)
 let ops t name =

@@ -73,7 +73,9 @@ let post ctx t id =
   | Some sem ->
       sem.value <- sem.value + 1;
       Sched.charge ctx Kcost.wakeup;
-      ignore (Sched.wake_one t.sched sem.chan);
+      let woken = Sched.wake_one t.sched sem.chan in
+      Sched.trace_emit_task t.sched ctx.Sched.task
+        (Ktrace.Sem_wake (Option.value ~default:(-1) woken, id));
       Sched.finish ctx (Abi.R_int 0)
 
 let wait ctx t id =
@@ -86,7 +88,11 @@ let wait ctx t id =
           sem.value <- sem.value - 1;
           Sched.finish ctx (Abi.R_int 0)
         end
-        else Sched.block ctx ~chan:sem.chan ~retry:attempt
+        else begin
+          Sched.trace_emit_task t.sched ctx.Sched.task
+            (Ktrace.Sem_block (ctx.Sched.task.Task.pid, id));
+          Sched.block ctx ~chan:sem.chan ~retry:attempt
+        end
       in
       attempt ()
 
@@ -142,3 +148,37 @@ let task_exit t ~pid =
       Hashtbl.remove t.held pid
 
 let live_count t = Hashtbl.length t.sems
+
+(* ---- kcheck support ---- *)
+
+(* The pids with [id] open: the candidate wakers of its channel for the
+   blocked-task deadlock walk (only an opener plausibly posts it). *)
+let holders t id =
+  Hashtbl.fold
+    (fun pid h acc -> if List.mem id h.ids then pid :: acc else acc)
+    t.held []
+
+(* Re-derive every semaphore's refcount from the holds table. CLONE_VM
+   threads share one holds struct, so each distinct struct contributes
+   its hold multiplicity once — which is exactly the sharing the PR-3
+   lifetime fixes established. *)
+let audit t =
+  let structs =
+    Hashtbl.fold
+      (fun _ h acc -> if List.memq h acc then acc else h :: acc)
+      t.held []
+  in
+  Hashtbl.fold
+    (fun id sem problems ->
+      let derived =
+        List.fold_left
+          (fun n h ->
+            n + List.length (List.filter (fun i -> i = id) h.ids))
+          0 structs
+      in
+      if derived <> sem.refs then
+        Printf.sprintf "sem %d: refs=%d but %d held across tasks" id sem.refs
+          derived
+        :: problems
+      else problems)
+    t.sems []

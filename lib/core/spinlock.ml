@@ -5,9 +5,15 @@
     enforced (no recursive acquisition, release-by-owner) and acquisition
     counts and hold times are recorded, which the scheduler uses for its
     contention accounting and tests use to verify locking protocols.
+    Locks created with [~kcheck] additionally feed the lockdep order
+    graph and appear in /proc/locks.
 
     [irq_guard] is the single-core reduction: reference-counted interrupt
-    disable (xv6's pushcli/popcli), which is what Prototype 1 settles on. *)
+    disable (xv6's pushcli/popcli), which is what Prototype 1 settles on.
+
+    This file is exempt from vlint's no-raise rule (R003): the
+    [invalid_arg]s here are the assertion layer locking protocols are
+    tested against. *)
 
 type t = {
   name : string;
@@ -15,16 +21,33 @@ type t = {
   mutable acquisitions : int;
   mutable acquired_at : int64;
   mutable total_held_ns : int64;
+  mutable max_held_ns : int64;
+  kcheck : Kcheck.t option;
 }
 
-let create name =
-  {
-    name;
-    owner = None;
-    acquisitions = 0;
-    acquired_at = 0L;
-    total_held_ns = 0L;
-  }
+let create ?kcheck name =
+  let t =
+    {
+      name;
+      owner = None;
+      acquisitions = 0;
+      acquired_at = 0L;
+      total_held_ns = 0L;
+      max_held_ns = 0L;
+      kcheck;
+    }
+  in
+  (match kcheck with
+  | Some kc ->
+      Kcheck.register_lock_probe kc
+        {
+          Kcheck.lp_name = name;
+          lp_acquisitions = (fun () -> t.acquisitions);
+          lp_total_held_ns = (fun () -> t.total_held_ns);
+          lp_max_held_ns = (fun () -> t.max_held_ns);
+        }
+  | None -> ());
+  t
 
 let acquire t ~core ~now_ns =
   (match t.owner with
@@ -32,6 +55,9 @@ let acquire t ~core ~now_ns =
       invalid_arg
         (Printf.sprintf "spinlock %s: core %d acquiring while core %d holds"
            t.name core held_by)
+  | None -> ());
+  (match t.kcheck with
+  | Some kc -> Kcheck.lock_acquire kc ~name:t.name ~core
   | None -> ());
   t.owner <- Some core;
   t.acquisitions <- t.acquisitions + 1;
@@ -45,12 +71,18 @@ let release t ~core ~now_ns =
         (Printf.sprintf "spinlock %s: core %d releasing core %d's lock" t.name
            core held_by)
   | None -> invalid_arg (Printf.sprintf "spinlock %s: release when free" t.name));
+  (match t.kcheck with
+  | Some kc -> Kcheck.lock_release kc ~name:t.name ~core
+  | None -> ());
   t.owner <- None;
-  t.total_held_ns <- Int64.add t.total_held_ns (Int64.sub now_ns t.acquired_at)
+  let held = Int64.sub now_ns t.acquired_at in
+  t.total_held_ns <- Int64.add t.total_held_ns held;
+  if Int64.compare held t.max_held_ns > 0 then t.max_held_ns <- held
 
 let holding t ~core = t.owner = Some core
 let acquisitions t = t.acquisitions
 let total_held_ns t = t.total_held_ns
+let max_held_ns t = t.max_held_ns
 
 (** Reference-counted interrupt on/off, the single-core substitute. *)
 module Irq_guard = struct
@@ -58,18 +90,25 @@ module Irq_guard = struct
     intc : Hw.Intc.t;
     core : int;
     mutable depth : int;
+    kcheck : Kcheck.t option;
   }
 
-  let create intc ~core = { intc; core; depth = 0 }
+  let create ?kcheck intc ~core = { intc; core; depth = 0; kcheck }
 
   let push g =
     if g.depth = 0 then Hw.Intc.mask g.intc ~core:g.core;
-    g.depth <- g.depth + 1
+    g.depth <- g.depth + 1;
+    match g.kcheck with
+    | Some kc -> Kcheck.irq_push kc ~core:g.core
+    | None -> ()
 
   let pop g =
     if g.depth <= 0 then invalid_arg "irq_guard: pop without push";
     g.depth <- g.depth - 1;
-    if g.depth = 0 then Hw.Intc.unmask g.intc ~core:g.core
+    if g.depth = 0 then Hw.Intc.unmask g.intc ~core:g.core;
+    match g.kcheck with
+    | Some kc -> Kcheck.irq_pop kc ~core:g.core
+    | None -> ()
 
   let depth g = g.depth
 end

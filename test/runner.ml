@@ -18,6 +18,7 @@ let () =
       Test_kernel.suite_devices;
       Test_kernel.suite_wm;
       Test_kernel.suite_debug;
+      Test_kernel.suite_kcheck;
       Test_user.suite_alloc;
       Test_user.suite_codecs;
       Test_user.suite_crypto;

@@ -290,7 +290,7 @@ let kalloc_exhaustion_and_double_free () =
   let f = Option.get (List.hd frames) in
   Core.Kalloc.free_page k f;
   Alcotest.check_raises "double free detected"
-    (Invalid_argument (Printf.sprintf "kalloc: double free of frame %d" f))
+    (Core.Kpanic.Panic (Printf.sprintf "kalloc: double free of frame %d" f))
     (fun () -> Core.Kalloc.free_page k f)
 
 let suite_vm =
@@ -1789,4 +1789,124 @@ let suite_sched_classes =
       quick "/proc/sched renders stats" sc_procfs_sched;
       quick "nice clamps to [-20,19]" sc_nice_clamps;
       slow "schedbench smoke (BENCH_sched ladder)" sc_schedbench_smoke;
+    ] )
+
+(* ---- kcheck: the runtime sanitizer vs injected failures ---- *)
+
+let kc_contains hay needle =
+  let n = String.length needle and l = String.length hay in
+  let rec go i =
+    i + n <= l && (String.equal (String.sub hay i n) needle || go (i + 1))
+  in
+  go 0
+
+(* ABBA: establish the order A -> B, then acquire B -> A. lockdep must
+   refuse the second order with the cycle, before any deadlock exists. *)
+let kc_lock_order_inversion () =
+  let kc = Core.Kcheck.create () in
+  let a = Core.Spinlock.create ~kcheck:kc "A" in
+  let b = Core.Spinlock.create ~kcheck:kc "B" in
+  Core.Spinlock.acquire a ~core:0 ~now_ns:0L;
+  Core.Spinlock.acquire b ~core:0 ~now_ns:1L;
+  Core.Spinlock.release b ~core:0 ~now_ns:2L;
+  Core.Spinlock.release a ~core:0 ~now_ns:3L;
+  Core.Spinlock.acquire b ~core:0 ~now_ns:4L;
+  match Core.Spinlock.acquire a ~core:0 ~now_ns:5L with
+  | () -> Alcotest.fail "ABBA inversion not detected"
+  | exception Core.Kpanic.Panic msg ->
+      check_bool "names the lock-order rule" true (kc_contains msg "lock-order");
+      check_bool "names both locks" true
+        (kc_contains msg "A" && kc_contains msg "B")
+
+(* Blocking while a spinlock is held (or under an irq guard) is the
+   sleep-in-atomic class. *)
+let kc_sleep_in_atomic () =
+  let kc = Core.Kcheck.create () in
+  let l = Core.Spinlock.create ~kcheck:kc "L" in
+  Core.Spinlock.acquire l ~core:0 ~now_ns:0L;
+  match Core.Kcheck.task_blocked kc ~pid:7 ~chan:"sem:1" ~core:0 with
+  | () -> Alcotest.fail "sleep-in-atomic not detected"
+  | exception Core.Kpanic.Panic msg ->
+      check_bool "names the rule" true (kc_contains msg "sleep-in-atomic")
+
+(* Two tasks joining each other: once the second blocks, every member of
+   the exit:A/exit:B cycle is Blocked and kcheck must panic with it. *)
+let kc_wait_cycle_detected () =
+  let kernel = boot_kernel () in
+  let a_pid = ref 0 and b_pid = ref 0 in
+  let ta =
+    Core.Kernel.spawn_kernel kernel ~name:"join-a" (fun () ->
+        ignore (Usys.sleep 1);
+        Usys.join !b_pid)
+  in
+  let tb =
+    Core.Kernel.spawn_kernel kernel ~name:"join-b" (fun () ->
+        ignore (Usys.sleep 2);
+        Usys.join !a_pid)
+  in
+  a_pid := ta.Core.Task.pid;
+  b_pid := tb.Core.Task.pid;
+  match run_for kernel 1 with
+  | () -> Alcotest.fail "wait-for cycle not detected"
+  | exception Core.Kpanic.Panic msg ->
+      check_bool "names the wait-cycle rule" true (kc_contains msg "wait-cycle");
+      check_bool "cycle lists both tasks" true
+        (kc_contains msg (Printf.sprintf "task %d" !a_pid)
+        && kc_contains msg (Printf.sprintf "task %d" !b_pid))
+
+(* A pipe-end refcount bumped with no file record backing it — PR 3's
+   dup/fork bug class, injected deliberately. The audit at the next fork
+   boundary must re-derive the counts and refuse. *)
+let kc_pipe_leak_detected () =
+  let kernel = boot_kernel () in
+  let leaker () =
+    match Usys.pipe () with
+    | Error _ -> 1
+    | Ok (r, _w) ->
+        let pid = Usys.getpid () in
+        (match Core.Fd.get kernel.Core.Kernel.fdt ~pid ~fd:r with
+        | Some file -> (
+            match file.Core.Fd.kind with
+            | Core.Fd.K_pipe_read p ->
+                p.Core.Pipe.readers <- p.Core.Pipe.readers + 1
+            | Core.Fd.K_pipe_write _ | Core.Fd.K_dev _ | Core.Fd.K_xv6 _
+            | Core.Fd.K_fat _ -> ())
+        | None -> ());
+        ignore (Usys.fork (fun () -> 0));
+        0
+  in
+  ignore (Core.Kernel.spawn_kernel kernel ~name:"leaker" leaker);
+  match run_for kernel 1 with
+  | () -> Alcotest.fail "pipe-end leak not detected"
+  | exception Core.Kpanic.Panic msg ->
+      check_bool "names the refcount rule" true (kc_contains msg "refcount");
+      check_bool "blames the pipe reader count" true (kc_contains msg "readers")
+
+(* The clean-run surfaces: /proc/locks lists the ptable lock discipline,
+   /proc/kcheck reports counters and zero violations. *)
+let kc_proc_files () =
+  in_kernel (fun _ ->
+      let slurp path =
+        match Usys.slurp path with
+        | Ok b -> Bytes.to_string b
+        | Error e -> Alcotest.failf "slurp %s: errno %d" path e
+      in
+      let locks = slurp "/proc/locks" in
+      check_bool "ptable lock registered" true (kc_contains locks "ptable");
+      check_bool "acquisition column" true (kc_contains locks "acquisitions");
+      let report = slurp "/proc/kcheck" in
+      check_bool "audits counted" true (kc_contains report "audits");
+      check_bool "deadlock scans counted" true
+        (kc_contains report "deadlock_scans");
+      check_bool "no violations on a clean run" true
+        (kc_contains report "violations\t: 0"))
+
+let suite_kcheck =
+  ( "kernel.kcheck",
+    [
+      quick "lockdep catches ABBA inversion" kc_lock_order_inversion;
+      quick "sleep-in-atomic detected" kc_sleep_in_atomic;
+      quick "two-task join cycle panics" kc_wait_cycle_detected;
+      quick "leaked pipe end fails the audit" kc_pipe_leak_detected;
+      quick "/proc/locks and /proc/kcheck render" kc_proc_files;
     ] )

@@ -31,6 +31,21 @@ let matrix_closure_sound () =
   check_bool "fixpoint" true
     (List.length (Proto.Feature.close closed) = List.length closed)
 
+let config_matches_matrix () =
+  (* Feature.of_config (the Kconfig -> Table-1 bridge) must agree with
+     the hand-written prototype columns for every stage: the config
+     record and the matrix can't drift apart. *)
+  for k = 1 to 5 do
+    let from_config = Proto.Feature.of_config (Core.Kconfig.prototype k) in
+    let from_matrix = Proto.Matrix.features_of_prototype k in
+    let show fs = String.concat ", " (List.map Proto.Feature.name fs) in
+    let missing = List.filter (fun f -> not (List.mem f from_config)) from_matrix in
+    let extra = List.filter (fun f -> not (List.mem f from_matrix)) from_config in
+    if missing <> [] || extra <> [] then
+      Alcotest.failf "P%d: config bridge disagrees (missing: %s) (extra: %s)" k
+        (show missing) (show extra)
+  done
+
 let matrix_renders () =
   let text = Proto.Matrix.render () in
   check_bool "mentions DOOM" true
@@ -184,6 +199,7 @@ let suite =
       quick "feature matrix validates (Table 1)" matrix_validates;
       quick "prototypes grow monotonically" matrix_monotone_growth;
       quick "feature closure is sound" matrix_closure_sound;
+      quick "Kconfig bridge agrees with Table 1" config_matches_matrix;
       quick "matrix renders" matrix_renders;
       slow "P1: baremetal donut" prototype1_donut_on_bare_metal;
       slow "P2: concurrent donuts" prototype2_concurrent_donuts;

@@ -7,8 +7,14 @@ let slow name f = Alcotest.test_case name `Slow f
 let qcheck ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
 
+(* Every test kernel runs with the runtime sanitizer armed: lockdep,
+   deadlock scans and refcount audits ride along for free (kcheck
+   charges zero virtual cycles, so timing-sensitive expectations are
+   untouched). *)
+let test_config = { Core.Kconfig.full with kcheck = true }
+
 (* A ready-to-use prototype-5 kernel with no programs. *)
-let boot_kernel ?(config = Core.Kconfig.full) ?(platform = Hw.Board.pi3)
+let boot_kernel ?(config = test_config) ?(platform = Hw.Board.pi3)
     ?(seed = 7L) () =
   Core.Kernel.boot
     {

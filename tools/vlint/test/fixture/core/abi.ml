@@ -1,0 +1,6 @@
+(* fixture ABI: a syscall type with deliberate coverage holes *)
+type syscall =
+  | Fork of (unit -> int)  (* fine: one dispatch arm, one stub *)
+  | Exit of int  (* R001: no dispatch arm in syscall.ml *)
+  | Nop  (* R001: no stub in usys.ml *)
+  | Dup2 of int  (* R001: two dispatch arms *)

@@ -1,0 +1,5 @@
+type t = {
+  knob_used : bool;  (* read by bad.ml, documented *)
+  knob_unused : bool;  (* R002: never read *)
+  knob_undoc : bool;  (* R002: read but absent from DESIGN.md *)
+}

@@ -1,0 +1,1 @@
+type event = Tick | Tock of int

@@ -1,0 +1,6 @@
+(* fixture dispatch: misses Exit, duplicates Dup2 *)
+let dispatch = function
+  | Abi.Fork _ -> 1
+  | Abi.Nop -> 2
+  | Abi.Dup2 0 -> 3
+  | Abi.Dup2 _ -> 4

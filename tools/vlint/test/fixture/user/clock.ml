@@ -1,0 +1,2 @@
+(* R005: user code reading the simulator's clock directly *)
+let now_ns () = Sim.Engine.now ()

@@ -1,0 +1,6 @@
+(* fixture user stubs: Fork only; Exit has no arm, Nop has no stub *)
+let fork f = ignore (Abi.Fork f)
+
+let exit code = ignore (Abi.Exit code)
+
+let dup2 fd = ignore (Abi.Dup2 fd)
