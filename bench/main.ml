@@ -95,6 +95,14 @@ let ipcbench () =
   Benchlib.Ipcbench.write_json rows "BENCH_ipc.json";
   print_endline "wrote BENCH_ipc.json"
 
+let tracebench () =
+  section "tracebench: kperf emit cost + span-derived input breakdown";
+  let r = Benchlib.Tracebench.run () in
+  print_string (Benchlib.Tracebench.render r);
+  Benchlib.Tracebench.write_json r "BENCH_trace.json";
+  Benchlib.Tracebench.write_trace r "BENCH_trace.ktrace";
+  print_endline "wrote BENCH_trace.json and BENCH_trace.ktrace"
+
 let ablations () =
   section "Ablations: the design choices DESIGN.md calls out";
   print_string (Benchlib.Ablation.render (Benchlib.Ablation.run ()))
@@ -119,6 +127,7 @@ let experiments =
     ("iobench", iobench);
     ("schedbench", schedbench);
     ("ipcbench", ipcbench);
+    ("tracebench", tracebench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

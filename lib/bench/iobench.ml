@@ -71,6 +71,12 @@ let kconfig_of row =
     readahead_blocks = row.cf_readahead;
     sd_coalescing = row.cf_coalesce;
     range_io_bypass = row.cf_bypass;
+    (* kperf armed: tracing, the sampling profiler and /proc/metrics
+       charge zero virtual cycles, so the I/O numbers must be
+       byte-identical to an unarmed run *)
+    trace_per_core_rings = true;
+    profile_hz = 100;
+    metrics = true;
   }
 
 (* ---- workloads ---- *)

@@ -45,13 +45,15 @@ let kconfig_of row =
     (* zero-cycle sanitizer on: the pingpong/events workloads double as
        a refcount/deadlock soak without moving a single number *)
     kcheck = true;
+    (* kperf armed throughout for the same reason: per-core trace rings,
+       a 100 Hz sampling profiler and /proc/metrics cost zero virtual
+       cycles, so every number below must match an unarmed run *)
+    trace_per_core_rings = true;
+    profile_hz = 100;
+    metrics = true;
   }
 
 let ipc_stats kernel = kernel.Core.Kernel.vfs.Core.Vfs.ipc.Core.Pipe.stats
-
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
 
 (* ---- workload A: pipe ping-pong ---- *)
 
@@ -69,7 +71,9 @@ type pingpong = {
 
 let run_pingpong rc =
   let kernel = Micro.fresh_kernel ~config:(kconfig_of rc) () in
-  let samples = ref [] in
+  (* round-trip latencies go into the shared log-linear histogram rather
+     than a private sorted-sample percentile *)
+  let hist = Core.Kperf.Hist.create () in
   let total_ns = ref 0L in
   let msg = Bytes.make msg_bytes 'm' in
   (match
@@ -105,9 +109,8 @@ let run_pingpong rc =
              for _ = 1 to measured_roundtrips do
                let t0 = Core.Kernel.now kernel in
                roundtrip ();
-               samples :=
-                 Sim.Engine.to_us (Int64.sub (Core.Kernel.now kernel) t0)
-                 :: !samples
+               Core.Kperf.Hist.record hist
+                 (Int64.sub (Core.Kernel.now kernel) t0)
              done;
              total_ns := Int64.sub (Core.Kernel.now kernel) t_start;
              ignore (User.Usys.kill child);
@@ -117,12 +120,10 @@ let run_pingpong rc =
    with
   | Ok _ -> ()
   | Error e -> invalid_arg ("ipcbench: " ^ e));
-  let arr = Array.of_list !samples in
-  Array.sort compare arr;
   let stats = ipc_stats kernel in
   {
-    pp_p50_us = percentile arr 0.50;
-    pp_p99_us = percentile arr 0.99;
+    pp_p50_us = Core.Kperf.Hist.percentile_us hist 0.50;
+    pp_p99_us = Core.Kperf.Hist.percentile_us hist 0.99;
     pp_per_s =
       float_of_int measured_roundtrips /. Sim.Engine.to_sec !total_ns;
     pp_wakeups_issued = stats.Core.Ipcstats.wakeups_issued;

@@ -87,6 +87,10 @@ let kconfig_of row =
        below is identical with it off — and the bench doubles as a
        lockdep/deadlock soak test *)
     kcheck = true;
+    (* kperf rides along too, under the same zero-cycle contract *)
+    trace_per_core_rings = true;
+    profile_hz = 100;
+    metrics = true;
   }
 
 (* ---- workload ---- *)
@@ -138,11 +142,14 @@ let spawn_workload kernel =
 (* ---- trace mining: wakeup-to-run latency of the interactive tasks ---- *)
 
 (* A wakeup's latency ends at the Ctx_switch that dispatches the woken
-   pid. Unmatched wakeups (still queued when the window closes) drop. *)
-let wakeup_latencies_us trace ~pids ~from_ns ~until_ns =
+   pid. Unmatched wakeups (still queued when the window closes) drop.
+   Samples land in a shared log-linear histogram (the same
+   {!Core.Kperf.Hist} the kernel's own latency metrics use) instead of a
+   private sorted-array percentile. *)
+let wakeup_hist trace ~pids ~from_ns ~until_ns =
   let interesting = Array.to_list pids in
   let pending : (int, int64) Hashtbl.t = Hashtbl.create 8 in
-  let out = ref [] in
+  let h = Core.Kperf.Hist.create () in
   List.iter
     (fun e ->
       if
@@ -156,19 +163,11 @@ let wakeup_latencies_us trace ~pids ~from_ns ~until_ns =
             match Hashtbl.find_opt pending pid with
             | Some woke ->
                 Hashtbl.remove pending pid;
-                out :=
-                  Int64.to_float (Int64.sub e.Core.Ktrace.ts_ns woke) /. 1e3
-                  :: !out
+                Core.Kperf.Hist.record h (Int64.sub e.Core.Ktrace.ts_ns woke)
             | None -> ())
         | _ -> ())
     (Core.Ktrace.dump trace);
-  let arr = Array.of_list !out in
-  Array.sort compare arr;
-  arr
-
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  h
 
 (* ---- per-configuration run ---- *)
 
@@ -238,8 +237,8 @@ let run_config rc =
   let until_ns = Core.Kernel.now kernel in
   let snap1 = snap_stats kernel rc.rc_cores in
   let lat =
-    wakeup_latencies_us kernel.Core.Kernel.sched.Core.Sched.trace
-      ~pids:inter_pids ~from_ns ~until_ns
+    wakeup_hist kernel.Core.Kernel.sched.Core.Sched.trace ~pids:inter_pids
+      ~from_ns ~until_ns
   in
   let secs = Sim.Engine.to_sec (Int64.sub until_ns from_ns) in
   let delay_count = snap1.sn_delay_count - snap0.sn_delay_count in
@@ -250,10 +249,10 @@ let run_config rc =
       float_of_int (Array.fold_left ( + ) 0 batch_iters - batch0) /. secs;
     inter_per_s =
       float_of_int (Array.fold_left ( + ) 0 inter_iters - inter0) /. secs;
-    wake_samples = Array.length lat;
-    wake_p50_us = percentile lat 0.50;
-    wake_p95_us = percentile lat 0.95;
-    wake_p99_us = percentile lat 0.99;
+    wake_samples = Core.Kperf.Hist.count lat;
+    wake_p50_us = Core.Kperf.Hist.percentile_us lat 0.50;
+    wake_p95_us = Core.Kperf.Hist.percentile_us lat 0.95;
+    wake_p99_us = Core.Kperf.Hist.percentile_us lat 0.99;
     run_delay_avg_us =
       (if delay_count = 0 then 0.0
        else Int64.to_float delay_total /. float_of_int delay_count /. 1e3);

@@ -67,6 +67,10 @@ type t = {
   mutable flushed_blocks : int;
   mutable evict_writes : int;  (** dirty victims written synchronously *)
   mutable flush_ns : int64;  (** device time spent in flushes (any path) *)
+  mutable obs : Sched.t option;
+      (** kperf observer: when set, device requests record into the SD
+          latency histogram and emit trace spans. Host-side bookkeeping
+          only — never charges cycles, so BENCH output is unchanged. *)
 }
 
 let create ~board ~backing ~block_sectors ?(capacity = 30) ?(writeback = false)
@@ -94,7 +98,10 @@ let create ~board ~backing ~block_sectors ?(capacity = 30) ?(writeback = false)
     flushed_blocks = 0;
     evict_writes = 0;
     flush_ns = 0L;
+    obs = None;
   }
+
+let set_observer t sched = t.obs <- Some sched
 
 let with_ctx t ctx f =
   let saved = t.ctx in
@@ -116,6 +123,25 @@ let charge_io t ns =
   | Some ctx -> Sched.charge_io ctx (Hw.Board.io_ns t.board ns)
   | None -> ()
 
+(* A device request becomes a span [now, now + cost): the end event is
+   stamped in the future because the request's virtual time is charged to
+   the caller rather than simulated inline. The merged dump sorts by
+   timestamp, so the pair still reads as a duration. *)
+let observe_sd t ~op ~cost =
+  match t.obs with
+  | None -> ()
+  | Some sched ->
+      let io_ns = Hw.Board.io_ns t.board cost in
+      Kperf.Hist.record sched.Sched.h_sd_req io_ns;
+      let tr = sched.Sched.trace in
+      let pid =
+        match t.ctx with Some c -> c.Sched.task.Task.pid | None -> 0
+      in
+      let span = Ktrace.new_span tr in
+      let now = Sched.now sched in
+      Ktrace.emit tr ~ts_ns:now ~core:0 (Ktrace.Span_begin (span, pid, op));
+      Ktrace.emit tr ~ts_ns:(Int64.add now io_ns) ~core:0 (Ktrace.Span_end span)
+
 let block_bytes t = t.block_sectors * Fs.Blockdev.sector_bytes
 
 (* raw device access in sectors *)
@@ -129,12 +155,14 @@ let device_read t ~lba ~count =
       match Hw.Sd.read sd ~lba:(first + lba) ~count with
       | Ok (data, cost) ->
           charge_io t cost;
+          observe_sd t ~op:"sd:read" ~cost;
           data
       | Error e -> Kpanic.panicf "%s" e)
   | Usb_msd usb -> (
       match Hw.Usb.msd_read usb ~lba ~count with
       | Ok (data, cost) ->
           charge_io t cost;
+          observe_sd t ~op:"usb:read" ~cost;
           data
       | Error e -> Kpanic.panicf "%s" e)
 
@@ -145,11 +173,15 @@ let device_write t ~lba data =
       Bytes.blit data 0 image (lba * Fs.Blockdev.sector_bytes) (Bytes.length data)
   | Card (sd, first) -> (
       match Hw.Sd.write sd ~lba:(first + lba) ~data with
-      | Ok cost -> charge_io t cost
+      | Ok cost ->
+          charge_io t cost;
+          observe_sd t ~op:"sd:write" ~cost
       | Error e -> Kpanic.panicf "%s" e)
   | Usb_msd usb -> (
       match Hw.Usb.msd_write usb ~lba ~data with
-      | Ok cost -> charge_io t cost
+      | Ok cost ->
+          charge_io t cost;
+          observe_sd t ~op:"usb:write" ~cost
       | Error e -> Kpanic.panicf "%s" e)
 
 let device_sectors t =
@@ -243,6 +275,7 @@ let flush t =
           | Ok (cost, commands) ->
               t.flush_ns <- Int64.add t.flush_ns cost;
               charge_io t cost;
+              observe_sd t ~op:"sd:flush" ~cost;
               commands
           | Error msg -> Kpanic.panicf "%s" msg)
       | Ram _ | Usb_msd _ ->

@@ -21,7 +21,33 @@ type t = {
   mutable stepping : (int * int) list;  (** pid, remaining steps *)
   mutable stopped : (int * stop_reason) list;  (** pid -> why *)
   mutable hits : int;
+  reader : Ktrace.reader;
+      (** consuming cursor into the trace rings, same mechanism as the
+          /proc/ktrace trace-pipe — the monitor no longer snapshots the
+          whole ring with [Ktrace.dump] *)
+  mutable recent : Ktrace.entry list;  (** newest first, bounded *)
 }
+
+let recent_cap = 64
+
+(* Pull everything the rings have accumulated since the last look into
+   the bounded recent-events window. Events the cursor lost to ring
+   overwrite are counted by the reader itself. *)
+let drain t =
+  let rec loop () =
+    match Ktrace.read_reader t.reader ~max:256 with
+    | [] -> ()
+    | es ->
+        t.recent <- List.rev_append es t.recent;
+        loop ()
+  in
+  loop ();
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  t.recent <- take recent_cap t.recent
 
 let debug_chan pid = Printf.sprintf "debug:%d" pid
 
@@ -82,6 +108,8 @@ let create sched =
       stepping = [];
       stopped = [];
       hits = 0;
+      reader = Ktrace.new_reader sched.Sched.trace;
+      recent = [];
     }
   in
   sched.Sched.frame_hook <- Some (fun task label -> check_frame t task label);
@@ -101,10 +129,29 @@ let inspect t pid =
         | Some Step -> "single-step"
         | None -> "running"
       in
-      Printf.sprintf "pid %d (%s) state=%s stop=%s cpu=%.2fms\n%s" pid
+      drain t;
+      let trace_tail =
+        match t.recent with
+        | [] -> ""
+        | es ->
+            let shown =
+              let rec take n = function
+                | [] -> []
+                | _ when n = 0 -> []
+                | x :: tl -> x :: take (n - 1) tl
+              in
+              List.rev (take 8 es)
+            in
+            let lost = Ktrace.reader_lost t.reader in
+            Printf.sprintf "\nrecent trace%s:\n%s"
+              (if lost > 0 then Printf.sprintf " (%d lost)" lost else "")
+              (String.concat "\n" (List.map Ktrace.format_entry shown))
+      in
+      Printf.sprintf "pid %d (%s) state=%s stop=%s cpu=%.2fms\n%s%s" pid
         task.Task.name (Task.state_name task) why
         (Int64.to_float task.Task.cpu_ns /. 1e6)
         (Unwind.render_task task)
+        trace_tail
 
 let resume t pid =
   t.stopped <- List.remove_assoc pid t.stopped;

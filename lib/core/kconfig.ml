@@ -85,6 +85,18 @@ type t = {
           refcount audits at fork/clone/exit. Host-side instrumentation
           only — charges zero virtual cycles, so every paper number is
           unchanged. Off in the stock kernel, on under the test harness. *)
+  trace_per_core_rings : bool;
+      (** each core writes its own power-of-two trace ring, merged on
+          dump by (timestamp, sequence); off = the paper's single shared
+          ring. Host-side only: zero virtual cycles either way *)
+  profile_hz : int;
+      (** sampling profiler rate: every [1000 / profile_hz] ms the timer
+          tick attributes the core to (pid, syscall | irq | user | idle)
+          for /proc/profile; 0 = off. Zero virtual cycles *)
+  metrics : bool;
+      (** expose /proc/metrics: kperf counters and histogram buckets in
+          Prometheus text format. Rendering happens at open; nothing is
+          charged to the traced workload *)
 }
 
 let full =
@@ -132,6 +144,13 @@ let full =
     (* pure host-side checking, but the stock kernel stays exactly the
        artifact the paper describes; the harness flips it on *)
     kcheck = false;
+    (* kperf follows the same convention: the observability machinery is
+       free in virtual time, but the stock kernel traces into the paper's
+       single ring with no profiler or metrics page; tracebench and the
+       tests arm these *)
+    trace_per_core_rings = false;
+    profile_hz = 0;
+    metrics = false;
   }
 
 let rec prototype = function
@@ -168,6 +187,9 @@ let rec prototype = function
         pipe_buffer_bytes = 512;
         pipe_wake_edge = false;
         kcheck = false;
+        trace_per_core_rings = false;
+        profile_hz = 0;
+        metrics = false;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

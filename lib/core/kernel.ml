@@ -422,6 +422,47 @@ let boot spec =
     };
   let debugmon = Debugmon.create sched in
   let panic = Panic.install sched console in
+  (* kperf wiring. Block caches record SD request latency and emit
+     request spans; the trace ring pokes /proc/ktrace pollers through a
+     zero-delay engine event (never synchronously from inside [emit],
+     which may run with scheduler state mid-update); subsystem counters
+     surface in /proc/metrics. All of it is host-side bookkeeping — no
+     cycles are charged, and the poke only fires while a trace-pipe
+     reader is actually open. *)
+  Bufcache.set_observer root_bc sched;
+  List.iter (fun bc -> Bufcache.set_observer bc sched) (Vfs.fat_caches vfs);
+  (let wake_pending = ref false in
+   sched.Sched.trace.Ktrace.on_data <-
+     Some
+       (fun () ->
+         if not !wake_pending then begin
+           wake_pending := true;
+           ignore
+             (Sim.Engine.schedule_after engine 0L (fun () ->
+                  wake_pending := false;
+                  Sched.poll_wake sched))
+         end));
+  (let kp = sched.Sched.kperf in
+   let c = Kperf.register_counter kp in
+   c "vos_pipe_writes_total" (fun () -> ipcstats.Ipcstats.pipe_writes);
+   c "vos_pipe_reads_total" (fun () -> ipcstats.Ipcstats.pipe_reads);
+   c "vos_pipe_bytes_total" (fun () -> ipcstats.Ipcstats.pipe_bytes);
+   c "vos_wakeups_issued_total" (fun () -> ipcstats.Ipcstats.wakeups_issued);
+   c "vos_wakeups_suppressed_total" (fun () ->
+       ipcstats.Ipcstats.wakeups_suppressed);
+   c "vos_polls_total" (fun () -> ipcstats.Ipcstats.polls);
+   Kperf.register_counter kp ~label:("cache", "root") "vos_bufcache_hits_total"
+     (fun () -> root_bc.Bufcache.hits);
+   Kperf.register_counter kp ~label:("cache", "root")
+     "vos_bufcache_misses_total" (fun () -> root_bc.Bufcache.misses);
+   List.iteri
+     (fun i bc ->
+       let l = ("cache", Printf.sprintf "fat%d" i) in
+       Kperf.register_counter kp ~label:l "vos_bufcache_hits_total" (fun () ->
+           bc.Bufcache.hits);
+       Kperf.register_counter kp ~label:l "vos_bufcache_misses_total"
+         (fun () -> bc.Bufcache.misses))
+     (Vfs.fat_caches vfs));
   (* task teardown hooks *)
   sched.Sched.on_task_exit <-
     [

@@ -1,9 +1,16 @@
-(** ftrace-style event tracing (§5.1).
+(** ftrace-style event tracing (§5.1), rebuilt as part of kperf.
 
-    A fixed-size ring buffer of timestamped events that all cores write
-    with negligible overhead; dumped on demand to diagnose scheduler and
-    concurrency issues, and mined by the Figure 11 latency-breakdown
-    benchmark. *)
+    The seed kept one global ring that all cores contended on. Now each
+    core can own its ring ({!Kconfig.trace_per_core_rings}): power-of-two
+    capacity, bitmask indexing, a pre-filled dummy entry so the hot path
+    writes a plain record with no [option] boxing, and a global sequence
+    number stamped per entry so a merged {!dump} — sorted by (timestamp,
+    sequence) — reproduces exactly the order a single ring would have
+    recorded. Span events turn syscalls, IRQ dispatches, context switches
+    and block requests into durations; consuming {!reader}s back the
+    [/proc/ktrace] trace-pipe; the machine format feeds
+    [tools/ktrace2perfetto]. Runtime control (enable, clock, class
+    filter) is driven by writes to [/proc/ktrace_ctl]. *)
 
 type event =
   | Syscall_enter of int * string  (** pid, name *)
@@ -25,38 +32,266 @@ type event =
   | Sem_block of int * int  (** pid, sem id *)
   | Sem_wake of int * int  (** pid woken (or -1 if none), sem id *)
   | Custom of string
+  | Span_begin of int * int * string  (** span id, pid, operation name *)
+  | Span_end of int  (** span id *)
 
-type entry = { ts_ns : int64; core : int; ev : event }
-
-type t = {
-  ring : entry option array;
-  mutable head : int;
-  mutable written : int;
-  mutable enabled : bool;
+type entry = {
+  ts_ns : int64;
+  seq : int;  (** global emission order, the tie-break for merged dumps *)
+  core : int;
+  ev : event;
 }
 
-let create ?(capacity = 262144) () =
-  { ring = Array.make capacity None; head = 0; written = 0; enabled = true }
+(* ---- event classes, for the ktrace_ctl filter ---- *)
+
+(* Bit indices into the filter mask. Spelled out constructor by
+   constructor (vlint R004): adding an event forces a classification. *)
+let class_of ev =
+  match ev with
+  | Syscall_enter _ | Syscall_exit _ -> 0
+  | Ctx_switch _ | Sched_wakeup _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _
+    -> 1
+  | Irq_enter _ | Irq_exit _ -> 2
+  | Kbd_report | Event_delivered _ | Poll_return _ -> 3
+  | Frame_present _ | Wm_composite -> 4
+  | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ -> 5
+  | Span_begin _ | Span_end _ -> 6
+  | Custom _ -> 7
+
+let class_names =
+  [
+    ("syscall", 0);
+    ("sched", 1);
+    ("irq", 2);
+    ("input", 3);
+    ("gfx", 4);
+    ("lock", 5);
+    ("span", 6);
+    ("custom", 7);
+  ]
+
+let filter_all = -1
+
+(* "all" or a comma-separated subset of class names; None = parse error. *)
+let filter_of_string s =
+  if String.equal s "all" then Some filter_all
+  else
+    let parts = String.split_on_char ',' (String.trim s) in
+    List.fold_left
+      (fun acc part ->
+        match (acc, List.assoc_opt (String.trim part) class_names) with
+        | Some mask, Some bit -> Some (mask lor (1 lsl bit))
+        | _, _ -> None)
+      (Some 0) parts
+
+(* ---- rings ---- *)
+
+type ring = {
+  buf : entry array;  (** power-of-two length, pre-filled (no [option]) *)
+  mask : int;  (** length - 1: index = position land mask *)
+  mutable head : int;  (** total entries ever written to this ring *)
+}
+
+type t = {
+  rings : ring array;  (** one per core, or a single shared ring *)
+  per_core : bool;
+  mutable seq : int;
+  mutable next_span : int;
+  mutable enabled : bool;
+  mutable filter : int;  (** bitmask over {!class_of}; -1 = everything *)
+  mutable clock_base : int64;
+      (** subtracted from every stamp: 0 = absolute engine time (the
+          default), set to "now" by [clock=rel] in /proc/ktrace_ctl *)
+  mutable written : int;  (** total emitted across all rings *)
+  mutable readers_open : int;  (** open /proc/ktrace handles (wake gate) *)
+  mutable on_data : (unit -> unit) option;
+      (** poked after each emit while a trace-pipe reader is open; the
+          kernel wires this to a deferred [Sched.poll_wake] *)
+}
+
+let dummy = { ts_ns = 0L; seq = -1; core = 0; ev = Custom "<unwritten>" }
+
+let rec ceil_pow2 n k = if k >= n then k else ceil_pow2 n (k * 2)
+
+let make_ring cap = { buf = Array.make cap dummy; mask = cap - 1; head = 0 }
+
+(* [capacity] is the total entry budget: a per-core tracer divides it
+   across the rings so arming the knob does not grow the footprint. *)
+let create ?(capacity = 262144) ?(per_core = false) ?(cores = 1) () =
+  let nrings = if per_core then max 1 cores else 1 in
+  let per_ring = ceil_pow2 (max 1024 (capacity / nrings)) 1 in
+  {
+    rings = Array.init nrings (fun _ -> make_ring per_ring);
+    per_core;
+    seq = 0;
+    next_span = 0;
+    enabled = true;
+    filter = filter_all;
+    clock_base = 0L;
+    written = 0;
+    readers_open = 0;
+    on_data = None;
+  }
 
 let set_enabled t on = t.enabled <- on
+let set_filter t mask = t.filter <- mask
+let set_clock_base t base = t.clock_base <- base
+let new_span t =
+  t.next_span <- t.next_span + 1;
+  t.next_span
 
 let emit t ~ts_ns ~core ev =
-  if t.enabled then begin
-    t.ring.(t.head) <- Some { ts_ns; core; ev };
-    t.head <- (t.head + 1) mod Array.length t.ring;
-    t.written <- t.written + 1
+  if t.enabled && t.filter land (1 lsl class_of ev) <> 0 then begin
+    let r =
+      if t.per_core then t.rings.(core land (Array.length t.rings - 1))
+      else t.rings.(0)
+    in
+    r.buf.(r.head land r.mask) <-
+      { ts_ns = Int64.sub ts_ns t.clock_base; seq = t.seq; core; ev };
+    r.head <- r.head + 1;
+    t.seq <- t.seq + 1;
+    t.written <- t.written + 1;
+    if t.readers_open > 0 then
+      match t.on_data with Some poke -> poke () | None -> ()
   end
 
 let written t = t.written
 
-(* Entries oldest-first. *)
+let compare_entry a b =
+  match Int64.compare a.ts_ns b.ts_ns with
+  | 0 -> compare a.seq b.seq
+  | c -> c
+
+(* Merged snapshot, oldest-first by (timestamp, sequence). With a single
+   ring the sort is the identity (sequence = insertion order), so the
+   seed's dump output is reproduced byte for byte; per-core rings
+   interleave back into global emission order. *)
 let dump t =
-  let cap = Array.length t.ring in
-  let n = min t.written cap in
-  let start = (t.head - n + cap) mod cap in
-  List.filter_map
-    (fun i -> t.ring.((start + i) mod cap))
-    (List.init n (fun i -> i))
+  let collect r =
+    let n = min r.head (Array.length r.buf) in
+    List.init n (fun i -> r.buf.((r.head - n + i) land r.mask))
+  in
+  Array.fold_left (fun acc r -> List.rev_append (collect r) acc) [] t.rings
+  |> List.sort compare_entry
+
+(* ---- consuming readers: the /proc/ktrace trace-pipe ---- *)
+
+type reader = {
+  src : t;
+  cursors : int array;  (** per-ring next-unread position *)
+  mutable lost : int;  (** entries overwritten before this reader got there *)
+}
+
+(* A fresh reader starts at the present: it streams events emitted after
+   the open, like catting trace_pipe, rather than replaying the backlog. *)
+let new_reader t =
+  { src = t; cursors = Array.map (fun r -> r.head) t.rings; lost = 0 }
+
+let reader_lost r = r.lost
+
+let reader_ready r =
+  let any = ref false in
+  Array.iteri
+    (fun i ring -> if r.cursors.(i) < ring.head then any := true)
+    r.src.rings;
+  !any
+
+(* Drain up to [max] entries in merged (timestamp, sequence) order,
+   advancing the cursors past anything returned — and past anything the
+   writer already overwrote, which is counted in [lost]. *)
+let read_reader r ~max =
+  let t = r.src in
+  Array.iteri
+    (fun i ring ->
+      let oldest = ring.head - Array.length ring.buf in
+      if r.cursors.(i) < oldest then begin
+        r.lost <- r.lost + (oldest - r.cursors.(i));
+        r.cursors.(i) <- oldest
+      end)
+    t.rings;
+  let out = ref [] and n = ref 0 and more = ref true in
+  while !more && !n < max do
+    let best = ref (-1) in
+    Array.iteri
+      (fun i ring ->
+        if r.cursors.(i) < ring.head then
+          let e = ring.buf.(r.cursors.(i) land ring.mask) in
+          match !best with
+          | -1 -> best := i
+          | j ->
+              let rj = t.rings.(j) in
+              let f = rj.buf.(r.cursors.(j) land rj.mask) in
+              if compare_entry e f < 0 then best := i)
+      t.rings;
+    match !best with
+    | -1 -> more := false
+    | i ->
+        let ring = t.rings.(i) in
+        out := ring.buf.(r.cursors.(i) land ring.mask) :: !out;
+        r.cursors.(i) <- r.cursors.(i) + 1;
+        incr n
+  done;
+  List.rev !out
+
+(* ---- span pairing ---- *)
+
+type span = {
+  sp_id : int;
+  sp_pid : int;
+  sp_name : string;
+  sp_core : int;
+  sp_begin_ns : int64;
+  sp_end_ns : int64;
+}
+
+(* Pair up Span_begin/Span_end by id over a merged dump. Returns the
+   matched spans (in begin order) and the begins still open at dump time
+   (blocked syscalls, in-flight block requests). Every constructor is
+   spelled out so R004 forces new events through this classifier too. *)
+let pair_spans entries =
+  let open_spans = Hashtbl.create 64 in
+  let matched = ref [] in
+  List.iter
+    (fun e ->
+      match e.ev with
+      | Span_begin (id, _, _) -> Hashtbl.replace open_spans id e
+      | Span_end id -> (
+          match Hashtbl.find_opt open_spans id with
+          | Some b ->
+              Hashtbl.remove open_spans id;
+              let pid, name =
+                match b.ev with
+                | Span_begin (_, pid, name) -> (pid, name)
+                | Syscall_enter _ | Syscall_exit _ | Ctx_switch _
+                | Irq_enter _ | Irq_exit _ | Sched_wakeup _ | Sched_migrate _
+                | Ipi_send _ | Ipi_recv _ | Kbd_report | Event_delivered _
+                | Poll_return _ | Frame_present _ | Wm_composite
+                | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _
+                | Custom _ | Span_end _ ->
+                    (0, "?")
+              in
+              matched :=
+                {
+                  sp_id = id;
+                  sp_pid = pid;
+                  sp_name = name;
+                  sp_core = b.core;
+                  sp_begin_ns = b.ts_ns;
+                  sp_end_ns = e.ts_ns;
+                }
+                :: !matched
+          | None -> ())
+      | Syscall_enter _ | Syscall_exit _ | Ctx_switch _ | Irq_enter _
+      | Irq_exit _ | Sched_wakeup _ | Sched_migrate _ | Ipi_send _
+      | Ipi_recv _ | Kbd_report | Event_delivered _ | Poll_return _
+      | Frame_present _ | Wm_composite | Lock_acquire _ | Lock_release _
+      | Sem_block _ | Sem_wake _ | Custom _ -> ())
+    entries;
+  let unmatched = Hashtbl.fold (fun _ e acc -> e :: acc) open_spans [] in
+  ( List.sort (fun a b -> compare a.sp_id b.sp_id) !matched,
+    List.sort compare_entry unmatched )
+
+(* ---- rendering ---- *)
 
 let describe ev =
   match ev with
@@ -83,7 +318,168 @@ let describe ev =
   | Sem_block (pid, id) -> Printf.sprintf "sem_block pid=%d sem=%d" pid id
   | Sem_wake (pid, id) -> Printf.sprintf "sem_wake pid=%d sem=%d" pid id
   | Custom s -> s
+  | Span_begin (id, pid, name) ->
+      Printf.sprintf "span_begin id=%d pid=%d %s" id pid name
+  | Span_end id -> Printf.sprintf "span_end id=%d" id
 
 let format_entry e =
   Printf.sprintf "[%10.3f us] core%d %s" (Int64.to_float e.ts_ns /. 1e3) e.core
     (describe e.ev)
+
+(* ---- the machine format: what ktrace2perfetto consumes ---- *)
+
+(* One entry per line: "ts_ns seq core tag args...". Any free-form string
+   argument goes last so it may contain spaces. *)
+let machine_payload ev =
+  match ev with
+  | Syscall_enter (pid, name) -> Printf.sprintf "sys_enter %d %s" pid name
+  | Syscall_exit (pid, name) -> Printf.sprintf "sys_exit %d %s" pid name
+  | Ctx_switch (a, b) -> Printf.sprintf "ctx_switch %d %d" a b
+  | Irq_enter line -> "irq_enter " ^ line
+  | Irq_exit line -> "irq_exit " ^ line
+  | Sched_wakeup pid -> Printf.sprintf "wakeup %d" pid
+  | Sched_migrate (pid, a, b) -> Printf.sprintf "migrate %d %d %d" pid a b
+  | Ipi_send target -> Printf.sprintf "ipi_send %d" target
+  | Ipi_recv core -> Printf.sprintf "ipi_recv %d" core
+  | Kbd_report -> "kbd_report"
+  | Event_delivered pid -> Printf.sprintf "event_delivered %d" pid
+  | Poll_return (pid, nready) -> Printf.sprintf "poll_return %d %d" pid nready
+  | Frame_present pid -> Printf.sprintf "frame_present %d" pid
+  | Wm_composite -> "wm_composite"
+  | Lock_acquire (name, core) -> Printf.sprintf "lock_acquire %d %s" core name
+  | Lock_release (name, core) -> Printf.sprintf "lock_release %d %s" core name
+  | Sem_block (pid, id) -> Printf.sprintf "sem_block %d %d" pid id
+  | Sem_wake (pid, id) -> Printf.sprintf "sem_wake %d %d" pid id
+  | Custom s -> "custom " ^ s
+  | Span_begin (id, pid, name) -> Printf.sprintf "span_begin %d %d %s" id pid name
+  | Span_end id -> Printf.sprintf "span_end %d" id
+
+let machine_line e =
+  Printf.sprintf "%Ld %d %d %s" e.ts_ns e.seq e.core (machine_payload e.ev)
+
+let write_machine oc entries =
+  List.iter (fun e -> output_string oc (machine_line e ^ "\n")) entries
+
+(* The inverse of {!machine_line}; None on anything malformed. *)
+let parse_machine_line line =
+  let line = String.trim line in
+  if String.equal line "" then None
+  else
+    (* split off the first n space-separated fields, keep the tail *)
+    let split_n n s =
+      let rec go n s acc =
+        if n = 0 then Some (List.rev acc, s)
+        else
+          match String.index_opt s ' ' with
+          | Some i ->
+              go (n - 1)
+                (String.sub s (i + 1) (String.length s - i - 1))
+                (String.sub s 0 i :: acc)
+          | None -> if n = 1 then Some (List.rev (s :: acc), "") else None
+      in
+      go n s []
+    in
+    let int_of s = int_of_string_opt s in
+    match split_n 4 line with
+    | Some ([ ts; seq; core; tag ], rest) -> (
+        match
+          (Int64.of_string_opt ts, int_of seq, int_of core)
+        with
+        | Some ts_ns, Some seq, Some core ->
+            let ints n =
+              match split_n n rest with
+              | Some (fields, "") ->
+                  let vals = List.filter_map int_of fields in
+                  if List.length vals = n then Some vals else None
+              | Some _ | None -> None
+            in
+            let int_then_str () =
+              match split_n 1 rest with
+              | Some ([ a ], s) -> (
+                  match int_of a with Some a -> Some (a, s) | None -> None)
+              | Some _ | None -> None
+            in
+            let int2_then_str () =
+              match split_n 2 rest with
+              | Some ([ a; b ], s) -> (
+                  match (int_of a, int_of b) with
+                  | Some a, Some b -> Some (a, b, s)
+                  | _, _ -> None)
+              | Some _ | None -> None
+            in
+            let ev =
+              match tag with
+              | "sys_enter" -> (
+                  match int_then_str () with
+                  | Some (pid, name) -> Some (Syscall_enter (pid, name))
+                  | None -> None)
+              | "sys_exit" -> (
+                  match int_then_str () with
+                  | Some (pid, name) -> Some (Syscall_exit (pid, name))
+                  | None -> None)
+              | "ctx_switch" -> (
+                  match ints 2 with
+                  | Some [ a; b ] -> Some (Ctx_switch (a, b))
+                  | Some _ | None -> None)
+              | "irq_enter" -> Some (Irq_enter rest)
+              | "irq_exit" -> Some (Irq_exit rest)
+              | "wakeup" -> (
+                  match ints 1 with
+                  | Some [ pid ] -> Some (Sched_wakeup pid)
+                  | Some _ | None -> None)
+              | "migrate" -> (
+                  match ints 3 with
+                  | Some [ pid; a; b ] -> Some (Sched_migrate (pid, a, b))
+                  | Some _ | None -> None)
+              | "ipi_send" -> (
+                  match ints 1 with
+                  | Some [ c ] -> Some (Ipi_send c)
+                  | Some _ | None -> None)
+              | "ipi_recv" -> (
+                  match ints 1 with
+                  | Some [ c ] -> Some (Ipi_recv c)
+                  | Some _ | None -> None)
+              | "kbd_report" -> Some Kbd_report
+              | "event_delivered" -> (
+                  match ints 1 with
+                  | Some [ pid ] -> Some (Event_delivered pid)
+                  | Some _ | None -> None)
+              | "poll_return" -> (
+                  match ints 2 with
+                  | Some [ pid; n ] -> Some (Poll_return (pid, n))
+                  | Some _ | None -> None)
+              | "frame_present" -> (
+                  match ints 1 with
+                  | Some [ pid ] -> Some (Frame_present pid)
+                  | Some _ | None -> None)
+              | "wm_composite" -> Some Wm_composite
+              | "lock_acquire" -> (
+                  match int_then_str () with
+                  | Some (core, name) -> Some (Lock_acquire (name, core))
+                  | None -> None)
+              | "lock_release" -> (
+                  match int_then_str () with
+                  | Some (core, name) -> Some (Lock_release (name, core))
+                  | None -> None)
+              | "sem_block" -> (
+                  match ints 2 with
+                  | Some [ pid; id ] -> Some (Sem_block (pid, id))
+                  | Some _ | None -> None)
+              | "sem_wake" -> (
+                  match ints 2 with
+                  | Some [ pid; id ] -> Some (Sem_wake (pid, id))
+                  | Some _ | None -> None)
+              | "custom" -> Some (Custom rest)
+              | "span_begin" -> (
+                  match int2_then_str () with
+                  | Some (id, pid, name) -> Some (Span_begin (id, pid, name))
+                  | None -> None)
+              | "span_end" -> (
+                  match ints 1 with
+                  | Some [ id ] -> Some (Span_end id)
+                  | Some _ | None -> None)
+              | _ -> None
+            in
+            Option.map (fun ev -> { ts_ns; seq; core; ev }) ev
+        | _, _, _ -> None)
+    | Some _ | None -> None

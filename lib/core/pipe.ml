@@ -187,8 +187,13 @@ let write ctx t data ~nonblock =
 let read ctx t ~len ~nonblock =
   let sched = ctx.Sched.sched in
   t.p.stats.Ipcstats.pipe_reads <- t.p.stats.Ipcstats.pipe_reads + 1;
+  let entered_ns = Sched.now sched in
   let rec step () =
     if fill t > 0 then begin
+      (* how long this read waited for data (0 when it was already
+         buffered) — kperf bookkeeping only, no cycles charged *)
+      Kperf.Hist.record sched.Sched.h_pipe_wait
+        (Int64.sub (Sched.now sched) entered_ns);
       let n = min len (fill t) in
       let was_full = space t = 0 in
       let out = Bytes.create n in

@@ -1,9 +1,15 @@
 (** procfs: /proc/cpuinfo, /proc/meminfo, /proc/uptime, /proc/tasks,
-    /proc/sched, /proc/ipc.
+    /proc/sched, /proc/ipc, and the kperf surface — /proc/metrics
+    (Prometheus text), /proc/profile (sampling profiler), /proc/ktrace
+    (a consuming trace-pipe) and /proc/ktrace_ctl (runtime control).
 
-    Files are snapshots rendered at open time (like Linux's seq_file, one
-    generation per open) and then read as ordinary byte streams; sysmon
-    polls these to draw its overlay. *)
+    Most files are snapshots rendered at open time (like Linux's
+    seq_file, one generation per open) and then read as ordinary byte
+    streams; sysmon polls these to draw its overlay. /proc/ktrace is the
+    exception: each open holds a consuming {!Ktrace.reader} cursor, reads
+    stream formatted entries as they are emitted, block on
+    {!Sched.poll_chan} (so poll(2) composes) and honor O_NONBLOCK with
+    -EAGAIN. *)
 
 type t = {
   board : Hw.Board.t;
@@ -11,10 +17,22 @@ type t = {
   kalloc : Kalloc.t;
   ipc : Ipcstats.t;
   snapshots : (int, string) Hashtbl.t;  (** file_id -> rendered content *)
+  readers : (int, Ktrace.reader) Hashtbl.t;
+      (** file_id -> trace-pipe cursor for /proc/ktrace opens *)
+  pending : (int, string) Hashtbl.t;
+      (** file_id -> formatted-but-undelivered trace bytes *)
 }
 
 let create ~board ~sched ~kalloc ~ipc =
-  { board; sched; kalloc; ipc; snapshots = Hashtbl.create 16 }
+  {
+    board;
+    sched;
+    kalloc;
+    ipc;
+    snapshots = Hashtbl.create 16;
+    readers = Hashtbl.create 4;
+    pending = Hashtbl.create 4;
+  }
 
 let render_cpuinfo t =
   let buf = Buffer.create 256 in
@@ -80,13 +98,9 @@ let render_sched t =
            (Int64.div s.Sched.delay_total_ns
               (Int64.of_int s.Sched.delay_count))
            s.Sched.delay_max_ns);
-      Buffer.add_string buf "run_delay_hist\t:";
-      Array.iteri
-        (fun bucket n ->
-          if n > 0 then
-            Buffer.add_string buf (Printf.sprintf " 2^%d:%d" bucket n))
-        s.Sched.delay_hist;
-      Buffer.add_char buf '\n'
+      Buffer.add_string buf
+        (Printf.sprintf "run_delay_hist\t: %s\n"
+           (Kperf.Hist.render_line s.Sched.delay_hist))
     end;
     Buffer.add_char buf '\n'
   done;
@@ -118,6 +132,34 @@ let render_kcheck t =
   | Some kc -> Kcheck.render_report kc
   | None -> "kcheck\t\t: disabled\n"
 
+(* Prometheus text exposition of every kperf counter and histogram; the
+   page exists only when the [metrics] knob is armed. *)
+let render_metrics t =
+  if t.sched.Sched.config.Kconfig.metrics then
+    Some (Kperf.render_metrics t.sched.Sched.kperf)
+  else None
+
+let render_profile t = Kperf.render_profile t.sched.Sched.kperf
+
+(* Current tracer control state, mirrored back by reads of ktrace_ctl. *)
+let render_ktrace_ctl t =
+  let tr = t.sched.Sched.trace in
+  let filter_names =
+    if tr.Ktrace.filter = Ktrace.filter_all then "all"
+    else
+      Ktrace.class_names
+      |> List.filter (fun (_, bit) -> tr.Ktrace.filter land (1 lsl bit) <> 0)
+      |> List.map fst |> String.concat ","
+  in
+  Printf.sprintf
+    "enable\t\t: %d\nclock\t\t: %s\nfilter\t\t: %s\nper_core_rings\t: \
+     %b\nevents_written\t: %d\n"
+    (if tr.Ktrace.enabled then 1 else 0)
+    (if Int64.equal tr.Ktrace.clock_base 0L then "abs" else "rel")
+    filter_names
+    t.sched.Sched.config.Kconfig.trace_per_core_rings
+    (Ktrace.written tr)
+
 let render t name =
   match name with
   | "cpuinfo" -> Some (render_cpuinfo t)
@@ -128,37 +170,178 @@ let render t name =
   | "ipc" -> Some (render_ipc t)
   | "locks" -> Some (render_locks t)
   | "kcheck" -> Some (render_kcheck t)
+  | "metrics" -> render_metrics t
+  | "profile" -> Some (render_profile t)
+  | "ktrace_ctl" -> Some (render_ktrace_ctl t)
   | _ -> None
 
 let names =
-  [ "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched"; "ipc"; "locks"; "kcheck" ]
+  [
+    "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched"; "ipc"; "locks"; "kcheck";
+    "metrics"; "profile"; "ktrace"; "ktrace_ctl";
+  ]
+
+(* ---- /proc/ktrace: the consuming trace-pipe ---- *)
+
+(* One cursor per open file, created lazily at first read/poll; creating
+   it bumps [readers_open] so the emit hot path only pokes the deferred
+   poll_wake while someone is actually listening. *)
+let trace_reader t file =
+  match Hashtbl.find_opt t.readers file.Fd.file_id with
+  | Some r -> r
+  | None ->
+      let tr = t.sched.Sched.trace in
+      let r = Ktrace.new_reader tr in
+      tr.Ktrace.readers_open <- tr.Ktrace.readers_open + 1;
+      Hashtbl.replace t.readers file.Fd.file_id r;
+      Hashtbl.replace t.pending file.Fd.file_id "";
+      r
+
+let trace_pending t file =
+  Option.value ~default:"" (Hashtbl.find_opt t.pending file.Fd.file_id)
+
+(* Reads consume: drain the cursor into formatted lines, hand out up to
+   [len] bytes, keep the remainder for the next read. An empty pipe
+   blocks on the shared poll channel (every poll_wake rescans us, and
+   the tracer's on_data hook fires one) — or returns -EAGAIN under
+   O_NONBLOCK. *)
+let ktrace_read t ctx file ~len =
+  let reader = trace_reader t file in
+  let rec attempt () =
+    let pending =
+      let p = trace_pending t file in
+      if String.length p > 0 then p
+      else
+        Ktrace.read_reader reader ~max:128
+        |> List.map (fun e -> Ktrace.format_entry e ^ "\n")
+        |> String.concat ""
+    in
+    if String.length pending = 0 then begin
+      if file.Fd.nonblock then Sched.finish ctx (Abi.R_int (-Errno.eagain))
+      else Sched.block ctx ~chan:Sched.poll_chan ~retry:attempt
+    end
+    else begin
+      let n = max 0 (min len (String.length pending)) in
+      Hashtbl.replace t.pending file.Fd.file_id
+        (String.sub pending n (String.length pending - n));
+      Sched.charge ctx (Kcost.copy_cycles ~bytes:n + 500);
+      Sched.finish ctx (Abi.R_bytes (Bytes.of_string (String.sub pending 0 n)))
+    end
+  in
+  attempt ()
+
+let ktrace_ready t file =
+  String.length (trace_pending t file) > 0
+  || Ktrace.reader_ready (trace_reader t file)
+
+let ktrace_close t file =
+  (match Hashtbl.find_opt t.readers file.Fd.file_id with
+  | Some _ ->
+      let tr = t.sched.Sched.trace in
+      tr.Ktrace.readers_open <- max 0 (tr.Ktrace.readers_open - 1)
+  | None -> ());
+  Hashtbl.remove t.readers file.Fd.file_id;
+  Hashtbl.remove t.pending file.Fd.file_id
+
+(* ---- /proc/ktrace_ctl: runtime control ---- *)
+
+(* Commands, one per line: "enable=0|1", "clock=abs|rel" (rel rebases
+   stamps at the current instant), "filter=all" or a comma-separated
+   class list ("filter=syscall,span"). The whole write is rejected with
+   EINVAL if any line fails to parse. *)
+let ktrace_ctl_write t ctx bytes =
+  let tr = t.sched.Sched.trace in
+  let apply line =
+    match String.index_opt line '=' with
+    | None -> false
+    | Some i -> (
+        let key = String.sub line 0 i in
+        let value =
+          String.sub line (i + 1) (String.length line - i - 1) |> String.trim
+        in
+        match key with
+        | "enable" -> (
+            match value with
+            | "0" -> Ktrace.set_enabled tr false; true
+            | "1" -> Ktrace.set_enabled tr true; true
+            | _ -> false)
+        | "clock" -> (
+            match value with
+            | "abs" -> Ktrace.set_clock_base tr 0L; true
+            | "rel" ->
+                Ktrace.set_clock_base tr (Hw.Board.now t.board);
+                true
+            | _ -> false)
+        | "filter" -> (
+            match Ktrace.filter_of_string value with
+            | Some mask -> Ktrace.set_filter tr mask; true
+            | None -> false)
+        | _ -> false)
+  in
+  let lines =
+    Bytes.to_string bytes |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun l -> not (String.equal l ""))
+  in
+  if lines <> [] && List.for_all apply lines then begin
+    Sched.charge ctx 500;
+    Sched.finish ctx (Abi.R_int (Bytes.length bytes))
+  end
+  else Sched.finish ctx (Abi.R_int (-Errno.einval))
+
+(* ---- dev_ops ---- *)
+
+let snapshot_read t name ctx file ~len =
+  let content =
+    match Hashtbl.find_opt t.snapshots file.Fd.file_id with
+    | Some c -> c
+    | None ->
+        let c = Option.value ~default:"" (render t name) in
+        Hashtbl.replace t.snapshots file.Fd.file_id c;
+        c
+  in
+  let off = file.Fd.off in
+  let n = max 0 (min len (String.length content - off)) in
+  file.Fd.off <- off + n;
+  Sched.charge ctx (Kcost.copy_cycles ~bytes:n + 500);
+  Sched.finish ctx (Abi.R_bytes (Bytes.of_string (String.sub content off n)))
 
 (* Build dev_ops for one opened proc file. *)
 let ops t name =
-  match render t name with
-  | None -> None
-  | Some _ ->
+  match name with
+  | "ktrace" ->
       Some
         {
-          Fd.dev_name = "proc:" ^ name;
-          dev_read =
-            (fun ctx file ~len ->
-              let content =
-                match Hashtbl.find_opt t.snapshots file.Fd.file_id with
-                | Some c -> c
-                | None ->
-                    let c = Option.value ~default:"" (render t name) in
-                    Hashtbl.replace t.snapshots file.Fd.file_id c;
-                    c
-              in
-              let off = file.Fd.off in
-              let n = max 0 (min len (String.length content - off)) in
-              file.Fd.off <- off + n;
-              Sched.charge ctx (Kcost.copy_cycles ~bytes:n + 500);
-              Sched.finish ctx (Abi.R_bytes (Bytes.of_string (String.sub content off n))));
+          Fd.dev_name = "proc:ktrace";
+          dev_read = (fun ctx file ~len -> ktrace_read t ctx file ~len);
           dev_write =
             (fun ctx _ _ -> Sched.finish ctx (Abi.R_int (-Errno.erofs)));
+          dev_mmap = None;
+          dev_close = (fun file -> ktrace_close t file);
+          dev_poll = Some (fun _ctx file -> ktrace_ready t file);
+        }
+  | "ktrace_ctl" ->
+      Some
+        {
+          Fd.dev_name = "proc:ktrace_ctl";
+          dev_read = (fun ctx file ~len -> snapshot_read t name ctx file ~len);
+          dev_write = (fun ctx _ bytes -> ktrace_ctl_write t ctx bytes);
           dev_mmap = None;
           dev_close = (fun file -> Hashtbl.remove t.snapshots file.Fd.file_id);
           dev_poll = None;
         }
+  | _ -> (
+      match render t name with
+      | None -> None
+      | Some _ ->
+          Some
+            {
+              Fd.dev_name = "proc:" ^ name;
+              dev_read = (fun ctx file ~len -> snapshot_read t name ctx file ~len);
+              dev_write =
+                (fun ctx _ _ -> Sched.finish ctx (Abi.R_int (-Errno.erofs)));
+              dev_mmap = None;
+              dev_close =
+                (fun file -> Hashtbl.remove t.snapshots file.Fd.file_id);
+              dev_poll = None;
+            })

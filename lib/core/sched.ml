@@ -44,6 +44,8 @@ type ctx = {
   mutable charge_io : int64;  (** device time in ns, added on top of CPU *)
   kont : (Abi.ret, unit) Effect.Deep.continuation;
   mutable done_ : bool;
+  entry_ns : int64;  (** trap time: syscall service = exit - entry *)
+  span : int;  (** kperf span id bracketing this syscall *)
 }
 
 and core_state = {
@@ -53,6 +55,8 @@ and core_state = {
   mutable current : Task.t option;
   mutable last_pid : int;  (** pid last dispatched here, for Ctx_switch *)
   mutable ipi_pending : bool;  (** a reschedule IPI is in flight to us *)
+  mutable in_irq : string option;
+      (** IRQ line being dispatched here, for profiler attribution *)
   mutable ticks : int;
   mutable burn_started : int64;
   mutable burn_until : int64;
@@ -74,8 +78,9 @@ and core_stats = {
   mutable balance_moves : int;  (** tasks the balancer moved onto this core *)
   mutable ipis_to : int;  (** reschedule IPIs sent to this core *)
   mutable ipis_recv : int;  (** reschedule IPIs actually taken *)
-  delay_hist : int array;
-      (** run-delay (runnable → running) histogram, bucket i = [2^i] ns *)
+  delay_hist : Kperf.Hist.t;
+      (** run-delay (runnable → running) distribution; registered with
+          kperf so /proc/metrics exports it per core *)
   mutable delay_count : int;
   mutable delay_total_ns : int64;
   mutable delay_max_ns : int64;
@@ -86,6 +91,11 @@ and t = {
   config : Kconfig.t;
   kalloc : Kalloc.t;
   trace : Ktrace.t;
+  kperf : Kperf.t;  (** histograms, counters, profiler (host-side only) *)
+  h_syscall : Kperf.Hist.t;  (** syscall service time, trap to return *)
+  h_poll_wait : Kperf.Hist.t;  (** poll(2) entry to wake (vfs records) *)
+  h_pipe_wait : Kperf.Hist.t;  (** blocked pipe read round-trip (pipe.ml) *)
+  h_sd_req : Kperf.Hist.t;  (** SD request latency (bufcache records) *)
   cls : sched_class;
   cores : core_state array;
   active_cores : int;
@@ -240,12 +250,22 @@ let create board config kalloc =
     else 1
   in
   let cls = class_of_policy config.Kconfig.sched_policy in
+  let kperf = Kperf.create () in
+  kperf.Kperf.profile_hz <- config.Kconfig.profile_hz;
   let t =
     {
       board;
       config;
       kalloc;
-      trace = Ktrace.create ();
+      trace =
+        Ktrace.create
+          ~per_core:config.Kconfig.trace_per_core_rings
+          ~cores:board.Hw.Board.platform.Hw.Board.num_cores ();
+      kperf;
+      h_syscall = Kperf.hist kperf "vos_syscall_service_ns";
+      h_poll_wait = Kperf.hist kperf "vos_poll_wait_ns";
+      h_pipe_wait = Kperf.hist kperf "vos_pipe_read_wait_ns";
+      h_sd_req = Kperf.hist kperf "vos_sd_request_ns";
       cls;
       cores =
         Array.init board.Hw.Board.platform.Hw.Board.num_cores (fun core_id ->
@@ -259,7 +279,10 @@ let create board config kalloc =
                   balance_moves = 0;
                   ipis_to = 0;
                   ipis_recv = 0;
-                  delay_hist = Array.make 32 0;
+                  delay_hist =
+                    Kperf.hist kperf
+                      ~label:("core", string_of_int core_id)
+                      "vos_sched_run_delay_ns";
                   delay_count = 0;
                   delay_total_ns = 0L;
                   delay_max_ns = 0L;
@@ -267,6 +290,7 @@ let create board config kalloc =
               current = None;
               last_pid = 0;
               ipi_pending = false;
+              in_irq = None;
               ticks = 0;
               burn_started = 0L;
               burn_until = 0L;
@@ -292,6 +316,17 @@ let create board config kalloc =
       ptable = None;
     }
   in
+  for core = 0 to Array.length t.cores - 1 do
+    let label = ("core", string_of_int core) in
+    Kperf.register_counter kperf ~label "vos_ctx_switches_total" (fun () ->
+        t.cores.(core).switches);
+    Kperf.register_counter kperf ~label "vos_sched_migrations_total" (fun () ->
+        t.cores.(core).stats.migrations)
+  done;
+  Kperf.register_counter kperf "vos_trace_events_total" (fun () ->
+      Ktrace.written t.trace);
+  Kperf.register_counter kperf "vos_profile_samples_total" (fun () ->
+      kperf.Kperf.profile_samples);
   t
 
 (* Every Ktrace constructor is spelled out (no wildcard): vlint's R004
@@ -306,7 +341,8 @@ let bump_frames t ev =
   | Ktrace.Sched_migrate _ | Ktrace.Ipi_send _ | Ktrace.Ipi_recv _
   | Ktrace.Kbd_report | Ktrace.Event_delivered _ | Ktrace.Poll_return _
   | Ktrace.Wm_composite | Ktrace.Lock_acquire _ | Ktrace.Lock_release _
-  | Ktrace.Sem_block _ | Ktrace.Sem_wake _ | Ktrace.Custom _ -> ()
+  | Ktrace.Sem_block _ | Ktrace.Sem_wake _ | Ktrace.Custom _
+  | Ktrace.Span_begin _ | Ktrace.Span_end _ -> ()
 
 (* Events with no task context (device IRQs routed to core 0, kernel
    daemons): attributed to core 0. Task-attributed events go through
@@ -360,23 +396,10 @@ let add_io_busy core ns = core.io_busy_ns <- Int64.add core.io_busy_ns ns
 
 (* ---- per-core scheduler statistics ---- *)
 
-let delay_bucket ns =
-  let n = Int64.to_int ns in
-  if n <= 0 then 0
-  else begin
-    let b = ref 0 and v = ref n in
-    while !v > 1 && !b < 31 do
-      incr b;
-      v := !v lsr 1
-    done;
-    !b
-  end
-
 let record_run_delay core delay_ns =
   if Int64.compare delay_ns 0L >= 0 then begin
     let s = core.stats in
-    s.delay_hist.(delay_bucket delay_ns) <-
-      s.delay_hist.(delay_bucket delay_ns) + 1;
+    Kperf.Hist.record s.delay_hist delay_ns;
     s.delay_count <- s.delay_count + 1;
     s.delay_total_ns <- Int64.add s.delay_total_ns delay_ns;
     if Int64.compare delay_ns s.delay_max_ns > 0 then s.delay_max_ns <- delay_ns
@@ -576,8 +599,12 @@ and schedule_core t core =
           in
           let switch_ns = cyc t switch_cycles in
           add_busy core switch_ns;
+          let span = Ktrace.new_span t.trace in
+          trace_emit_core t ~core:core.core_id
+            (Ktrace.Span_begin (span, task.Task.pid, "switch"));
           ignore
             (Sim.Engine.schedule_after (engine t) switch_ns (fun () ->
+                 trace_emit_core t ~core:core.core_id (Ktrace.Span_end span);
                  if task.Task.killed && task.Task.kind = Task.User then
                    raise_exit t task (-1)
                  else resume ()))
@@ -610,6 +637,7 @@ and raise_exit t task code =
 and do_exit t task code =
   if not (is_zombie task) then begin
     task.Task.exit_code <- code;
+    task.Task.cur_syscall <- None;
     let was_running = match task.Task.state with Task.Running _ -> true | Task.Runnable | Task.Blocked _ | Task.Zombie -> false in
     List.iter (fun hook -> hook task) t.on_task_exit;
     kcheck_audit t ~reason:(Printf.sprintf "exit of task %d" task.Task.pid);
@@ -733,8 +761,11 @@ let finish ctx ret =
         add_io_busy t.cores.(c) ctx.charge_io
   | Task.Runnable | Task.Blocked _ | Task.Zombie -> ());
   start_burn t task total (fun () ->
+      task.Task.cur_syscall <- None;
+      Kperf.Hist.record t.h_syscall (Int64.sub (now t) ctx.entry_ns);
       trace_emit_task t task
         (Ktrace.Syscall_exit (task.Task.pid, Abi.syscall_name ctx.call));
+      trace_emit_task t task (Ktrace.Span_end ctx.span);
       Effect.Deep.continue ctx.kont ret)
 
 (* Block the calling task on [chan]; [retry] re-enters the syscall path
@@ -844,8 +875,11 @@ let rec run_computation t task main () =
 
 and handle_trap t task call k =
   task.Task.syscall_count <- task.Task.syscall_count + 1;
-  trace_emit_task t task
-    (Ktrace.Syscall_enter (task.Task.pid, Abi.syscall_name call));
+  let name = Abi.syscall_name call in
+  task.Task.cur_syscall <- Some name;
+  trace_emit_task t task (Ktrace.Syscall_enter (task.Task.pid, name));
+  let span = Ktrace.new_span t.trace in
+  trace_emit_task t task (Ktrace.Span_begin (span, task.Task.pid, "sys:" ^ name));
   let entry_cycles =
     if task.Task.kind = Task.User then
       Kcost.syscall_entry + Kcost.syscall_dispatch
@@ -860,6 +894,8 @@ and handle_trap t task call k =
       charge_io = 0L;
       kont = k;
       done_ = false;
+      entry_ns = now t;
+      span;
     }
   in
   match t.syscall_hook with
@@ -896,6 +932,9 @@ let exec_replace ctx main =
   let task = ctx.task in
   let total = Int64.add (cyc t ctx.charge_cycles) ctx.charge_io in
   start_burn t task total (fun () ->
+      task.Task.cur_syscall <- None;
+      Kperf.Hist.record t.h_syscall (Int64.sub (now t) ctx.entry_ns);
+      trace_emit_task t task (Ktrace.Span_end ctx.span);
       match task.Task.state with
       | Task.Running c ->
           t.cores.(c).current <- None;
@@ -982,6 +1021,28 @@ let rec tick t core_id =
   let core = t.cores.(core_id) in
   core.ticks <- core.ticks + 1;
   steal_cycles t core (cyc t Kcost.timer_tick_work);
+  (* the sampling profiler rides the generic timer: attribute what the
+     core was doing when the tick fired (host-side only, zero cycles) *)
+  (let hz = t.kperf.Kperf.profile_hz in
+   if hz > 0 then begin
+     let tick_hz = 1000 / max 1 t.tick_interval_ms in
+     let period = max 1 (tick_hz / hz) in
+     if core.ticks mod period = 0 then begin
+       let pid, where_ =
+         match core.current with
+         | None -> (0, "idle")
+         | Some task -> (
+             ( task.Task.pid,
+               match task.Task.cur_syscall with
+               | Some name -> "sys:" ^ name
+               | None -> (
+                   match core.in_irq with
+                   | Some line -> "irq:" ^ line
+                   | None -> "user") ))
+       in
+       Kperf.sample t.kperf ~core:core_id ~pid ~where_
+     end
+   end);
   (* MLFQ anti-starvation: periodically boost everything queued here back
      to the top level so demoted batch work cannot starve *)
   (match core.rq with
@@ -1062,8 +1123,20 @@ let register_irq t line handler =
 
 let on_irq t core_id line =
   let core = t.cores.(core_id) in
-  trace_emit_core t ~core:core_id (Ktrace.Irq_enter (Hw.Irq.describe line));
+  let desc = Hw.Irq.describe line in
+  trace_emit_core t ~core:core_id (Ktrace.Irq_enter desc);
+  let span = Ktrace.new_span t.trace in
+  trace_emit_core t ~core:core_id (Ktrace.Span_begin (span, 0, "irq:" ^ desc));
   steal_cycles t core (cyc t (Kcost.irq_entry + Kcost.irq_exit));
+  (* profiler attribution: the timer lines stay unmarked — the tick IS
+     the sampler, and it must see the interrupted context, not itself *)
+  let mark =
+    match line with
+    | Hw.Irq.Core_timer _ | Hw.Irq.Sys_timer -> false
+    | Hw.Irq.Ipi _ | Hw.Irq.Fiq_button | Hw.Irq.Uart_rx | Hw.Irq.Usb_hc
+    | Hw.Irq.Dma_channel _ | Hw.Irq.Gpio_bank | Hw.Irq.Sd_card -> true
+  in
+  if mark then core.in_irq <- Some desc;
   (match line with
   | Hw.Irq.Core_timer c -> tick t c
   | Hw.Irq.Ipi c -> ipi_recv t c
@@ -1077,8 +1150,10 @@ let on_irq t core_id line =
       | Some (_, handler) -> handler ()
       | None ->
           trace_emit_core t ~core:core_id
-            (Ktrace.Custom ("spurious irq " ^ Hw.Irq.describe line))));
-  trace_emit_core t ~core:core_id (Ktrace.Irq_exit (Hw.Irq.describe line))
+            (Ktrace.Custom ("spurious irq " ^ desc))));
+  if mark then core.in_irq <- None;
+  trace_emit_core t ~core:core_id (Ktrace.Span_end span);
+  trace_emit_core t ~core:core_id (Ktrace.Irq_exit desc)
 
 (* Install interrupt entry points and start ticking. *)
 let start t =

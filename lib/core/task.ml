@@ -37,6 +37,9 @@ type t = {
   mutable cpu_ns : int64;
   mutable quantum_left : int;  (** scheduler ticks until preemption *)
   mutable syscall_count : int;
+  mutable cur_syscall : string option;
+      (** syscall being serviced right now; the sampling profiler reads
+          it at tick time to attribute the sample *)
   mutable shadow_stack : string list;  (** unwinder's view of the call stack *)
   mutable wm_surface : int option;  (** surface id when drawing via the WM *)
 }
@@ -68,6 +71,7 @@ let create ~name ~kind ?vm ?(parent = 0) () =
     cpu_ns = 0L;
     quantum_left = default_quantum;
     syscall_count = 0;
+    cur_syscall = None;
     shadow_stack = [];
     wm_surface = None;
   }

@@ -475,6 +475,13 @@ let op_poll ctx t fds timeout_ms =
   else begin
     let expired = ref false in
     let blocked = ref false in
+    let entered_ns = Sched.now sched in
+    (* poll wait = entry to verdict (readiness, timeout, or instant
+       probe); host-side histogram only, nothing charged *)
+    let record_wait () =
+      Kperf.Hist.record sched.Sched.h_poll_wait
+        (Int64.sub (Sched.now sched) entered_ns)
+    in
     let scan () =
       Sched.charge ctx (Kcost.poll_fd_check * List.length fds);
       let mask = ref 0 and bad = ref false in
@@ -498,6 +505,7 @@ let op_poll ctx t fds timeout_ms =
               0
               (List.mapi (fun i _ -> i) fds)
           in
+          record_wait ();
           Sched.trace_emit_task sched ctx.Sched.task
             (Ktrace.Poll_return (pid, nready));
           Sched.finish ctx (Abi.R_int mask)
@@ -507,6 +515,7 @@ let op_poll ctx t fds timeout_ms =
            else
              stats.Ipcstats.poll_immediate <-
                stats.Ipcstats.poll_immediate + 1);
+          record_wait ();
           Sched.trace_emit_task sched ctx.Sched.task
             (Ktrace.Poll_return (pid, 0));
           Sched.finish ctx (Abi.R_int 0)

@@ -19,6 +19,7 @@ let () =
       Test_kernel.suite_wm;
       Test_kernel.suite_debug;
       Test_kernel.suite_kcheck;
+      Test_kperf.suite;
       Test_user.suite_alloc;
       Test_user.suite_codecs;
       Test_user.suite_crypto;

@@ -1,0 +1,462 @@
+(** kperf tests: the shared log-linear histogram (exact bucket
+    boundaries plus qcheck invariants), the per-core trace rings and
+    their consuming readers, the machine format, span pairing over a
+    real launcher session, and the /proc surfaces (metrics, profile,
+    the ktrace trace-pipe and ktrace_ctl). *)
+
+open Tharness
+
+module Hist = Core.Kperf.Hist
+
+let contains s sub =
+  let nl = String.length sub and l = String.length s in
+  let rec at i = i + nl <= l && (String.equal (String.sub s i nl) sub || at (i + 1)) in
+  at 0
+
+let count_sub s sub =
+  let nl = String.length sub and l = String.length s in
+  let rec go i acc =
+    if i + nl > l then acc
+    else if String.equal (String.sub s i nl) sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* Every kernel in this file boots with the full observability stack
+   armed: per-core rings, the 100 Hz profiler and /proc/metrics. *)
+let armed config =
+  {
+    config with
+    Core.Kconfig.trace_per_core_rings = true;
+    profile_hz = 100;
+    metrics = true;
+  }
+
+(* ---- histogram: exact bucket boundaries ---- *)
+
+let hist_bucket_boundaries () =
+  (* bucket 0 is [0, 100) ns; after that lower bounds interleave
+     100*2^k and 150*2^k *)
+  check_int "0 -> bucket 0" 0 (Hist.bucket_of_ns 0);
+  check_int "99 -> bucket 0" 0 (Hist.bucket_of_ns 99);
+  check_int "100 -> bucket 1" 1 (Hist.bucket_of_ns 100);
+  check_int "149 -> bucket 1" 1 (Hist.bucket_of_ns 149);
+  check_int "150 -> bucket 2" 2 (Hist.bucket_of_ns 150);
+  check_int "199 -> bucket 2" 2 (Hist.bucket_of_ns 199);
+  check_int "200 -> bucket 3" 3 (Hist.bucket_of_ns 200);
+  check_int "299 -> bucket 3" 3 (Hist.bucket_of_ns 299);
+  check_int "300 -> bucket 4" 4 (Hist.bucket_of_ns 300);
+  check_int "1000 and 1023 share a bucket" (Hist.bucket_of_ns 1_000)
+    (Hist.bucket_of_ns 1_023);
+  (* every interior lower bound maps to its own bucket, and one ns less
+     maps to the bucket before *)
+  for i = 1 to Hist.buckets - 2 do
+    let lo = Hist.lower_bound_ns i in
+    check_int (Printf.sprintf "lower bound of bucket %d" i) i
+      (Hist.bucket_of_ns lo);
+    check_int (Printf.sprintf "just below bucket %d" i) (i - 1)
+      (Hist.bucket_of_ns (lo - 1))
+  done;
+  check_int "beyond the ladder -> overflow bucket" (Hist.buckets - 1)
+    (Hist.bucket_of_ns 1_000_000_000_000)
+
+let hist_render_empty () =
+  let h = Hist.create () in
+  check_string "empty histogram renders" "no samples" (Hist.render_line h);
+  check_int "empty count" 0 (Hist.count h)
+
+(* ---- histogram: qcheck invariants ---- *)
+
+let gen_samples =
+  QCheck.(list_of_size (Gen.int_range 1 200) (int_bound 1_000_000_000))
+
+let hist_of_list l =
+  let h = Hist.create () in
+  List.iter (fun v -> Hist.record h (Int64.of_int v)) l;
+  h
+
+let hist_percentile_order =
+  qcheck ~count:200 "histogram max >= p99 >= p50 >= min" gen_samples
+    (fun l ->
+      let h = hist_of_list l in
+      let p50 = Hist.percentile_ns h 0.50 in
+      let p99 = Hist.percentile_ns h 0.99 in
+      let mn = Int64.to_float (Hist.min_ns h) in
+      let mx = Int64.to_float (Hist.max_ns h) in
+      mn <= p50 && p50 <= p99 && p99 <= mx && Hist.count h = List.length l)
+
+let hist_merge_is_concat =
+  qcheck ~count:200 "merge of two histograms = histogram of concatenation"
+    QCheck.(pair gen_samples gen_samples)
+    (fun (a, b) ->
+      let merged = Hist.merge (hist_of_list a) (hist_of_list b) in
+      let concat = hist_of_list (a @ b) in
+      Hist.count merged = Hist.count concat
+      && Int64.equal (Hist.sum_ns merged) (Hist.sum_ns concat)
+      && Int64.equal (Hist.min_ns merged) (Hist.min_ns concat)
+      && Int64.equal (Hist.max_ns merged) (Hist.max_ns concat)
+      && Hist.percentile_ns merged 0.50 = Hist.percentile_ns concat 0.50
+      && Hist.percentile_ns merged 0.99 = Hist.percentile_ns concat 0.99)
+
+(* ---- trace rings and readers ---- *)
+
+let entry_key e = (e.Core.Ktrace.ts_ns, e.Core.Ktrace.seq)
+
+let is_sorted entries =
+  let rec go = function
+    | a :: (b :: _ as rest) -> compare (entry_key a) (entry_key b) <= 0 && go rest
+    | [ _ ] | [] -> true
+  in
+  go entries
+
+let trace_per_core_merge_sorted () =
+  let tr = Core.Ktrace.create ~capacity:4096 ~per_core:true ~cores:4 () in
+  for i = 0 to 99 do
+    Core.Ktrace.emit tr
+      ~ts_ns:(Int64.of_int (i * 10))
+      ~core:(i mod 4) (Core.Ktrace.Sched_wakeup i)
+  done;
+  let d = Core.Ktrace.dump tr in
+  check_int "all events kept" 100 (List.length d);
+  check_bool "merged dump is (ts, seq)-sorted" true (is_sorted d)
+
+let trace_ring_wraps () =
+  (* tiny ring: only the newest [capacity] entries survive *)
+  let tr = Core.Ktrace.create ~capacity:1024 () in
+  for i = 0 to 1999 do
+    Core.Ktrace.emit tr ~ts_ns:(Int64.of_int i) ~core:0
+      (Core.Ktrace.Sched_wakeup i)
+  done;
+  let d = Core.Ktrace.dump tr in
+  check_int "ring keeps capacity entries" 1024 (List.length d);
+  (match d with
+  | first :: _ ->
+      check_int "oldest surviving entry is the wrap point" (2000 - 1024)
+        (Int64.to_int first.Core.Ktrace.ts_ns)
+  | [] -> Alcotest.fail "empty dump");
+  check_int "written counts every emit" 2000 (Core.Ktrace.written tr)
+
+let trace_reader_consumes () =
+  let tr = Core.Ktrace.create ~capacity:1024 () in
+  Core.Ktrace.emit tr ~ts_ns:1L ~core:0 Core.Ktrace.Kbd_report;
+  let r = Core.Ktrace.new_reader tr in
+  check_int "reader starts at the present: backlog invisible" 0
+    (List.length (Core.Ktrace.read_reader r ~max:10));
+  Core.Ktrace.emit tr ~ts_ns:2L ~core:0 Core.Ktrace.Wm_composite;
+  Core.Ktrace.emit tr ~ts_ns:3L ~core:0 (Core.Ktrace.Sched_wakeup 7);
+  check_bool "reader sees pending data" true (Core.Ktrace.reader_ready r);
+  check_int "reads both new events" 2
+    (List.length (Core.Ktrace.read_reader r ~max:10));
+  check_int "consuming: second read is empty" 0
+    (List.length (Core.Ktrace.read_reader r ~max:10));
+  check_bool "drained reader not ready" false (Core.Ktrace.reader_ready r)
+
+let trace_reader_lost_on_overwrite () =
+  let tr = Core.Ktrace.create ~capacity:1024 () in
+  let r = Core.Ktrace.new_reader tr in
+  for i = 0 to 1499 do
+    Core.Ktrace.emit tr ~ts_ns:(Int64.of_int i) ~core:0
+      (Core.Ktrace.Sched_wakeup i)
+  done;
+  let got = ref 0 in
+  let rec drain () =
+    match Core.Ktrace.read_reader r ~max:256 with
+    | [] -> ()
+    | es ->
+        got := !got + List.length es;
+        drain ()
+  in
+  drain ();
+  check_int "reader got what survived" 1024 !got;
+  check_int "overwritten entries counted as lost" (1500 - 1024)
+    (Core.Ktrace.reader_lost r)
+
+let trace_filter_classes () =
+  let tr = Core.Ktrace.create ~capacity:1024 () in
+  (match Core.Ktrace.filter_of_string "syscall,irq" with
+  | Some mask -> Core.Ktrace.set_filter tr mask
+  | None -> Alcotest.fail "filter_of_string rejected valid classes");
+  Core.Ktrace.emit tr ~ts_ns:1L ~core:0
+    (Core.Ktrace.Syscall_enter (1, "read"));
+  Core.Ktrace.emit tr ~ts_ns:2L ~core:0 (Core.Ktrace.Sched_wakeup 1);
+  Core.Ktrace.emit tr ~ts_ns:3L ~core:0 (Core.Ktrace.Irq_enter "sd-card");
+  check_int "sched event filtered out" 2 (List.length (Core.Ktrace.dump tr));
+  check_bool "bad class name rejected" true
+    (Core.Ktrace.filter_of_string "syscall,bogus" = None);
+  check_bool "\"all\" parses to the full mask" true
+    (Core.Ktrace.filter_of_string "all" = Some Core.Ktrace.filter_all)
+
+(* ---- machine format round-trip ---- *)
+
+let machine_roundtrip () =
+  let entries =
+    List.mapi
+      (fun i ev ->
+        { Core.Ktrace.ts_ns = Int64.of_int (i * 7); seq = i; core = i mod 4; ev })
+      [
+        Core.Ktrace.Syscall_enter (3, "open");
+        Core.Ktrace.Syscall_exit (3, "open");
+        Core.Ktrace.Ctx_switch (1, 2);
+        Core.Ktrace.Irq_enter "usb hc";
+        Core.Ktrace.Irq_exit "usb hc";
+        Core.Ktrace.Sched_wakeup 5;
+        Core.Ktrace.Sched_migrate (5, 0, 3);
+        Core.Ktrace.Ipi_send 2;
+        Core.Ktrace.Ipi_recv 2;
+        Core.Ktrace.Kbd_report;
+        Core.Ktrace.Event_delivered 4;
+        Core.Ktrace.Poll_return (4, 1);
+        Core.Ktrace.Frame_present 4;
+        Core.Ktrace.Wm_composite;
+        Core.Ktrace.Lock_acquire ("ptable", 1);
+        Core.Ktrace.Lock_release ("ptable", 1);
+        Core.Ktrace.Sem_block (6, 9);
+        Core.Ktrace.Sem_wake (6, 9);
+        Core.Ktrace.Custom "hello world";
+        Core.Ktrace.Span_begin (11, 3, "sd:read with spaces");
+        Core.Ktrace.Span_end 11;
+      ]
+  in
+  List.iter
+    (fun e ->
+      let line = Core.Ktrace.machine_line e in
+      match Core.Ktrace.parse_machine_line line with
+      | Some e' -> check_bool ("round-trips: " ^ line) true (e = e')
+      | None -> Alcotest.failf "failed to parse %s" line)
+    entries;
+  check_bool "malformed line rejected" true
+    (Core.Ktrace.parse_machine_line "12 x 0 sys_enter 1 read" = None);
+  check_bool "unknown tag rejected" true
+    (Core.Ktrace.parse_machine_line "12 0 0 teleport 1" = None)
+
+(* ---- span pairing over a real launcher session ---- *)
+
+let span_pairing_full_run () =
+  let stage = Proto.Stage.boot ~prototype:5 ~config_tweak:armed () in
+  let kernel = stage.Proto.Stage.kernel in
+  let board = kernel.Core.Kernel.board in
+  ignore (Proto.Stage.start stage "launcher" [ "launcher"; "200" ]);
+  Proto.Stage.run_for stage (Sim.Engine.sec 1);
+  Hw.Usb.key_down board.Hw.Board.usb 0x51;
+  Proto.Stage.run_for stage (Sim.Engine.ms 60);
+  Hw.Usb.key_up board.Hw.Board.usb 0x51;
+  Proto.Stage.run_for stage (Sim.Engine.ms 500);
+  let events = Core.Ktrace.dump kernel.Core.Kernel.sched.Core.Sched.trace in
+  let spans, open_begins = Core.Ktrace.pair_spans events in
+  check_bool "a real session produces thousands of spans" true
+    (List.length spans > 1000);
+  (* every span id begins exactly once; every end matches a begin *)
+  let seen = Hashtbl.create 1024 in
+  let dup = ref 0 and end_without_begin = ref 0 in
+  List.iter
+    (fun e ->
+      match e.Core.Ktrace.ev with
+      | Core.Ktrace.Span_begin (id, _, _) ->
+          if Hashtbl.mem seen id then incr dup else Hashtbl.add seen id true
+      | Core.Ktrace.Span_end id ->
+          if not (Hashtbl.mem seen id) then incr end_without_begin
+      | _ -> ())
+    events;
+  check_int "no duplicate span begins" 0 !dup;
+  check_int "no span end without a begin" 0 !end_without_begin;
+  List.iter
+    (fun sp ->
+      if Int64.compare sp.Core.Ktrace.sp_end_ns sp.Core.Ktrace.sp_begin_ns < 0
+      then Alcotest.failf "span %d ends before it begins" sp.Core.Ktrace.sp_id)
+    spans;
+  (* unmatched begins are rare: tasks blocked mid-syscall at dump time *)
+  check_bool "open spans stay bounded" true (List.length open_begins <= 32)
+
+(* ---- /proc surfaces ---- *)
+
+let metrics_exposes_histograms () =
+  let text =
+    in_kernel ~config:(armed test_config) (fun _ ->
+        (* generate latency in several subsystems: pipes, poll, sleep *)
+        (match User.Usys.pipe () with
+        | Ok (r, w) ->
+            ignore (User.Usys.write w (Bytes.make 32 'x'));
+            ignore (User.Usys.read r 32);
+            ignore (User.Usys.poll [ r ] ~timeout_ms:0);
+            ignore (User.Usys.close r);
+            ignore (User.Usys.close w)
+        | Error _ -> ());
+        ignore (User.Usys.sleep 5);
+        Bytes.to_string (Result.get_ok (User.Usys.slurp "/proc/metrics")))
+  in
+  check_bool "at least 5 histograms exported" true
+    (count_sub text " histogram" >= 5);
+  check_bool "cumulative buckets with le labels" true
+    (count_sub text "_bucket{" > 0 && count_sub text "le=\"+Inf\"" >= 5);
+  check_bool "counters exported too" true (count_sub text " counter" >= 3);
+  List.iter
+    (fun name ->
+      if not (contains text name) then Alcotest.failf "missing metric %s" name)
+    [
+      "vos_syscall_service_ns";
+      "vos_sched_run_delay_ns";
+      "vos_pipe_read_wait_ns";
+      "vos_poll_wait_ns";
+      "vos_sd_request_ns";
+      "vos_ctx_switches_total";
+      "vos_trace_events_total";
+    ]
+
+let metrics_gated_by_knob () =
+  (* test_config leaves metrics off: the page must not exist *)
+  in_kernel (fun _ ->
+      match User.Usys.slurp "/proc/metrics" with
+      | Ok _ -> Alcotest.fail "/proc/metrics should not render when off"
+      | Error _ -> ())
+
+let profile_attributes_samples () =
+  let text =
+    in_kernel ~config:(armed test_config) (fun _ ->
+        (* ~100 ms of user burn at 100 Hz -> a hard floor of samples *)
+        for _ = 1 to 50 do
+          User.Usys.burn 2_000_000
+        done;
+        Bytes.to_string (Result.get_ok (User.Usys.slurp "/proc/profile")))
+  in
+  check_bool "profiler header shows the rate" true
+    (contains text "profile_hz\t: 100");
+  check_bool "attribution table present" true (contains text "CORE");
+  check_bool "profiler took samples" true
+    (not (contains text "samples\t\t: 0\n"))
+
+let profile_disabled_renders () =
+  let text =
+    in_kernel (fun _ ->
+        Bytes.to_string (Result.get_ok (User.Usys.slurp "/proc/profile")))
+  in
+  check_bool "profile page reports disabled at profile_hz = 0" true
+    (contains text "disabled")
+
+let trace_pipe_streams () =
+  in_kernel ~config:(armed test_config) (fun _ ->
+      let fd =
+        User.Usys.open_ "/proc/ktrace"
+          (Core.Abi.o_rdonly lor Core.Abi.o_nonblock)
+      in
+      check_bool "trace-pipe opens" true (fd >= 0);
+      (* a fresh trace-pipe starts at the present: nothing to read yet *)
+      (match User.Usys.read fd 4096 with
+      | Error e -> check_int "empty pipe yields EAGAIN" Core.Errno.eagain e
+      | Ok _ -> Alcotest.fail "fresh trace-pipe should be empty");
+      (* our own syscalls emit events; the next read streams them *)
+      ignore (User.Usys.sleep 2);
+      (match User.Usys.read fd 8192 with
+      | Ok b ->
+          check_bool "streamed events are formatted lines" true
+            (Bytes.length b > 0 && contains (Bytes.to_string b) "sys_enter")
+      | Error e -> Alcotest.failf "trace-pipe read failed: errno %d" e);
+      (* disable the tracer so the pipe can actually run dry (each read
+         is itself a syscall and would otherwise emit more events) *)
+      let cfd = User.Usys.open_ "/proc/ktrace_ctl" Core.Abi.o_wronly in
+      ignore (User.Usys.write cfd (Bytes.of_string "enable=0\n"));
+      ignore (User.Usys.close cfd);
+      let rec drain budget =
+        if budget = 0 then Alcotest.fail "trace-pipe never drained"
+        else
+          match User.Usys.read fd 65536 with
+          | Ok _ -> drain (budget - 1)
+          | Error e ->
+              check_int "drained pipe yields EAGAIN" Core.Errno.eagain e
+      in
+      drain 1000;
+      ignore (User.Usys.close fd))
+
+let trace_pipe_blocks_then_wakes () =
+  let kernel = boot_kernel ~config:(armed test_config) () in
+  let got = ref 0 in
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"tracer" (fun () ->
+         let fd = User.Usys.open_ "/proc/ktrace" Core.Abi.o_rdonly in
+         (* blocking read: parks on the poll channel until the tracer's
+            deferred on_data wakeup fires for freshly emitted events *)
+         (match User.Usys.read fd 4096 with
+         | Ok b -> got := Bytes.length b
+         | Error _ -> ());
+         ignore (User.Usys.close fd);
+         0));
+  ignore
+    (Core.Kernel.spawn_user kernel ~name:"noise" (fun () ->
+         ignore (User.Usys.sleep 3);
+         ignore (User.Usys.getpid ());
+         0));
+  run_for kernel 1;
+  check_bool "blocked trace-pipe reader woke with data" true (!got > 0)
+
+let ktrace_ctl_controls () =
+  let kernel = boot_kernel ~config:(armed test_config) () in
+  let tr = kernel.Core.Kernel.sched.Core.Sched.trace in
+  match
+    Benchlib.Measure.run_task kernel ~name:"ctl" (fun () ->
+        let wr line =
+          let fd = User.Usys.open_ "/proc/ktrace_ctl" Core.Abi.o_wronly in
+          let r = User.Usys.write fd (Bytes.of_string line) in
+          ignore (User.Usys.close fd);
+          r
+        in
+        let ctl () =
+          Bytes.to_string (Result.get_ok (User.Usys.slurp "/proc/ktrace_ctl"))
+        in
+        check_bool "tracer starts enabled" true
+          (contains (ctl ()) "enable\t\t: 1");
+        check_bool "disable accepted" true (wr "enable=0\n" > 0);
+        check_bool "ctl mirrors disabled" true
+          (contains (ctl ()) "enable\t\t: 0");
+        let before = Core.Ktrace.written tr in
+        ignore (User.Usys.getpid ());
+        check_int "no events emitted while disabled" before
+          (Core.Ktrace.written tr);
+        check_bool "re-enable + filter + rel clock in one write" true
+          (wr "enable=1\nfilter=syscall,span\nclock=rel\n" > 0);
+        let state = ctl () in
+        check_bool "ctl mirrors the class filter" true
+          (contains state "filter\t\t: syscall,span");
+        check_bool "ctl mirrors the rebased clock" true
+          (contains state "clock\t\t: rel");
+        let before = Core.Ktrace.written tr in
+        ignore (User.Usys.getpid ());
+        check_bool "filtered tracer emits again" true
+          (Core.Ktrace.written tr > before);
+        check_int "unknown key rejected" (-Core.Errno.einval) (wr "bogus=1\n");
+        check_int "bad filter rejected" (-Core.Errno.einval)
+          (wr "filter=nope\n");
+        check_int "empty write rejected" (-Core.Errno.einval) (wr "\n");
+        check_bool "filter=all restores everything" true
+          (wr "filter=all\n" > 0);
+        check_bool "ctl mirrors the restored filter" true
+          (contains (ctl ()) "filter\t\t: all");
+        0)
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  ( "kperf",
+    [
+      quick "histogram bucket boundaries are exact" hist_bucket_boundaries;
+      quick "empty histogram renders" hist_render_empty;
+      hist_percentile_order;
+      hist_merge_is_concat;
+      quick "per-core rings merge (ts, seq)-sorted" trace_per_core_merge_sorted;
+      quick "ring wraps, keeps newest, counts written" trace_ring_wraps;
+      quick "trace reader consumes incrementally" trace_reader_consumes;
+      quick "trace reader counts overwritten entries"
+        trace_reader_lost_on_overwrite;
+      quick "event-class filter" trace_filter_classes;
+      quick "machine format round-trips every event" machine_roundtrip;
+      slow "span pairing over a launcher session" span_pairing_full_run;
+      slow "/proc/metrics exposes the kernel histograms"
+        metrics_exposes_histograms;
+      quick "/proc/metrics gated by the knob" metrics_gated_by_knob;
+      slow "/proc/profile attributes samples" profile_attributes_samples;
+      quick "/proc/profile reports disabled when off" profile_disabled_renders;
+      slow "/proc/ktrace streams and drains to EAGAIN" trace_pipe_streams;
+      slow "blocked /proc/ktrace reader wakes on data"
+        trace_pipe_blocks_then_wakes;
+      slow "/proc/ktrace_ctl drives enable, filter and clock"
+        ktrace_ctl_controls;
+    ] )

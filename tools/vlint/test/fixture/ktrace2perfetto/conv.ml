@@ -1,0 +1,2 @@
+(* fixture converter: maps Tick but forgets Tock — R006 must notice *)
+let name_of = function Ktrace.Tick -> Some "tick" | _ -> None

@@ -17,6 +17,10 @@
     - R005  no [Sim.Engine] access from the user library (a "user" path
             segment): user code reads time through the uptime syscall,
             never the simulator's clock
+    - R006  every [Ktrace.event] constructor is handled by the
+            ktrace2perfetto converter (a "ktrace2perfetto" path
+            segment): a new trace event must not silently vanish from
+            the exported Perfetto view
 
     Findings print as [file:line: rule-id message] and fail the build.
     [--allow FILE] grandfathers existing cases; an allow entry matching
@@ -344,6 +348,35 @@ let r004 ~files =
         s.matches)
     files
 
+let r006 ~files =
+  (* active only when the converter is part of the scanned tree, so the
+     fixture run controls the rule by including a ktrace2perfetto dir *)
+  let conv_files =
+    List.filter (fun (p, _, _) -> path_has_segment "ktrace2perfetto" p) files
+  in
+  if conv_files <> [] then
+    match
+      List.filter
+        (fun (p, _, _) ->
+          basename_is "ktrace.ml" p && not (path_has_segment "ktrace2perfetto" p))
+        files
+    with
+    | [ (kt_path, kt_str, _) ] ->
+        let handled =
+          List.concat_map
+            (fun (_, _, s) -> List.map fst s.pat_ctors)
+            conv_files
+        in
+        List.iter
+          (fun (ctor, line) ->
+            if not (List.mem ctor handled) then
+              report ~file:kt_path ~line ~rule:"R006"
+                "Ktrace.event %s is not handled by the ktrace2perfetto \
+                 converter"
+                ctor)
+          (variant_ctors ~type_name:"event" kt_str)
+    | _ -> ()
+
 let r005 ~files =
   List.iter
     (fun (path, _, s) ->
@@ -444,6 +477,7 @@ let () =
   r003 ~files;
   r004 ~files;
   r005 ~files;
+  r006 ~files;
   let allows =
     match !allow_path with None -> [] | Some p -> load_allow p
   in
