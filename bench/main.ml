@@ -103,6 +103,13 @@ let tracebench () =
   Benchlib.Tracebench.write_trace r "BENCH_trace.ktrace";
   print_endline "wrote BENCH_trace.json and BENCH_trace.ktrace"
 
+let simbench () =
+  section "simbench: host-parallel engine — pop cost, speedup, determinism";
+  let r = Benchlib.Simbench.run () in
+  print_string (Benchlib.Simbench.render r);
+  Benchlib.Simbench.write_json r "BENCH_sim.json";
+  print_endline "wrote BENCH_sim.json"
+
 let ablations () =
   section "Ablations: the design choices DESIGN.md calls out";
   print_string (Benchlib.Ablation.render (Benchlib.Ablation.run ()))
@@ -128,6 +135,7 @@ let experiments =
     ("schedbench", schedbench);
     ("ipcbench", ipcbench);
     ("tracebench", tracebench);
+    ("simbench", simbench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

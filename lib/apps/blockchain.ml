@@ -23,6 +23,19 @@ let pow_hash data =
   let second, b2 = Sha256.digest_with_blocks first in
   (second, (b1 + b2) * Sha256.cycles_per_block)
 
+let digits n = if n = 0 then 1 else
+  let rec go n acc = if n = 0 then acc else go (n / 10) (acc + 1) in
+  go n 0
+
+(* Virtual cost of double-hashing [header ~index ~prev_hash ~nonce]
+   without building the header: the first round covers
+   digits(index) + "|" + prev_hash + "|" + digits(nonce) bytes, the
+   second the 32-byte digest. Must agree with [pow_hash]'s count. *)
+let hash_cycles ~index ~prev_len ~nonce =
+  let len = digits index + 1 + prev_len + 1 + digits nonce in
+  (Sha256.blocks_of_length len + Sha256.blocks_of_length 32)
+  * Sha256.cycles_per_block
+
 (* argv: blockchain [threads] [difficulty_bits] [blocks] *)
 let main _env argv =
   Usys.in_frame "blockchain_main" (fun () ->
@@ -48,17 +61,35 @@ let main _env argv =
           let found = ref None in
           let batch = 64 in
           while !found = None && not !stop do
-            for _ = 1 to batch do
-              let data = header ~index ~prev_hash:tip.hash ~nonce:!nonce in
-              let digest, cycles = pow_hash data in
-              Usys.burn cycles;
-              incr hashes;
-              if
-                !found = None
-                && Sha256.leading_zero_bits digest >= difficulty
-              then found := Some (!nonce, Sha256.hex digest);
-              incr nonce
+            (* One offload per batch: the virtual cost is the precomputed
+               sum of the 64 double-hashes; the hashing itself is a pure
+               function of (index, tip hash, nonce range) and runs
+               host-side — in parallel with the other miners' batches
+               when sim_domains > 1. Scanning nonces in ascending order
+               keeps the winner identical to the per-hash loop this
+               replaces. *)
+            let n0 = !nonce in
+            let prev_hash = tip.hash in
+            let prev_len = String.length prev_hash in
+            let cycles = ref 0 in
+            for n = n0 to n0 + batch - 1 do
+              cycles := !cycles + hash_cycles ~index ~prev_len ~nonce:n
             done;
+            let best =
+              Usys.offload !cycles (fun () ->
+                  let best = ref None in
+                  for n = n0 to n0 + batch - 1 do
+                    let digest, _ = pow_hash (header ~index ~prev_hash ~nonce:n) in
+                    if
+                      !best = None
+                      && Sha256.leading_zero_bits digest >= difficulty
+                    then best := Some (n, Sha256.hex digest)
+                  done;
+                  !best)
+            in
+            hashes := !hashes + batch;
+            nonce := n0 + batch;
+            (match best with Some _ -> found := best | None -> ());
             (* give the tip a chance to have moved *)
             let current =
               Uthread.Mutex.with_lock chain_lock (fun () -> List.hd !chain)

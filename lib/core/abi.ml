@@ -138,5 +138,11 @@ type _ Effect.t +=
         (** the trap: user → kernel *)
   | Burn : int -> unit Effect.t
         (** consume N CPU cycles of user work; preemptible *)
+  | Offload : int * (unit -> 'r) -> 'r Effect.t
+        (** [Offload (cycles, fn)] burns [cycles] like {!Burn} while the
+            host runs [fn] — a pure function of its captures, forbidden
+            from touching kernel or simulation state — possibly on
+            another domain ({!Sim.Engine.schedule_par}). The result is
+            delivered when the burn completes. *)
   | Frame_mark : string -> unit Effect.t
         (** shadow-stack push/pop for the unwinder; "" pops *)

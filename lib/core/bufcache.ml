@@ -58,7 +58,7 @@ type t = {
   mutable dirty_count : int;
   mutable next_expected : int;  (** streaming detector, miss-driven *)
   mutable ctx : Sched.ctx option;
-  mutable daemon : Sim.Engine.event_id option;
+  mutable daemon : Sim.Fiber.handle option;
   mutable hits : int;
   mutable misses : int;
   mutable range_reads : int;
@@ -329,19 +329,23 @@ let maybe_wake_flusher t =
 let start_flush_daemon t ~interval_ms =
   let engine = t.board.Hw.Board.engine in
   let period = Sim.Engine.ms (max 1 interval_ms) in
-  let rec tick () =
-    ignore (flush_async t);
-    t.daemon <- Some (Sim.Engine.schedule_after engine period tick)
-  in
   (match t.daemon with
-  | Some id -> Sim.Engine.cancel engine id
+  | Some h -> Sim.Fiber.cancel engine h
   | None -> ());
-  t.daemon <- Some (Sim.Engine.schedule_after engine period tick)
+  (* The daemon is a fiber: flush, park for a period, repeat — one engine
+     event per tick, same cadence as the closure chain it replaces. *)
+  t.daemon <-
+    Some
+      (Sim.Fiber.spawn engine ~after:period (fun () ->
+           while true do
+             ignore (flush_async t);
+             Sim.Fiber.sleep period
+           done))
 
 let stop_flush_daemon t =
   match t.daemon with
-  | Some id ->
-      Sim.Engine.cancel t.board.Hw.Board.engine id;
+  | Some h ->
+      Sim.Fiber.cancel t.board.Hw.Board.engine h;
       t.daemon <- None
   | None -> ()
 

@@ -97,6 +97,13 @@ type t = {
       (** expose /proc/metrics: kperf counters and histogram buckets in
           Prometheus text format. Rendering happens at open; nothing is
           charged to the traced workload *)
+  sim_domains : int;
+      (** host domains for the engine's parallel event batches
+          ([Sim.Engine.set_domains]). 1 = the sequential engine,
+          bit-for-bit; > 1 runs offloaded computes across a work-stealing
+          domain pool. Pure host-side parallelism: the virtual-time trace
+          is identical at any value. [VOS_SIM_DOMAINS] overrides at
+          boot. *)
 }
 
 let full =
@@ -151,6 +158,7 @@ let full =
     trace_per_core_rings = false;
     profile_hz = 0;
     metrics = false;
+    sim_domains = 1;
   }
 
 let rec prototype = function
@@ -190,6 +198,7 @@ let rec prototype = function
         trace_per_core_rings = false;
         profile_hz = 0;
         metrics = false;
+        sim_domains = 1;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

@@ -191,11 +191,36 @@ let build_fat_partition board spec =
     spec.sp_fat_files
 
 let boot spec =
+  (* A fresh machine restarts every identifier counter at zero, so two
+     boots of the same spec in one host process produce identical traces
+     — the determinism proof boots at several sim_domains settings and
+     byte-compares the ktrace dumps. *)
+  Task.next_pid := 0;
+  Fd.next_file_id := 0;
+  Vm.next_asid := 0;
+  Pipe.next_id := 0;
   let board =
     Hw.Board.create ~platform:spec.sp_platform ~seed:spec.sp_seed
       ~sd_mib:spec.sp_sd_mib ()
   in
   let engine = board.Hw.Board.engine in
+  (* Size the engine's domain pool before any event fires. A config that
+     explicitly asks for > 1 domain wins; otherwise VOS_SIM_DOMAINS
+     applies, which lets CI drive the whole suite multicore without
+     touching configs. Either way virtual time is unaffected — domains
+     > 1 only parallelizes Par computes. *)
+  let sim_domains =
+    if spec.sp_config.Kconfig.sim_domains > 1 then
+      spec.sp_config.Kconfig.sim_domains
+    else
+      match Sys.getenv_opt "VOS_SIM_DOMAINS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> n
+          | Some _ | None -> spec.sp_config.Kconfig.sim_domains)
+      | None -> spec.sp_config.Kconfig.sim_domains
+  in
+  Sim.Engine.set_domains engine sim_domains;
   (* firmware: load kernel image from SD partition 1 *)
   Sim.Engine.advance_to engine spec.sp_platform.Hw.Board.firmware_boot_ns;
   (* card init by our driver *)

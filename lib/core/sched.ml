@@ -854,6 +854,40 @@ let rec run_computation t task main () =
                 (fun (k : (a, unit) continuation) ->
                   let ns = cyc t (max 1 cycles) in
                   start_burn t task ns (fun () -> continue k ()))
+          | Abi.Offload (cycles, fn) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  (* Virtual cost is a plain burn; the host-side work is a
+                     Par event with this core as its affinity tag. The Par
+                     is scheduled before the burn-end event at the same
+                     instant, so its commit (smaller seq) has filled the
+                     cell by the time the burn delivers the result —
+                     preemption can only move the burn end later. A ≥ 1 ns
+                     floor keeps the burn asynchronous even for cycle
+                     counts that round to zero. *)
+                  let core =
+                    match task.Task.state with
+                    | Task.Running c -> c
+                    | Task.Runnable | Task.Blocked _ | Task.Zombie ->
+                        Kpanic.panicf "sched: offload from task %d (%s), not running"
+                          task.Task.pid (Task.state_name task)
+                  in
+                  let ns = Int64.max 1L (cyc t (max 1 cycles)) in
+                  let cell = ref None in
+                  ignore
+                    (Sim.Engine.schedule_par (engine t)
+                       (Int64.add (now t) ns)
+                       ~affinity:core
+                       (fun () ->
+                         let r = fn () in
+                         fun () -> cell := Some r));
+                  start_burn t task ns (fun () ->
+                      match !cell with
+                      | Some r -> continue k r
+                      | None ->
+                          Kpanic.panicf
+                            "sched: offload result missing for task %d"
+                            task.Task.pid))
           | Abi.Frame_mark label ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -1088,7 +1122,7 @@ and try_steal_peek t thief =
    the shallowest queue until they are within one of each other. Replaces
    pick-time stealing (see [try_steal]) when enabled. The pass runs as a
    kernel daemon billed to core 0, like the tick's bookkeeping. *)
-let rec balance_pass t =
+let balance_pass t =
   steal_cycles t t.cores.(0) (cyc t Kcost.load_balance_pass);
   let moved = ref true in
   while !moved do
@@ -1109,11 +1143,7 @@ let rec balance_pass t =
           moved := true
       | None -> ()
     end
-  done;
-  ignore
-    (Sim.Engine.schedule_after (engine t)
-       (Sim.Engine.ms t.config.Kconfig.load_balance_ms) (fun () ->
-         balance_pass t))
+  done
 
 (* ---- interrupts ---- *)
 
@@ -1167,11 +1197,18 @@ let start t =
       Hw.Timer.arm_core_timer t.board.Hw.Board.timer ~core:c
         ~delta_ns:(Sim.Engine.ms t.tick_interval_ms)
     done;
-    if t.active_cores > 1 && t.config.Kconfig.load_balance_ms > 0 then
+    if t.active_cores > 1 && t.config.Kconfig.load_balance_ms > 0 then begin
+      (* The balance daemon is a fiber: one pass, park for a period,
+         repeat — same engine-event cadence as the closure chain it
+         replaces. *)
+      let period = Sim.Engine.ms t.config.Kconfig.load_balance_ms in
       ignore
-        (Sim.Engine.schedule_after (engine t)
-           (Sim.Engine.ms t.config.Kconfig.load_balance_ms) (fun () ->
-             balance_pass t))
+        (Sim.Fiber.spawn (engine t) ~after:period (fun () ->
+             while true do
+               balance_pass t;
+               Sim.Fiber.sleep period
+             done))
+    end
   end
 
 (* ---- inspection ---- *)

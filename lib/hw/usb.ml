@@ -28,15 +28,19 @@ let create engine intc =
     msd = None;
   }
 
-let rec poll_frame t () =
-  if t.ready then begin
+(* The host-controller frame service loop, as a fiber: latch a report and
+   raise the interrupt when keys changed, then park for one 8 ms frame.
+   One engine event per frame, exactly like the closure chain it
+   replaces. *)
+let poll_loop t () =
+  while t.ready do
     if t.dirty then begin
       t.dirty <- false;
       t.latched <- { modifiers = t.modifiers; keys = t.held } :: t.latched;
       Intc.raise_line t.intc Irq.Usb_hc
     end;
-    ignore (Sim.Engine.schedule_after t.engine frame_interval_ns (poll_frame t))
-  end
+    Sim.Fiber.sleep frame_interval_ns
+  done
 
 let power_on t =
   if not t.powered then begin
@@ -44,7 +48,7 @@ let power_on t =
     ignore
       (Sim.Engine.schedule_after t.engine init_cost_ns (fun () ->
            t.ready <- true;
-           poll_frame t ()))
+           ignore (Sim.Fiber.run t.engine (poll_loop t))))
   end
 
 let ready t = t.ready

@@ -1,0 +1,169 @@
+(* Work-stealing domain pool for the engine's parallel event batches.
+
+   The pool is a set of long-lived worker domains. A batch submission
+   distributes tasks round-robin across the workers' queues (plus the
+   submitter's own), bumps an epoch counter and broadcasts; workers drain
+   their queue, then steal half of a busy sibling's, then spin briefly on
+   the epoch with [Domain.cpu_relax] before parking on the condition
+   variable. The spin window matters: engine batches arrive sub-millisecond
+   apart during a parallel phase, and a worker that parks between every
+   batch pays a futex wake that can dwarf a ~100 µs compute. The submitter
+   participates in the drain and spins until the atomic remaining-task
+   counter hits zero, which doubles as the release/acquire edge making the
+   tasks' writes visible to the simulation thread.
+
+   Within a batch no task may enqueue further tasks — the engine only ever
+   submits closed batches of pure computes — so a worker that finds every
+   queue empty can back off without missing work.
+
+   Spawning the first worker also raises the minor-heap floor: with > 1
+   domain alive every minor collection is a stop-the-world rendezvous
+   across all of them, and the default ~256k-word minor heap makes an
+   allocation-heavy simulation pay thousands of such barriers per second
+   (measured ~3x on the sequential phases). A few-MB minor heap buys the
+   barriers back without touching virtual time. *)
+
+type task = unit -> unit
+
+type worker = { wq : task Spmc_queue.t }
+
+type t = {
+  mutable workers : worker array;
+  own : task Spmc_queue.t; (* submitter's share of the current batch *)
+  remaining : int Atomic.t;
+  epoch : int Atomic.t; (* bumped per batch; workers spin then park on it *)
+  mutable failure : exn option; (* first task exception, re-raised by [run] *)
+  lock : Mutex.t;
+  cond : Condition.t;
+}
+
+(* ~10^5 cpu_relax hints ≈ a few hundred µs: long enough to stay awake
+   between consecutive engine batches, short enough to park promptly when
+   a parallel phase ends. Spinning only pays when every worker can have
+   its own CPU; on an oversubscribed host a spinning worker steals the
+   timeslice from the domain doing real work, so park immediately. *)
+let spin_budget n_workers =
+  if Domain.recommended_domain_count () > n_workers then 100_000 else 0
+
+let min_minor_heap_words = 2 * 1024 * 1024
+
+let create () =
+  {
+    workers = [||];
+    own = Spmc_queue.create ();
+    remaining = Atomic.make 0;
+    epoch = Atomic.make 0;
+    failure = None;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+  }
+
+let size t = Array.length t.workers
+
+let exec t task =
+  (try task ()
+   with e ->
+     Mutex.lock t.lock;
+     if t.failure = None then t.failure <- Some e;
+     Mutex.unlock t.lock);
+  ignore (Atomic.fetch_and_add t.remaining (-1))
+
+(* Steal half of the first non-empty queue into [into]. The submitter's
+   queue is scanned first, then the workers'. *)
+let try_steal t ~into =
+  if into != t.own && Spmc_queue.steal_half t.own ~into > 0 then true
+  else begin
+    let stole = ref false in
+    let n = Array.length t.workers in
+    let i = ref 0 in
+    while (not !stole) && !i < n do
+      let victim = t.workers.(!i).wq in
+      if victim != into && Spmc_queue.steal_half victim ~into > 0 then
+        stole := true;
+      incr i
+    done;
+    !stole
+  end
+
+let rec drain t q =
+  match Spmc_queue.pop q with
+  | Some task ->
+      exec t task;
+      drain t q
+  | None -> if try_steal t ~into:q then drain t q
+
+let rec worker_loop t w last_epoch =
+  (* Spin on the epoch first; park only if no batch arrives in time. *)
+  let budget = spin_budget (Array.length t.workers) in
+  let spins = ref 0 in
+  while Atomic.get t.epoch = last_epoch && !spins < budget do
+    Domain.cpu_relax ();
+    incr spins
+  done;
+  if Atomic.get t.epoch = last_epoch then begin
+    Mutex.lock t.lock;
+    while Atomic.get t.epoch = last_epoch do
+      Condition.wait t.cond t.lock
+    done;
+    Mutex.unlock t.lock
+  end;
+  let epoch = Atomic.get t.epoch in
+  drain t w.wq;
+  worker_loop t w epoch
+
+let ensure_workers t n =
+  let have = Array.length t.workers in
+  if n > have then begin
+    let gc = Gc.get () in
+    if gc.Gc.minor_heap_size < min_minor_heap_words then
+      Gc.set { gc with Gc.minor_heap_size = min_minor_heap_words };
+    let fresh =
+      Array.init (n - have) (fun _ -> { wq = Spmc_queue.create () })
+    in
+    t.workers <- Array.append t.workers fresh;
+    let epoch = Atomic.get t.epoch in
+    Array.iter
+      (fun w -> ignore (Domain.spawn (fun () -> worker_loop t w epoch)))
+      fresh
+  end
+
+let run t tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    (* With no workers — or no CPU for them to run on — execute inline:
+       on a single-CPU host every wake is a futile context switch, and
+       the batch semantics (all tasks done on return) hold either way. *)
+    if Array.length t.workers = 0 || Domain.recommended_domain_count () <= 1
+    then Array.iter (fun task -> task ()) tasks
+    else begin
+      t.failure <- None;
+      Atomic.set t.remaining n;
+      let slots = Array.length t.workers + 1 in
+      Array.iteri
+        (fun i task ->
+          let slot = i mod slots in
+          if slot = 0 then Spmc_queue.push t.own task
+          else Spmc_queue.push t.workers.(slot - 1).wq task)
+        tasks;
+      Atomic.incr t.epoch;
+      Mutex.lock t.lock;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      drain t t.own;
+      while Atomic.get t.remaining > 0 do
+        if not (try_steal t ~into:t.own) then Domain.cpu_relax ()
+        else drain t t.own
+      done;
+      match t.failure with
+      | Some e ->
+          t.failure <- None;
+          raise e
+      | None -> ()
+    end
+  end
+
+(* One pool per process, shared by every engine. Batches are submitted one
+   at a time from the simulation thread, so engines never contend. *)
+let global_pool = lazy (create ())
+
+let global () = Lazy.force global_pool

@@ -1,0 +1,25 @@
+(** Work-stealing pool of worker domains for parallel event batches.
+
+    Workers are spawned once and parked between batches; {!run} submits a
+    closed batch of tasks, participates in the work-stealing drain, and
+    returns when every task has executed. Tasks must not submit further
+    tasks, and the pool must be driven from one thread at a time (the
+    simulation thread). *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+(** Number of spawned worker domains (excludes the submitting thread). *)
+
+val ensure_workers : t -> int -> unit
+(** Grow the pool to at least [n] worker domains. Never shrinks. *)
+
+val run : t -> (unit -> unit) array -> unit
+(** Execute every task and return once all have finished. With zero
+    workers the tasks run inline on the caller. If a task raises, the
+    first exception is re-raised here after the batch completes. *)
+
+val global : unit -> t
+(** The process-wide pool shared by every engine. *)

@@ -1,76 +1,192 @@
-type event_id = int
+(* The event heap holds two kinds of payload:
+
+   - [Fn f]: an ordinary callback, the historical API. Fires on the
+     simulation thread when the clock reaches it.
+
+   - [Par p]: a parallelizable event, split into a pure [compute] (a
+     function only of values captured at scheduling time — it must not
+     read or write simulation state) and the [commit] closure it returns,
+     which applies the result to simulation state. Computes may run on any
+     domain and in any order; commits fire on the simulation thread in
+     canonical (time, seq) heap order, so the virtual-time trace is
+     bit-identical whatever [set_domains] says.
+
+   When the engine pops a Par whose compute has not run and more than one
+   domain is configured, it sweeps the heap for every other pending Par
+   still awaiting its compute (conservative lookahead: those events are
+   already scheduled, and computes are pure over schedule-time captures,
+   so running them early cannot change their results), groups them by
+   affinity tag so one simulated core or device stays on one domain, and
+   runs the groups across the work-stealing pool behind a barrier.
+
+   Cancellation is a tombstone bit carried in the heap payload: the
+   [event_id] handed back by [schedule_at] *is* the payload record, so
+   [cancel] is an O(1) field write and the pop path tests one mutable
+   field instead of probing a hash table. Dead entries are discarded
+   lazily when they surface at the heap top. *)
+
+type kind = Fn of (unit -> unit) | Par of par
+
+and par = {
+  par_affinity : int;
+  mutable par_compute : (unit -> unit -> unit) option;
+  mutable par_commit : (unit -> unit) option;
+}
+
+and ev = { kind : kind; mutable dead : bool; mutable fired : bool }
+
+type event_id = ev
 
 type t = {
   mutable clock : int64;
-  heap : (int * (unit -> unit)) Heap.t;
-  cancelled : (int, unit) Hashtbl.t;
-  mutable next_id : int;
+  heap : ev Heap.t;
+  mutable next_seq : int;
   mutable live : int;
+  mutable domains : int;
+  mutable events_fired : int;
+  mutable par_batches : int;
+  mutable par_computed : int;
 }
 
 let create () =
   {
     clock = 0L;
     heap = Heap.create ();
-    cancelled = Hashtbl.create 64;
-    next_id = 0;
+    next_seq = 0;
     live = 0;
+    domains = 1;
+    events_fired = 0;
+    par_batches = 0;
+    par_computed = 0;
   }
 
 let now t = t.clock
 
-let schedule_at t time f =
+let set_domains t n =
+  let n = max 1 n in
+  t.domains <- n;
+  if n > 1 then Dpool.ensure_workers (Dpool.global ()) (n - 1)
+
+let domains t = t.domains
+
+let push t time ev =
   if Int64.compare time t.clock < 0 then
     invalid_arg "Engine.schedule_at: time is in the past";
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  Heap.push t.heap ~time ~seq:id (id, f);
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Heap.push t.heap ~time ~seq ev;
   t.live <- t.live + 1;
-  id
+  ev
+
+let schedule_at t time f = push t time { kind = Fn f; dead = false; fired = false }
 
 let schedule_after t delta f = schedule_at t (Int64.add t.clock delta) f
 
-let cancel t id =
-  if not (Hashtbl.mem t.cancelled id) then begin
-    Hashtbl.replace t.cancelled id ();
+let schedule_par t time ~affinity compute =
+  push t time
+    {
+      kind =
+        Par
+          { par_affinity = affinity; par_compute = Some compute; par_commit = None };
+      dead = false;
+      fired = false;
+    }
+
+let cancel t ev =
+  if not (ev.fired || ev.dead) then begin
+    ev.dead <- true;
     t.live <- t.live - 1
   end
 
-let pending t = max 0 t.live
+let pending t = t.live
 
-(* Pop the next non-cancelled event, discarding cancelled ones. *)
+(* Pop the next live event, discarding tombstoned ones. *)
 let rec pop_live t =
   match Heap.pop t.heap with
   | None -> None
-  | Some (time, _, (id, f)) ->
-      if Hashtbl.mem t.cancelled id then begin
-        Hashtbl.remove t.cancelled id;
-        pop_live t
-      end
+  | Some (time, _, ev) ->
+      if ev.dead then pop_live t
       else begin
+        ev.fired <- true;
         t.live <- t.live - 1;
-        Some (time, f)
+        Some (time, ev)
       end
+
+(* Run every pending compute across the domain pool, grouped by affinity.
+   [first] is the Par that just surfaced at the heap top (already popped,
+   so the sweep below no longer sees it). *)
+let precompute_batch t first =
+  let groups : (int, par list ref) Hashtbl.t = Hashtbl.create 8 in
+  let count = ref 0 in
+  let add p =
+    incr count;
+    match Hashtbl.find_opt groups p.par_affinity with
+    | Some l -> l := p :: !l
+    | None -> Hashtbl.add groups p.par_affinity (ref [ p ])
+  in
+  add first;
+  Heap.iter t.heap (fun _ _ ev ->
+      if not ev.dead then
+        match ev.kind with
+        | Par p when p.par_compute <> None -> add p
+        | Par _ | Fn _ -> ());
+  let tasks =
+    Hashtbl.fold
+      (fun _ group acc ->
+        let ps = !group in
+        (fun () ->
+          List.iter
+            (fun p ->
+              match p.par_compute with
+              | Some compute ->
+                  p.par_compute <- None;
+                  p.par_commit <- Some (compute ())
+              | None -> ())
+            ps)
+        :: acc)
+      groups []
+  in
+  t.par_batches <- t.par_batches + 1;
+  t.par_computed <- t.par_computed + !count;
+  Dpool.run (Dpool.global ()) (Array.of_list tasks)
+
+let fire t ev =
+  t.events_fired <- t.events_fired + 1;
+  match ev.kind with
+  | Fn f -> f ()
+  | Par p -> (
+      (match p.par_compute with
+      | Some compute ->
+          if t.domains > 1 then precompute_batch t p
+          else begin
+            p.par_compute <- None;
+            p.par_commit <- Some (compute ())
+          end
+      | None -> ());
+      match p.par_commit with
+      | Some commit ->
+          p.par_commit <- None;
+          commit ()
+      | None -> invalid_arg "Engine: parallel event fired twice")
 
 let step t =
   match pop_live t with
   | None -> false
-  | Some (time, f) ->
+  | Some (time, ev) ->
       t.clock <- time;
-      f ();
+      fire t ev;
       true
 
-(* O(1) peek at the next live event's time. Cancelled entries at the top
-   are popped and discarded; a live top is only inspected, never
-   reinserted — so [run]'s peek+step cycle costs exactly one heap pop per
-   fired event. *)
+(* O(1) peek at the next live event's time. Dead entries at the top are
+   popped and discarded; a live top is only inspected, never reinserted —
+   so [run]'s peek+step cycle costs exactly one heap pop per fired
+   event. *)
 let rec peek_live_time t =
   match Heap.peek t.heap with
   | None -> None
-  | Some (time, _, (id, _)) ->
-      if Hashtbl.mem t.cancelled id then begin
+  | Some (time, _, ev) ->
+      if ev.dead then begin
         ignore (Heap.pop t.heap);
-        Hashtbl.remove t.cancelled id;
         peek_live_time t
       end
       else Some time
@@ -103,6 +219,10 @@ let advance_to t time =
       invalid_arg "Engine.advance_to: would skip a pending event"
   | Some _ | None -> ());
   t.clock <- time
+
+let events_fired t = t.events_fired
+
+let par_stats t = (t.par_batches, t.par_computed)
 
 let ns x = Int64.of_int x
 let us x = Int64.mul (Int64.of_int x) 1_000L

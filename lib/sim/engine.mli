@@ -30,10 +30,43 @@ val schedule_after : t -> int64 -> (unit -> unit) -> event_id
 
 val cancel : t -> event_id -> unit
 (** Cancel a pending event. Cancelling an already-fired or already-cancelled
-    event is a no-op. *)
+    event is a no-op: the [pending] count only drops when a live event is
+    actually tombstoned. *)
 
 val pending : t -> int
 (** Number of live (non-cancelled) events in the queue. *)
+
+(** {1 Host-parallel execution}
+
+    Events scheduled with {!schedule_par} carry a pure [compute] — a
+    function only of values captured at scheduling time, forbidden from
+    touching simulation state — which returns a [commit] closure that
+    applies the result. With [set_domains] > 1, whenever such an event
+    surfaces the engine batches every pending compute in the heap, groups
+    them by [affinity] (same tag ⇒ same domain), and runs the groups
+    across a work-stealing domain pool. Commits always fire on the
+    simulation thread in (time, seq) order, so the virtual-time trace is
+    identical to the sequential engine. *)
+
+val set_domains : t -> int -> unit
+(** Number of domains for parallel event batches, clamped to ≥ 1. The
+    default 1 runs computes inline at fire time — bit-for-bit the
+    sequential engine. Values > 1 lazily spawn [n - 1] pool workers. *)
+
+val domains : t -> int
+
+val schedule_par : t -> int64 -> affinity:int -> (unit -> unit -> unit) -> event_id
+(** [schedule_par t time ~affinity compute] schedules a parallelizable
+    event: [compute ()] may run on any domain any time between scheduling
+    and [time]; the closure it returns runs on the simulation thread when
+    the clock reaches [time], in scheduling order among equal instants. *)
+
+val events_fired : t -> int
+(** Total events fired since [create] — the numerator for events/sec. *)
+
+val par_stats : t -> int * int
+(** [(batches, computes)]: parallel batches dispatched and total computes
+    executed inside them. [computes / batches] is the mean batch width. *)
 
 val step : t -> bool
 (** Fire the next event. Returns [false] if the queue was empty. *)

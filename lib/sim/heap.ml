@@ -64,3 +64,9 @@ let peek t =
   else
     let top = t.data.(0) in
     Some (top.time, top.seq, top.payload)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    let e = t.data.(i) in
+    f e.time e.seq e.payload
+  done

@@ -22,3 +22,7 @@ val peek_time : 'a t -> int64 option
 
 val peek : 'a t -> (int64 * int * 'a) option
 (** The minimum element without removing it — O(1), no sifting. *)
+
+val iter : 'a t -> (int64 -> int -> 'a -> unit) -> unit
+(** Visit every element in arbitrary (heap-internal) order. The callback
+    must not push or pop. *)

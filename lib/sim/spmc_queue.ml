@@ -1,0 +1,50 @@
+(* Single-producer / multi-consumer work queue for the domain pool.
+
+   Each pool worker owns one of these: the batch submitter pushes its share
+   of tasks, the owner pops from it, and idle siblings steal half of what
+   is left. A mutex per queue is plenty here — queues hold a handful of
+   coarse tasks per batch (each worth tens of microseconds of host work),
+   so contention is measured in nanoseconds against task bodies measured in
+   microseconds. The steal-half policy matches the classic work-stealing
+   deques: one steal amortises over k/2 tasks instead of ping-ponging a
+   single task between thieves. *)
+
+type 'a t = { lock : Mutex.t; q : 'a Queue.t }
+
+let create () = { lock = Mutex.create (); q = Queue.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let push t x = with_lock t (fun () -> Queue.add x t.q)
+
+let pop t = with_lock t (fun () -> Queue.take_opt t.q)
+
+let length t = with_lock t (fun () -> Queue.length t.q)
+
+(* Move half (rounded up) of [victim]'s tasks into [thief]. Locks are taken
+   one at a time — victim first, then thief — so there is no ordering cycle
+   with a concurrent steal in the other direction. Returns how many tasks
+   moved. *)
+let steal_half victim ~into:thief =
+  let stolen =
+    with_lock victim (fun () ->
+        let n = Queue.length victim.q in
+        let k = (n + 1) / 2 in
+        let acc = ref [] in
+        for _ = 1 to k do
+          acc := Queue.take victim.q :: !acc
+        done;
+        List.rev !acc)
+  in
+  (match stolen with
+  | [] -> ()
+  | _ -> with_lock thief (fun () -> List.iter (fun x -> Queue.add x thief.q) stolen));
+  List.length stolen

@@ -1,0 +1,19 @@
+(** Single-producer / multi-consumer work queue used by {!Dpool}.
+
+    One queue per pool worker: the batch submitter distributes tasks into
+    them, owners pop, and idle workers [steal_half] from busy siblings. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Take the oldest task, or [None] when empty. *)
+
+val length : 'a t -> int
+
+val steal_half : 'a t -> into:'a t -> int
+(** [steal_half victim ~into:thief] moves half (rounded up) of the
+    victim's tasks into the thief's queue and returns the count moved. *)

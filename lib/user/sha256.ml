@@ -101,6 +101,11 @@ let digest_with_blocks input =
 
 let digest input = fst (digest_with_blocks input)
 
+(* Compression blocks for a message of [len] bytes — the cost model of
+   [digest_with_blocks] without hashing anything, so callers can price
+   work before (or without) doing it. *)
+let blocks_of_length len = ((len + 8) / 64) + 1
+
 let hex digest =
   String.concat ""
     (List.init (Bytes.length digest) (fun i ->

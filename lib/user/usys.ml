@@ -84,6 +84,10 @@ let sem_close id = as_int (sys (Abi.Sem_close id))
 
 let burn cycles = Effect.perform (Abi.Burn cycles)
 
+(* Burn [cycles] while the host computes [fn] — pure w.r.t. kernel and
+   simulation state — possibly in parallel with other cores' offloads. *)
+let offload cycles fn = Effect.perform (Abi.Offload (cycles, fn))
+
 let enter_frame label = Effect.perform (Abi.Frame_mark label)
 
 let exit_frame () = Effect.perform (Abi.Frame_mark "")

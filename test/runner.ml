@@ -4,6 +4,7 @@ let () =
   Alcotest.run "vos"
     [
       Test_sim.suite;
+      Test_par.suite;
       Test_hw.suite;
       Test_fs.suite_vpath;
       Test_fs.suite_blockdev;

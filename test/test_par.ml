@@ -1,0 +1,372 @@
+(** Tests for the host-parallel engine stack: tombstone cancellation,
+    the (time, seq) firing contract under arbitrary interleavings, the
+    fiber coroutine layer, parallel events ([schedule_par] / the
+    [Usys.offload] syscall), and the headline property — the virtual
+    trace of a full kernel workload is byte-identical whatever
+    [sim_domains] says. *)
+
+open Tharness
+
+(* ---- cancel: the miscount regression ----
+
+   The seed engine kept cancelled ids in a hashtable and decremented the
+   pending count unconditionally, so cancelling a fired (or already
+   cancelled) id skewed [pending] negative. The tombstone engine only
+   drops the count when a live event is actually killed. *)
+
+let cancel_fired_id_is_noop () =
+  let e = Sim.Engine.create () in
+  let id = Sim.Engine.schedule_at e 10L (fun () -> ()) in
+  ignore (Sim.Engine.schedule_at e 20L (fun () -> ()));
+  check_int "two pending" 2 (Sim.Engine.pending e);
+  ignore (Sim.Engine.step e);
+  check_int "one left after fire" 1 (Sim.Engine.pending e);
+  Sim.Engine.cancel e id;
+  check_int "cancelling a fired id changes nothing" 1 (Sim.Engine.pending e);
+  Sim.Engine.run e ();
+  check_int "drained" 0 (Sim.Engine.pending e);
+  Sim.Engine.cancel e id;
+  check_int "still zero" 0 (Sim.Engine.pending e)
+
+let cancel_twice_counts_once () =
+  let e = Sim.Engine.create () in
+  let fired = ref 0 in
+  let a = Sim.Engine.schedule_at e 10L (fun () -> incr fired) in
+  ignore (Sim.Engine.schedule_at e 20L (fun () -> incr fired));
+  ignore (Sim.Engine.schedule_at e 30L (fun () -> incr fired));
+  Sim.Engine.cancel e a;
+  check_int "one cancelled" 2 (Sim.Engine.pending e);
+  Sim.Engine.cancel e a;
+  Sim.Engine.cancel e a;
+  check_int "double cancel counts once" 2 (Sim.Engine.pending e);
+  Sim.Engine.run e ();
+  check_int "survivors fired" 2 !fired;
+  check_int "empty" 0 (Sim.Engine.pending e)
+
+(* ---- the firing contract, property-tested ----
+
+   Any interleaving of schedule_at / schedule_par / cancel / step must
+   fire exactly the non-cancelled events, in (time, seq) order, with
+   [pending] correct at every phase boundary. Run at 1 domain and at 4:
+   the parallel batching path must not change observable order. *)
+
+let firing_contract domains =
+  qcheck ~count:60
+    (Printf.sprintf "fires in (time,seq) order, %d domain%s" domains
+       (if domains > 1 then "s" else ""))
+    QCheck.(
+      pair
+        (list_of_size
+           (Gen.int_range 1 30)
+           (triple (int_bound 100) bool bool))
+        (list_of_size
+           (Gen.int_range 0 30)
+           (triple (int_bound 100) bool bool)))
+    (fun (batch1, batch2) ->
+      let e = Sim.Engine.create () in
+      Sim.Engine.set_domains e domains;
+      let log = ref [] in
+      let seq = ref 0 in
+      let model = ref [] in
+      (* (time, seq, cancelled) *)
+      let ids = ref [] in
+      let add_batch batch =
+        List.iter
+          (fun (off, par, cancelled) ->
+            let time = Int64.add (Sim.Engine.now e) (Int64.of_int off) in
+            let s = !seq in
+            incr seq;
+            let id =
+              if par then
+                Sim.Engine.schedule_par e time ~affinity:(s mod 4)
+                  (fun () ->
+                    let v = s in
+                    fun () -> log := v :: !log)
+              else Sim.Engine.schedule_at e time (fun () -> log := s :: !log)
+            in
+            if cancelled then Sim.Engine.cancel e id;
+            ids := id :: !ids;
+            model := (time, s, cancelled) :: !model)
+          batch
+      in
+      let live () =
+        List.length (List.filter (fun (_, _, c) -> not c) !model)
+      in
+      add_batch batch1;
+      let ok1 = Sim.Engine.pending e = live () in
+      (* interleave: fire half of what is pending, then schedule more *)
+      let steps = Sim.Engine.pending e / 2 in
+      for _ = 1 to steps do
+        ignore (Sim.Engine.step e)
+      done;
+      let ok2 = Sim.Engine.pending e = live () - steps in
+      add_batch batch2;
+      (* re-cancelling everything already cancelled or fired must not
+         move the count *)
+      let before = Sim.Engine.pending e in
+      List.iter
+        (fun ((_, s, c), id) ->
+          if c || List.mem s !log then Sim.Engine.cancel e id)
+        (List.combine (List.rev !model) (List.rev !ids));
+      let ok3 = Sim.Engine.pending e = before in
+      Sim.Engine.run e ();
+      let expected =
+        !model
+        |> List.filter (fun (_, _, c) -> not c)
+        |> List.sort (fun (t1, s1, _) (t2, s2, _) ->
+               match Int64.compare t1 t2 with 0 -> compare s1 s2 | c -> c)
+        |> List.map (fun (_, s, _) -> s)
+      in
+      ok1 && ok2 && ok3
+      && List.rev !log = expected
+      && Sim.Engine.pending e = 0)
+
+(* ---- fibers ---- *)
+
+let fiber_runs_inline_to_first_suspension () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let h =
+    Sim.Fiber.run e (fun () ->
+        log := "start" :: !log;
+        Sim.Fiber.sleep 100L;
+        log := "after-sleep" :: !log)
+  in
+  check_bool "body ran inline" true (!log = [ "start" ]);
+  check_bool "not finished while parked" false (Sim.Fiber.finished h);
+  ignore (Sim.Engine.schedule_at e 50L (fun () -> log := "mid" :: !log));
+  Sim.Engine.run e ();
+  check_string "events interleave with the sleep" "start,mid,after-sleep"
+    (String.concat "," (List.rev !log));
+  check_bool "finished" true (Sim.Fiber.finished h)
+
+let fiber_loop_matches_closure_chain () =
+  (* A fiberised periodic loop must allocate the same (time, seq) events
+     as the self-rescheduling closure chain it replaces. *)
+  let run_trace make =
+    let e = Sim.Engine.create () in
+    let log = ref [] in
+    make e (fun () -> log := Sim.Engine.now e :: !log);
+    Sim.Engine.run e ~until:1000L ();
+    List.rev !log
+  in
+  let chain =
+    run_trace (fun e tick ->
+        let rec loop () =
+          tick ();
+          ignore (Sim.Engine.schedule_after e 100L loop)
+        in
+        ignore (Sim.Engine.schedule_after e 100L loop))
+  in
+  let fiber =
+    run_trace (fun e tick ->
+        ignore
+          (Sim.Fiber.spawn e ~after:100L (fun () ->
+               while true do
+                 tick ();
+                 Sim.Fiber.sleep 100L
+               done)))
+  in
+  check_bool "identical tick instants" true (chain = fiber)
+
+let fiber_yield_is_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  let body name () =
+    for i = 1 to 2 do
+      log := Printf.sprintf "%s%d" name i :: !log;
+      Sim.Fiber.yield ()
+    done
+  in
+  ignore (Sim.Fiber.spawn e (body "a"));
+  ignore (Sim.Fiber.spawn e (body "b"));
+  Sim.Engine.run e ();
+  check_string "round-robin at one instant" "a1,b1,a2,b2"
+    (String.concat "," (List.rev !log))
+
+let fiber_ivar_fifo_wakeup () =
+  let e = Sim.Engine.create () in
+  let iv = Sim.Fiber.Ivar.create e in
+  let log = ref [] in
+  let waiter name () =
+    let v = Sim.Fiber.await iv in
+    log := Printf.sprintf "%s=%d" name v :: !log
+  in
+  ignore (Sim.Fiber.spawn e (waiter "a"));
+  ignore (Sim.Fiber.spawn e (waiter "b"));
+  Sim.Engine.run e ();
+  check_bool "nobody woke yet" true (!log = []);
+  check_bool "empty" false (Sim.Fiber.Ivar.is_full iv);
+  Sim.Fiber.Ivar.fill iv 7;
+  Sim.Engine.run e ();
+  check_string "waiters wake in await order" "a=7,b=7"
+    (String.concat "," (List.rev !log));
+  check_bool "full" true (Sim.Fiber.Ivar.is_full iv);
+  Alcotest.check_raises "second fill rejected"
+    (Invalid_argument "Fiber.Ivar.fill: already filled") (fun () ->
+      Sim.Fiber.Ivar.fill iv 8);
+  (* awaiting a full ivar returns immediately *)
+  ignore (Sim.Fiber.spawn e (waiter "late"));
+  Sim.Engine.run e ();
+  check_bool "late waiter sees the value" true
+    (List.hd !log = "late=7")
+
+let fiber_cancel_parked () =
+  let e = Sim.Engine.create () in
+  let ticks = ref 0 in
+  let h =
+    Sim.Fiber.spawn e (fun () ->
+        while true do
+          incr ticks;
+          Sim.Fiber.sleep 100L
+        done)
+  in
+  Sim.Engine.run e ~until:250L ();
+  check_int "ran until cancel" 3 !ticks;
+  Sim.Fiber.cancel e h;
+  check_bool "finished after cancel" true (Sim.Fiber.finished h);
+  check_int "wakeup tombstoned" 0 (Sim.Engine.pending e);
+  Sim.Engine.run e ~until:1000L ();
+  check_int "never ticked again" 3 !ticks;
+  Sim.Fiber.cancel e h (* no-op on finished fibers *)
+
+let fiber_cancel_awaiting () =
+  let e = Sim.Engine.create () in
+  let iv = Sim.Fiber.Ivar.create e in
+  let reached = ref false in
+  let h =
+    Sim.Fiber.spawn e (fun () ->
+        ignore (Sim.Fiber.await iv);
+        reached := true)
+  in
+  Sim.Engine.run e ();
+  Sim.Fiber.cancel e h;
+  Sim.Fiber.Ivar.fill iv 1;
+  Sim.Engine.run e ();
+  check_bool "cancelled waiter never resumed" false !reached;
+  check_bool "died at resume point" true (Sim.Fiber.finished h)
+
+(* ---- parallel events ---- *)
+
+let par_commit_order_and_stats () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.set_domains e 4;
+  let log = ref [] in
+  for i = 0 to 7 do
+    ignore
+      (Sim.Engine.schedule_par e
+         (Int64.of_int (100 + (10 * i)))
+         ~affinity:(i mod 2)
+         (fun () ->
+           let v = i * i in
+           fun () -> log := v :: !log))
+  done;
+  Sim.Engine.run e ();
+  check_bool "commits in schedule order" true
+    (List.rev !log = [ 0; 1; 4; 9; 16; 25; 36; 49 ]);
+  let batches, computes = Sim.Engine.par_stats e in
+  check_int "one conservative-lookahead batch" 1 batches;
+  check_int "all computes in it" 8 computes
+
+let par_sequential_inline () =
+  let e = Sim.Engine.create () in
+  let cell = ref 0 in
+  ignore
+    (Sim.Engine.schedule_par e 50L ~affinity:0 (fun () ->
+         let v = 42 in
+         fun () -> cell := v));
+  Sim.Engine.run e ();
+  check_int "compute ran inline at fire" 42 !cell;
+  let batches, _ = Sim.Engine.par_stats e in
+  check_int "no batch at one domain" 0 batches
+
+let par_cancelled_never_computes () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.set_domains e 2;
+  let computed = ref false in
+  (* a live Par to trigger the batch sweep... *)
+  ignore
+    (Sim.Engine.schedule_par e 10L ~affinity:0 (fun () -> fun () -> ()));
+  (* ...and a cancelled one the sweep must skip *)
+  let id =
+    Sim.Engine.schedule_par e 20L ~affinity:1 (fun () ->
+        computed := true;
+        fun () -> ())
+  in
+  Sim.Engine.cancel e id;
+  Sim.Engine.run e ();
+  check_bool "tombstoned compute never ran" false !computed
+
+let offload_returns_value () =
+  let r =
+    in_kernel (fun _ ->
+        User.Usys.offload 10_000 (fun () -> List.init 5 (fun i -> i * i)))
+  in
+  check_bool "offloaded compute's value reaches the thread" true
+    (r = [ 0; 1; 4; 9; 16 ])
+
+let offload_charges_virtual_time () =
+  let (), t1 = in_kernel_timed (fun _ -> User.Usys.burn 500_000) in
+  let (), t2 =
+    in_kernel_timed (fun _ -> ignore (User.Usys.offload 500_000 (fun () -> 0)))
+  in
+  (* offload bills the same cycle cost as a burn of equal length *)
+  check_bool "offload and burn cost the same virtual time" true (t1 = t2)
+
+(* ---- the determinism ladder ----
+
+   Boot the same miner workload at sim_domains ∈ {1, 2, 4}; the merged
+   ktrace machine dumps must be byte-identical — parallel batching may
+   only change wall-clock time, never virtual history. *)
+
+let trace_md5 stage =
+  let sched = stage.Proto.Stage.kernel.Core.Kernel.sched in
+  let entries = Core.Ktrace.dump sched.Core.Sched.trace in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" (List.map Core.Ktrace.machine_line entries)))
+
+let miner_trace ~domains =
+  let stage =
+    Proto.Stage.boot ~prototype:5
+      ~config_tweak:(fun c ->
+        {
+          c with
+          Core.Kconfig.trace_per_core_rings = true;
+          sim_domains = domains;
+        })
+      ()
+  in
+  ignore
+    (Proto.Stage.start stage "blockchain" [ "blockchain"; "4"; "34"; "99" ]);
+  Proto.Stage.run_for stage (Sim.Engine.ms 400);
+  trace_md5 stage
+
+let determinism_across_domains () =
+  let d1 = miner_trace ~domains:1 in
+  let d2 = miner_trace ~domains:2 in
+  let d4 = miner_trace ~domains:4 in
+  check_string "2 domains replay the sequential trace" d1 d2;
+  check_string "4 domains replay the sequential trace" d1 d4
+
+let suite =
+  ( "par",
+    [
+      quick "cancel of fired id is a no-op" cancel_fired_id_is_noop;
+      quick "double cancel counts once" cancel_twice_counts_once;
+      firing_contract 1;
+      firing_contract 4;
+      quick "fiber runs inline to first suspension"
+        fiber_runs_inline_to_first_suspension;
+      quick "fiber loop matches closure chain" fiber_loop_matches_closure_chain;
+      quick "fiber yield is fifo" fiber_yield_is_fifo;
+      quick "ivar wakes waiters fifo" fiber_ivar_fifo_wakeup;
+      quick "cancel parked fiber" fiber_cancel_parked;
+      quick "cancel awaiting fiber" fiber_cancel_awaiting;
+      quick "par commits in order across domains" par_commit_order_and_stats;
+      quick "par computes inline at one domain" par_sequential_inline;
+      quick "cancelled par never computes" par_cancelled_never_computes;
+      quick "offload returns the computed value" offload_returns_value;
+      quick "offload charges burn-equivalent time" offload_charges_virtual_time;
+      slow "same seed, same trace at 1/2/4 domains" determinism_across_domains;
+    ] )
