@@ -78,7 +78,9 @@ let iobench () =
   section "iobench: write-back / read-ahead / coalescing ablation";
   let rows = Benchlib.Iobench.run () in
   print_string (Benchlib.Iobench.render rows);
-  Benchlib.Iobench.write_json rows "BENCH_io.json";
+  let jrows = Benchlib.Iobench.run_journal () in
+  print_string (Benchlib.Iobench.render_journal jrows);
+  Benchlib.Iobench.write_json ~journal:jrows rows "BENCH_io.json";
   print_endline "wrote BENCH_io.json"
 
 let schedbench () =
@@ -102,6 +104,16 @@ let tracebench () =
   Benchlib.Tracebench.write_json r "BENCH_trace.json";
   Benchlib.Tracebench.write_trace r "BENCH_trace.ktrace";
   print_endline "wrote BENCH_trace.json and BENCH_trace.ktrace"
+
+let crashbench () =
+  section "crashbench: randomized power-cut crash injection on the journal";
+  let s = Benchlib.Crashbench.run () in
+  print_string (Benchlib.Crashbench.render s);
+  Benchlib.Crashbench.write_json s "BENCH_crash.json";
+  print_endline "wrote BENCH_crash.json";
+  if s.Benchlib.Crashbench.s_fsck_failures > 0
+     || s.Benchlib.Crashbench.s_invariant_failures > 0
+  then exit 1
 
 let simbench () =
   section "simbench: host-parallel engine — pop cost, speedup, determinism";
@@ -136,6 +148,7 @@ let experiments =
     ("ipcbench", ipcbench);
     ("tracebench", tracebench);
     ("simbench", simbench);
+    ("crashbench", crashbench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

@@ -34,7 +34,7 @@ let build_xv6 out dir =
   let files = walk dir in
   let content = List.fold_left (fun a (_, d) -> a + Bytes.length d) 0 files in
   let total_blocks = max 512 ((content * 3 / 2 / Fs.Xv6fs.block_bytes) + 256) in
-  let image = Fs.Xv6fs.mkfs ~total_blocks ~ninodes:(max 64 (List.length files * 2)) in
+  let image = Fs.Xv6fs.mkfs ~total_blocks ~ninodes:(max 64 (List.length files * 2)) () in
   let fs = Result.get_ok (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image image)) in
   List.iter
     (fun (path, data) ->

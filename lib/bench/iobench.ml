@@ -178,6 +178,74 @@ let run_config row =
 
 let run () = List.map run_config ladder
 
+(* ---- the journal ladder ----
+
+   Same fsync-heavy workload on the xv6 rootfs with the write-ahead
+   journal off (the paper's filesystem) and on: 64 x 4 KB appends with an
+   fsync every 8 writes. Reports throughput plus what the journal did. *)
+
+type journal_row = {
+  j_name : string;
+  j_journal : bool;
+  j_kbps : float;
+  j_commits : int;
+  j_replayed : int;
+  j_barriers : int;
+}
+
+let journal_writes = 64
+let journal_fsync_every = 8
+
+let run_journal_config ~journal =
+  let config =
+    {
+      Core.Kconfig.full with
+      Core.Kconfig.journal;
+      writeback = journal;
+      trace_per_core_rings = true;
+      profile_hz = 100;
+      metrics = true;
+    }
+  in
+  let kernel = Micro.fresh_kernel ~config () in
+  let data = Bytes.make chunk 'j' in
+  let kbps =
+    match
+      Measure.run_task kernel ~name:"iobench-journal" (fun () ->
+          let fd =
+            User.Usys.open_ "/j.dat" (Core.Abi.o_create lor Core.Abi.o_rdwr)
+          in
+          assert (fd >= 0);
+          for i = 1 to journal_writes do
+            let n = User.Usys.write fd data in
+            assert (n = chunk);
+            if i mod journal_fsync_every = 0 then
+              assert (User.Usys.fsync fd = 0)
+          done;
+          ignore (User.Usys.close fd);
+          0)
+    with
+    | Ok (_, ns) ->
+        float_of_int (journal_writes * chunk) /. 1024.0 /. Sim.Engine.to_sec ns
+    | Error e -> invalid_arg e
+  in
+  let rootfs = kernel.Core.Kernel.rootfs in
+  let commits = Fs.Xv6fs.log_commits rootfs in
+  let replayed = Fs.Xv6fs.log_replayed rootfs in
+  let barriers = Core.Bufcache.barrier_count kernel.Core.Kernel.root_bc in
+  Core.Kernel.shutdown kernel;
+  {
+    j_name = (if journal then "journal" else "no-journal");
+    j_journal = journal;
+    j_kbps = kbps;
+    j_commits = commits;
+    j_replayed = replayed;
+    j_barriers = barriers;
+  }
+
+let run_journal () =
+  [ run_journal_config ~journal:false; run_journal_config ~journal:true ]
+
 (* ---- reporting ---- *)
 
 let baseline rows = List.hd rows
@@ -185,6 +253,19 @@ let final rows = List.nth rows (List.length rows - 1)
 
 let seq_speedup rows = (final rows).seq_kbps /. (baseline rows).seq_kbps
 let randw_speedup rows = (baseline rows).randw_ms /. (final rows).randw_ms
+
+let render_journal jrows =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "  %-22s %10s %8s %9s %9s\n" "rootfs config" "KB/s"
+       "commits" "replayed" "barriers");
+  List.iter
+    (fun j ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-22s %10.0f %8d %9d %9d\n" j.j_name j.j_kbps
+           j.j_commits j.j_replayed j.j_barriers))
+    jrows;
+  Buffer.contents b
 
 let render rows =
   let b = Buffer.create 2048 in
@@ -205,7 +286,7 @@ let render rows =
        (seq_speedup rows) (randw_speedup rows));
   Buffer.contents b
 
-let json rows =
+let json ?(journal = []) rows =
   let b = Buffer.create 2048 in
   Buffer.add_string b "{\n  \"benchmark\": \"iobench\",\n";
   Buffer.add_string b
@@ -230,6 +311,19 @@ let json rows =
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string b "  ],\n";
+  if journal <> [] then begin
+    Buffer.add_string b "  \"journal_configs\": [\n";
+    List.iteri
+      (fun i j ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"name\": %S, \"journal\": %b, \"fsync_kbps\": %.1f, \
+              \"commits\": %d, \"replayed\": %d, \"barriers\": %d}%s\n"
+             j.j_name j.j_journal j.j_kbps j.j_commits j.j_replayed j.j_barriers
+             (if i = List.length journal - 1 then "" else ",")))
+      journal;
+    Buffer.add_string b "  ],\n"
+  end;
   Buffer.add_string b
     (Printf.sprintf
        "  \"seq_read_speedup_vs_writethrough\": %.3f,\n\
@@ -238,7 +332,7 @@ let json rows =
   Buffer.add_string b "}\n";
   Buffer.contents b
 
-let write_json rows file =
+let write_json ?journal rows file =
   let oc = open_out file in
-  output_string oc (json rows);
+  output_string oc (json ?journal rows);
   close_out oc

@@ -40,6 +40,9 @@ type entry = {
   e_key : int;
   mutable e_data : Bytes.t;
   mutable e_dirty : bool;
+  mutable e_pinned : bool;
+      (** owned by an open journal transaction: must not be evicted or
+          reach the device until the transaction commits and unpins it *)
   mutable e_prev : entry option;
   mutable e_next : entry option;
 }
@@ -67,6 +70,13 @@ type t = {
   mutable flushed_blocks : int;
   mutable evict_writes : int;  (** dirty victims written synchronously *)
   mutable flush_ns : int64;  (** device time spent in flushes (any path) *)
+  mutable pinned_count : int;
+  mutable barriers : int;  (** ordered-write barriers issued *)
+  mutable pre_flush : (unit -> unit) option;
+      (** group-commit hook: the flush daemon runs this before each
+          periodic flush so an open journal transaction can commit and
+          release its pins in the same sweep *)
+  mutable in_pre_flush : bool;
   mutable obs : Sched.t option;
       (** kperf observer: when set, device requests record into the SD
           latency histogram and emit trace spans. Host-side bookkeeping
@@ -98,10 +108,15 @@ let create ~board ~backing ~block_sectors ?(capacity = 30) ?(writeback = false)
     flushed_blocks = 0;
     evict_writes = 0;
     flush_ns = 0L;
+    pinned_count = 0;
+    barriers = 0;
+    pre_flush = None;
+    in_pre_flush = false;
     obs = None;
   }
 
 let set_observer t sched = t.obs <- Some sched
+let set_pre_flush t hook = t.pre_flush <- Some hook
 
 let with_ctx t ctx f =
   let saved = t.ctx in
@@ -170,7 +185,18 @@ let device_write t ~lba data =
   match t.backing with
   | Ram image ->
       charge_cycles t (Kcost.copy_cycles ~bytes:(Bytes.length data));
-      Bytes.blit data 0 image (lba * Fs.Blockdev.sector_bytes) (Bytes.length data)
+      (* The ramdisk image plays the role of the medium for crash
+         injection: the power rail budgets its sectors exactly like the
+         card's, so a cut freezes the image at a write prefix. With no
+         cut scheduled the budget always grants in full. *)
+      let sectors = Bytes.length data / Fs.Blockdev.sector_bytes in
+      let granted =
+        Hw.Power.media_budget t.board.Hw.Board.supply ~sectors
+      in
+      if granted > 0 then
+        Bytes.blit data 0 image
+          (lba * Fs.Blockdev.sector_bytes)
+          (granted * Fs.Blockdev.sector_bytes)
   | Card (sd, first) -> (
       match Hw.Sd.write sd ~lba:(first + lba) ~data with
       | Ok cost ->
@@ -222,10 +248,18 @@ let set_dirty t e d =
 
 (* Evict the LRU victim; a dirty victim pays its deferred device write
    synchronously (the honest backpressure path when the flush daemon has
-   fallen behind or is not running). *)
+   fallen behind or is not running). Pinned blocks are journal-owned and
+   skipped — evicting (and thus writing) one before its transaction
+   commits would break the write-ahead invariant. Returns whether a
+   victim was found. *)
 let evict_victim t =
-  match t.lru with
-  | None -> ()
+  let rec unpinned = function
+    | None -> None
+    | Some v when v.e_pinned -> unpinned v.e_prev
+    | Some v -> Some v
+  in
+  match unpinned t.lru with
+  | None -> false
   | Some v ->
       if v.e_dirty then begin
         t.evict_writes <- t.evict_writes + 1;
@@ -234,13 +268,25 @@ let evict_victim t =
         device_write t ~lba:(v.e_key * t.block_sectors) v.e_data
       end;
       lru_unlink t v;
-      Hashtbl.remove t.cache v.e_key
+      Hashtbl.remove t.cache v.e_key;
+      true
 
 let insert t key data ~dirty =
-  while Hashtbl.length t.cache >= t.capacity do
-    evict_victim t
+  (* if every block is pinned the cache temporarily overflows its
+     capacity rather than violate the journal's write ordering *)
+  while Hashtbl.length t.cache >= t.capacity && evict_victim t do
+    ()
   done;
-  let e = { e_key = key; e_data = data; e_dirty = false; e_prev = None; e_next = None } in
+  let e =
+    {
+      e_key = key;
+      e_data = data;
+      e_dirty = false;
+      e_pinned = false;
+      e_prev = None;
+      e_next = None;
+    }
+  in
   if dirty then set_dirty t e true;
   Hashtbl.replace t.cache key e;
   lru_push_front t e
@@ -252,7 +298,14 @@ let insert t key data ~dirty =
    queue (elevator + coalescing) for a card backing, or a direct merged
    range write otherwise. Returns the number of device commands issued. *)
 let flush t =
-  let dirty = Hashtbl.fold (fun _ e acc -> if e.e_dirty then e :: acc else acc) t.cache [] in
+  (* pinned dirty blocks stay behind: they belong to an uncommitted
+     journal transaction and may only reach the device after its commit
+     record is on media (the commit path unpins them) *)
+  let dirty =
+    Hashtbl.fold
+      (fun _ e acc -> if e.e_dirty && not e.e_pinned then e :: acc else acc)
+      t.cache []
+  in
   if dirty = [] then 0
   else begin
     let dirty = List.sort (fun a b -> compare a.e_key b.e_key) dirty in
@@ -311,10 +364,24 @@ let flush t =
   end
 
 (* A flush on behalf of the daemon: device time goes to the daemon's
-   core, not to whatever syscall context happens to be live. *)
+   core, not to whatever syscall context happens to be live. The
+   pre-flush hook gives the journal its group-commit ride: the daemon
+   commits whatever transaction blocks have accumulated, which unpins
+   them, and the flush right after carries them out. The hook itself
+   drives flushes (commit barriers), so re-entry is suppressed. *)
 let flush_async t =
   let saved = t.ctx in
   t.ctx <- None;
+  (match t.pre_flush with
+  | Some hook when not t.in_pre_flush ->
+      t.in_pre_flush <- true;
+      let finally () = t.in_pre_flush <- false in
+      (try hook ()
+       with e ->
+         finally ();
+         raise e);
+      finally ()
+  | Some _ | None -> ());
   let batches = flush t in
   t.ctx <- saved;
   batches
@@ -415,13 +482,65 @@ let bwrite t n data =
     maybe_wake_flusher t
   end
   else begin
-    (match Hashtbl.find_opt t.cache n with
+    match Hashtbl.find_opt t.cache n with
+    | Some e when e.e_pinned ->
+        (* journal-owned: even a write-through cache must defer this
+           block until its transaction commits and unpins it *)
+        e.e_data <- Bytes.copy data;
+        set_dirty t e true;
+        lru_touch t e
     | Some e ->
         e.e_data <- Bytes.copy data;
-        lru_touch t e
-    | None -> insert t n (Bytes.copy data) ~dirty:false);
-    device_write t ~lba:(n * t.block_sectors) data
+        lru_touch t e;
+        device_write t ~lba:(n * t.block_sectors) data
+    | None ->
+        insert t n (Bytes.copy data) ~dirty:false;
+        device_write t ~lba:(n * t.block_sectors) data
   end
+
+(* ---- journal support: pinning and the ordered-write barrier ---- *)
+
+(* Pin (or release) a block on behalf of a journal transaction. Pinning
+   faults the block in if needed — the transaction is about to overwrite
+   it, and the pin must be in place before the write so neither the
+   flush daemon nor eviction can push the uncommitted version. *)
+let pin t n ~pin =
+  match Hashtbl.find_opt t.cache n with
+  | Some e ->
+      if e.e_pinned <> pin then begin
+        e.e_pinned <- pin;
+        t.pinned_count <- t.pinned_count + (if pin then 1 else -1)
+      end
+  | None ->
+      if pin then begin
+        ignore (bread t n);
+        match Hashtbl.find_opt t.cache n with
+        | Some e ->
+            e.e_pinned <- true;
+            t.pinned_count <- t.pinned_count + 1
+        | None -> Kpanic.panicf "bufcache: cannot pin block %d" n
+      end
+
+(* Ordered-write barrier: every unpinned dirty block is on the medium
+   when this returns, and the device queue is drained so the elevator
+   cannot reorder a later write ahead of an earlier one across the
+   barrier. This is what makes the journal's commit point a real point:
+   log data < commit record < install < clear. Free on a clean cache. *)
+let barrier t =
+  ignore (flush t);
+  t.barriers <- t.barriers + 1;
+  match t.backing with
+  | Card (sd, _) -> (
+      match Hw.Sd.barrier ~coalesce:t.coalesce sd with
+      | Ok (cost, commands) ->
+          if commands > 0 then begin
+            t.flush_ns <- Int64.add t.flush_ns cost;
+            charge_io t cost;
+            observe_sd t ~op:"sd:barrier" ~cost;
+            t.flush_batches <- t.flush_batches + commands
+          end
+      | Error msg -> Kpanic.panicf "%s" msg)
+  | Ram _ | Usb_msd _ -> ()
 
 (* The §5.2 bypass: a multi-sector read straight to the device, skipping
    the cache (and so paying the command overhead only once). Under
@@ -492,7 +611,12 @@ let write_range t ~lba data =
 
 let xv6_io t : Fs.Xv6fs.io =
   assert (t.block_sectors = 2);
-  { Fs.Xv6fs.bread = (fun n -> bread t n); bwrite = (fun n b -> bwrite t n b) }
+  {
+    Fs.Xv6fs.bread = (fun n -> bread t n);
+    bwrite = (fun n b -> bwrite t n b);
+    bsync = (fun () -> barrier t);
+    bpin = (fun n ~pin:p -> pin t n ~pin:p);
+  }
 
 let fat_io t ~range_bypass : Fs.Fat32.io =
   assert (t.block_sectors = 1);
@@ -518,3 +642,10 @@ let flush_batches t = t.flush_batches
 let flushed_blocks t = t.flushed_blocks
 let evict_writes t = t.evict_writes
 let flush_ns t = t.flush_ns
+let pinned_blocks t = t.pinned_count
+let barrier_count t = t.barriers
+
+(* The raw backing image of a ramdisk-backed cache — the crash tests
+   remount it after a power cut, the way a real reboot would re-read the
+   card. [None] for device backings (use the device's image instead). *)
+let backing_image t = match t.backing with Ram i -> Some i | Card _ | Usb_msd _ -> None

@@ -104,6 +104,20 @@ type t = {
           domain pool. Pure host-side parallelism: the virtual-time trace
           is identical at any value. [VOS_SIM_DOMAINS] overrides at
           boot. *)
+  journal : bool;
+      (** crash-consistent rootfs: mkfs reserves a write-ahead log area
+          and the extent (doubly-indirect) block map, mutations run in
+          transactions group-committed by the flush daemon and fsync,
+          and mount replays committed transactions (off = the paper's
+          journal-free xv6fs, bit-identical images) *)
+  journal_max_tx_blocks : int;
+      (** soft cap on blocks per journal transaction before a group
+          commit is forced (clamped to the on-disk log size); only
+          consulted when [journal] is on *)
+  crash_inject_seed : int;
+      (** seed for the power-cut crash-injection harness (crashbench):
+          the same seed replays the identical schedule of workload ops
+          and cut points, byte for byte *)
 }
 
 let full =
@@ -159,6 +173,12 @@ let full =
     profile_hz = 0;
     metrics = false;
     sim_domains = 1;
+    (* crash consistency is explicitly out of the paper's scope (§5.4),
+       so the journal ships off and the stock rootfs image stays
+       byte-identical; the crash harness and journal tests arm it *)
+    journal = false;
+    journal_max_tx_blocks = 64;
+    crash_inject_seed = 7;
   }
 
 let rec prototype = function
@@ -199,6 +219,9 @@ let rec prototype = function
         profile_hz = 0;
         metrics = false;
         sim_domains = 1;
+        journal = false;
+        journal_max_tx_blocks = 64;
+        crash_inject_seed = 7;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

@@ -124,11 +124,23 @@ let build_ramdisk spec =
   let content_bytes =
     List.fold_left (fun acc (_, data) -> acc + Bytes.length data) 0 all_files
   in
+  (* With the journal on, the image gains a log area (header + slots,
+     sized comfortably above the per-transaction cap) and uses the
+     extent block map; off keeps the paper's exact layout. *)
+  let nlog =
+    if spec.sp_config.Kconfig.journal then
+      min 252 (max 64 (spec.sp_config.Kconfig.journal_max_tx_blocks + 2))
+    else 0
+  in
   let total_blocks =
     max 512 ((content_bytes * 3 / 2 / Fs.Xv6fs.block_bytes) + 256)
+    + if nlog > 0 then nlog + 1 else 0
   in
   let ninodes = max 64 (List.length all_files * 2) in
-  let image = Fs.Xv6fs.mkfs ~total_blocks ~ninodes in
+  let image =
+    Fs.Xv6fs.mkfs ~nlog ~ext:spec.sp_config.Kconfig.journal ~total_blocks
+      ~ninodes ()
+  in
   let fsys =
     match Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image image) with
     | Ok f -> f
@@ -273,13 +285,29 @@ let boot spec =
       sched.Sched.ptable <- Some (Spinlock.create ~kcheck:kc "ptable")
   | None -> ());
   let root_bc =
-    Bufcache.create ~board ~backing:(Bufcache.Ram ramdisk) ~block_sectors:2 ()
+    if spec.sp_config.Kconfig.journal then
+      (* journaled rootfs wants the write-back cache (pinned blocks defer
+         until commit) and a capacity that holds a whole transaction *)
+      Bufcache.create ~board ~backing:(Bufcache.Ram ramdisk) ~block_sectors:2
+        ~capacity:128 ~writeback:spec.sp_config.Kconfig.writeback
+        ~coalesce:spec.sp_config.Kconfig.sd_coalescing ()
+    else
+      Bufcache.create ~board ~backing:(Bufcache.Ram ramdisk) ~block_sectors:2 ()
   in
   let rootfs =
-    match Fs.Xv6fs.mount (Bufcache.xv6_io root_bc) with
+    match
+      Fs.Xv6fs.mount
+        ~journal_max_tx:spec.sp_config.Kconfig.journal_max_tx_blocks
+        (Bufcache.xv6_io root_bc)
+    with
     | Ok f -> f
     | Error e -> Kpanic.panicf "boot: root mount %s" e
   in
+  (* Group commit rides the flush daemon: before each periodic flush the
+     cache asks the filesystem to commit whatever transaction is open, so
+     pinned blocks become flushable in the same pass. *)
+  if Fs.Xv6fs.journaled rootfs then
+    Bufcache.set_pre_flush root_bc (fun () -> ignore (Fs.Xv6fs.commit rootfs));
   let console = Console.create board sched in
   let kbd = Kbd.create board sched in
   let audio =
@@ -373,12 +401,18 @@ let boot spec =
   if
     spec.sp_config.Kconfig.writeback
     && spec.sp_config.Kconfig.flush_interval_ms > 0
-  then
+  then begin
     List.iter
       (fun bc ->
         Bufcache.start_flush_daemon bc
           ~interval_ms:spec.sp_config.Kconfig.flush_interval_ms)
       (Vfs.fat_caches vfs);
+    (* the journaled rootfs cache is write-back too: its daemon is what
+       drives group commit (via the pre-flush hook above) *)
+    if spec.sp_config.Kconfig.journal then
+      Bufcache.start_flush_daemon root_bc
+        ~interval_ms:spec.sp_config.Kconfig.flush_interval_ms
+  end;
   let sems = Sem.create sched in
   let proc =
     Proc.create ~sched ~fdt ~vfs ~sems ~kalloc ~config:spec.sp_config

@@ -547,10 +547,13 @@ let op_dup ctx t fd =
   | Ok newfd -> Sched.finish ctx (Abi.R_int newfd)
   | Error e -> err ctx e
 
-(* fsync: push the backing cache's dirty blocks to the device. Under the
-   write-through configuration every cache is already clean, so this is a
-   cheap no-op — which is exactly the durability contract the paper's
-   cache gave implicitly. Pipes and devices have nothing to sync. *)
+(* fsync: commit the open journal transaction (rootfs) and drive every
+   dirty block through the cache AND the device's write queue — the
+   barrier, not a bare flush, is what makes fsync mean "on the medium":
+   a flush alone would leave blocks parked in the SD elevator. Under the
+   write-through configuration every cache is already clean and the
+   barrier is free, the durability contract the paper's cache gave
+   implicitly. Pipes and devices have nothing to sync. *)
 let op_fsync ctx t fd =
   charge_dispatch ctx;
   match Fd.get t.fdt ~pid:ctx.Sched.task.Task.pid ~fd with
@@ -559,21 +562,24 @@ let op_fsync ctx t fd =
       match file.Fd.kind with
       | Fd.K_xv6 _ ->
           Bufcache.with_ctx t.root_bc ctx (fun () ->
-              ignore (Bufcache.flush t.root_bc);
+              ignore (Fs.Xv6fs.commit t.root);
+              Bufcache.barrier t.root_bc;
               Sched.finish ctx (Abi.R_int 0))
       | Fd.K_fat (_, bc, _) ->
           Bufcache.with_ctx bc ctx (fun () ->
-              ignore (Bufcache.flush bc);
+              Bufcache.barrier bc;
               Sched.finish ctx (Abi.R_int 0))
       | Fd.K_dev _ | Fd.K_pipe_read _ | Fd.K_pipe_write _ ->
           Sched.finish ctx (Abi.R_int 0))
 
-(* Flush every cache; the shutdown path (and nothing else) calls this with
-   no syscall context, so the device time lands on virtual time directly
-   rather than on a task. *)
+(* Checkpoint every cache; the shutdown path (and nothing else) calls this
+   with no syscall context, so the device time lands on virtual time
+   directly rather than on a task. Committing here is what makes a clean
+   shutdown + remount replay nothing. *)
 let sync_all t =
-  ignore (Bufcache.flush t.root_bc);
-  List.iter (fun (_, _, bc) -> ignore (Bufcache.flush bc)) t.fat_mounts
+  ignore (Fs.Xv6fs.commit t.root);
+  Bufcache.barrier t.root_bc;
+  List.iter (fun (_, _, bc) -> Bufcache.barrier bc) t.fat_mounts
 
 let fat_caches t = List.map (fun (_, _, bc) -> bc) t.fat_mounts
 

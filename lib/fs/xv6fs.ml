@@ -3,13 +3,31 @@ let ndirect = 12
 let nindirect = block_bytes / 4
 let max_file_blocks = ndirect + nindirect
 let max_file_bytes = max_file_blocks * block_bytes
+
+(* The extent layout steals one direct slot for a doubly-indirect tree:
+   11 direct + 1 single + 1 double, lifting the cap from ~270 KB to
+   ~64 MB with the same 64-byte on-disk inode. *)
+let ndirect_ext = ndirect - 1
+let max_file_blocks_ext = ndirect_ext + nindirect + (nindirect * nindirect)
+let max_file_bytes_ext = max_file_blocks_ext * block_bytes
 let max_name = 14
 let magic = 0x10203040
 let inode_bytes = 64
 let inodes_per_block = block_bytes / inode_bytes
 let dirent_bytes = 16
 
-type io = { bread : int -> Bytes.t; bwrite : int -> Bytes.t -> unit }
+(* The journal's commit record: one header block naming the destination
+   of every log slot. [log_magic] + a checksum make a torn header write
+   detectable — an unreadable header IS the "not committed" state. *)
+let log_magic = 0x564f4c47
+let log_hdr_max = (block_bytes - 16) / 4
+
+type io = {
+  bread : int -> Bytes.t;
+  bwrite : int -> Bytes.t -> unit;
+  bsync : unit -> unit;
+  bpin : int -> pin:bool -> unit;
+}
 
 let io_of_image image =
   let nblocks = Bytes.length image / block_bytes in
@@ -22,7 +40,9 @@ let io_of_image image =
     assert (Bytes.length data = block_bytes);
     Bytes.blit data 0 image (n * block_bytes) block_bytes
   in
-  { bread; bwrite }
+  (* a raw image is "the medium" itself: writes are instantly durable and
+     in order, so the barrier and pin hooks have nothing to do *)
+  { bread; bwrite; bsync = (fun () -> ()); bpin = (fun _ ~pin:_ -> ()) }
 
 type ftype = Dir | Reg | Dev
 
@@ -34,6 +54,9 @@ type superblock = {
   sb_inodestart : int;
   sb_bmapstart : int;
   sb_datastart : int;
+  sb_logstart : int;  (* journal header block; 0 = no journal *)
+  sb_nlog : int;  (* journal data slots after the header *)
+  sb_ext : bool;  (* extent (doubly-indirect) block map layout *)
 }
 
 type inode = {
@@ -46,7 +69,28 @@ type inode = {
   i_addrs : int array;  (* ndirect + 1 entries *)
 }
 
-type t = { io : io; sb : superblock; cache : (int, inode) Hashtbl.t }
+(* An open journal: [l_queue] is the current transaction's absorbed home
+   blocks (newest first), pinned in the buffer cache until commit. *)
+type log = {
+  l_start : int;
+  l_size : int;
+  l_max_tx : int;
+  l_replayed : int;  (* blocks installed by replay at mount *)
+  mutable l_seq : int;
+  mutable l_queue : int list;
+  mutable l_n : int;
+  mutable l_depth : int;  (* begin_op nesting *)
+  mutable l_commits : int;
+  mutable l_absorbed : int;  (* writes absorbed into an already-queued block *)
+}
+
+type t = {
+  io : io;
+  sb : superblock;
+  cache : (int, inode) Hashtbl.t;
+  ext : bool;
+  log : log option;
+}
 
 (* ---- little-endian accessors ---- *)
 
@@ -70,18 +114,22 @@ let put16 b off v =
 
 (* ---- superblock ---- *)
 
-let layout ~total_blocks ~ninodes =
+let layout ?(nlog = 0) ~total_blocks ~ninodes () =
   let ninodeblocks = (ninodes + inodes_per_block - 1) / inodes_per_block in
   let nbitmap = ((total_blocks / 8) + block_bytes - 1) / block_bytes in
   let inodestart = 2 in
   let bmapstart = inodestart + ninodeblocks in
-  let datastart = bmapstart + nbitmap in
+  let logstart = if nlog > 0 then bmapstart + nbitmap else 0 in
+  let datastart = bmapstart + nbitmap + if nlog > 0 then nlog + 1 else 0 in
   {
     sb_size = total_blocks;
     sb_ninodes = ninodes;
     sb_inodestart = inodestart;
     sb_bmapstart = bmapstart;
     sb_datastart = datastart;
+    sb_logstart = logstart;
+    sb_nlog = nlog;
+    sb_ext = false;
   }
 
 let write_superblock io sb =
@@ -92,6 +140,10 @@ let write_superblock io sb =
   put32 b 12 sb.sb_inodestart;
   put32 b 16 sb.sb_bmapstart;
   put32 b 20 sb.sb_datastart;
+  (* zero on legacy images, so old images read back unchanged *)
+  put32 b 24 sb.sb_logstart;
+  put32 b 28 sb.sb_nlog;
+  put32 b 32 (if sb.sb_ext then 1 else 0);
   io.bwrite 1 b
 
 let read_superblock io =
@@ -105,7 +157,170 @@ let read_superblock io =
         sb_inodestart = get32 b 12;
         sb_bmapstart = get32 b 16;
         sb_datastart = get32 b 20;
+        sb_logstart = get32 b 24;
+        sb_nlog = get32 b 28;
+        sb_ext = get32 b 32 = 1;
       }
+
+(* ---- journal header ---- *)
+
+(* 32-bit FNV-1a over the header block with the checksum field zeroed:
+   a commit record torn mid-write (the header spans two sectors) fails
+   the check and reads as "no commit". *)
+let log_cksum b =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Bytes.length b - 1 do
+    let c = if i >= 12 && i < 16 then 0 else Bytes.get_uint8 b i in
+    h := (!h lxor c) * 0x01000193 land 0xffffffff
+  done;
+  !h land 0x7fffffff
+
+let write_log_header io ~logstart ~seq ~blocks =
+  let b = Bytes.make block_bytes '\000' in
+  put32 b 0 log_magic;
+  put32 b 4 seq;
+  put32 b 8 (List.length blocks);
+  List.iteri (fun i bno -> put32 b (16 + (4 * i)) bno) blocks;
+  put32 b 12 (log_cksum b);
+  io.bwrite logstart b
+
+let read_log_header io ~logstart =
+  let b = io.bread logstart in
+  if get32 b 0 <> log_magic then None
+  else
+    let seq = get32 b 4 and n = get32 b 8 and ck = get32 b 12 in
+    if n < 0 || n > log_hdr_max then None
+    else if log_cksum b <> ck then None
+    else Some (seq, n, List.init n (fun i -> get32 b (16 + (4 * i))))
+
+(* Recover at mount: a valid header with n > 0 is a committed transaction
+   that did not finish installing — copy every log slot to its home block
+   and clear the record. A missing/torn header means the crash happened
+   before the commit point: the home blocks were never touched, so the
+   old state is intact and there is nothing to do. Returns (installed
+   blocks, last seq). *)
+let replay_log io sb =
+  if sb.sb_nlog = 0 then (0, 0)
+  else
+    match read_log_header io ~logstart:sb.sb_logstart with
+    | Some (seq, n, blocks) when n > 0 ->
+        let valid =
+          List.for_all
+            (fun bno -> bno >= 0 && bno < sb.sb_size && bno <> sb.sb_logstart)
+            blocks
+        in
+        if not valid then begin
+          (* unreachable under an intact checksum; refuse to install *)
+          write_log_header io ~logstart:sb.sb_logstart ~seq ~blocks:[];
+          io.bsync ();
+          (0, seq)
+        end
+        else begin
+          List.iteri
+            (fun i bno -> io.bwrite bno (io.bread (sb.sb_logstart + 1 + i)))
+            blocks;
+          io.bsync ();
+          write_log_header io ~logstart:sb.sb_logstart ~seq ~blocks:[];
+          io.bsync ();
+          (n, seq)
+        end
+    | Some (seq, _, _) -> (0, seq)
+    | None ->
+        write_log_header io ~logstart:sb.sb_logstart ~seq:0 ~blocks:[];
+        io.bsync ();
+        (0, 0)
+
+(* ---- transactions ---- *)
+
+(* Worst-case blocks a single mutation step can add between watermark
+   checks (data block + bitmap + two indirect levels + inode + dir
+   block, with slack). [writei] re-checks per block, so a transaction
+   can overshoot the soft cap by at most this much — the journal area
+   itself is sized well above l_max_tx. *)
+let op_headroom = 24
+
+let soft_cap l = max 1 (l.l_max_tx - op_headroom)
+
+let begin_op t =
+  match t.log with Some l -> l.l_depth <- l.l_depth + 1 | None -> ()
+
+(* Group commit: absorb the open transaction into the on-disk log, make
+   it the committed state with one header write, then install the home
+   blocks and clear the record. Every phase is separated by an
+   ordered-write barrier — the commit point is the header reaching the
+   medium, nothing earlier and nothing reorderable later. *)
+let commit t =
+  match t.log with
+  | None -> 0
+  | Some l ->
+      if l.l_depth > 0 || l.l_n = 0 then 0
+      else begin
+        let blocks = List.rev l.l_queue in
+        (* 1: copy the cached (pinned) home blocks into the log slots *)
+        List.iteri
+          (fun i bno -> t.io.bwrite (l.l_start + 1 + i) (t.io.bread bno))
+          blocks;
+        t.io.bsync ();
+        (* 2: the commit record — after this barrier the tx is durable *)
+        l.l_seq <- l.l_seq + 1;
+        write_log_header t.io ~logstart:l.l_start ~seq:l.l_seq ~blocks;
+        t.io.bsync ();
+        (* 3: install — release the pins so the cache may write home *)
+        List.iter (fun bno -> t.io.bpin bno ~pin:false) blocks;
+        t.io.bsync ();
+        (* 4: clear the record so replay after a later crash is a no-op *)
+        write_log_header t.io ~logstart:l.l_start ~seq:l.l_seq ~blocks:[];
+        t.io.bsync ();
+        let n = l.l_n in
+        l.l_queue <- [];
+        l.l_n <- 0;
+        l.l_commits <- l.l_commits + 1;
+        n
+      end
+
+let end_op t =
+  match t.log with
+  | None -> ()
+  | Some l ->
+      l.l_depth <- l.l_depth - 1;
+      if l.l_depth = 0 && l.l_n >= soft_cap l then ignore (commit t)
+
+let with_op t f =
+  begin_op t;
+  match f () with
+  | v ->
+      end_op t;
+      v
+  | exception e ->
+      end_op t;
+      raise e
+
+(* Commit mid-[writei] when the transaction nears the log's capacity.
+   Only the outermost op may breathe — the filesystem is consistent at
+   every per-block step of a chunked write because the inode size is
+   advanced alongside the data (see [writei]). *)
+let log_breathe t =
+  match t.log with
+  | Some l when l.l_depth = 1 && l.l_n >= soft_cap l ->
+      l.l_depth <- 0;
+      ignore (commit t);
+      l.l_depth <- 1
+  | Some _ | None -> ()
+
+(* Every metadata/data write inside a transaction goes through here: the
+   block is pinned (before the write, so no flush can sneak the
+   uncommitted version out) and queued once; repeat writes absorb. *)
+let dwrite t blockno data =
+  (match t.log with
+  | Some l when l.l_depth > 0 ->
+      if List.mem blockno l.l_queue then l.l_absorbed <- l.l_absorbed + 1
+      else begin
+        t.io.bpin blockno ~pin:true;
+        l.l_queue <- blockno :: l.l_queue;
+        l.l_n <- l.l_n + 1
+      end
+  | Some _ | None -> ());
+  t.io.bwrite blockno data
 
 (* ---- on-disk inodes ---- *)
 
@@ -156,7 +371,7 @@ let write_dinode t node =
   for i = 0 to ndirect do
     put32 b (off + 12 + (4 * i)) node.i_addrs.(i)
   done;
-  t.io.bwrite blockno b
+  dwrite t blockno b
 
 let iget t inum =
   match Hashtbl.find_opt t.cache inum with
@@ -211,8 +426,8 @@ let balloc t =
        with Exit -> ());
       match !found with
       | Some blk ->
-          t.io.bwrite blockno b;
-          t.io.bwrite blk (Bytes.make block_bytes '\000');
+          dwrite t blockno b;
+          dwrite t blk (Bytes.make block_bytes '\000');
           Ok blk
       | None -> scan_block (bi + 1)
     end
@@ -227,7 +442,7 @@ let bfree t blk =
   let byte = Bytes.get_uint8 b (bit / 8) in
   assert (byte land (1 lsl (bit mod 8)) <> 0);
   Bytes.set_uint8 b (bit / 8) (byte land lnot (1 lsl (bit mod 8)));
-  t.io.bwrite blockno b
+  dwrite t blockno b
 
 let free_data_blocks t =
   let free = ref 0 in
@@ -241,71 +456,95 @@ let free_data_blocks t =
 
 (* ---- block mapping ---- *)
 
+let max_blocks_of t = if t.ext then max_file_blocks_ext else max_file_blocks
+let max_bytes t = max_blocks_of t * block_bytes
+
+(* A stored address must land in the data area — an fs corrupted by an
+   unjournaled crash can hold torn garbage here, and following it would
+   read/write outside the image. *)
+let valid_addr t blk = blk >= t.sb.sb_datastart && blk < t.sb.sb_size
+
+(* slot [i] of the inode's address array, allocating on demand *)
+let addr_slot t node i ~alloc =
+  if node.i_addrs.(i) <> 0 then
+    if valid_addr t node.i_addrs.(i) then Ok node.i_addrs.(i)
+    else Error "xv6fs: bad block address"
+  else if not alloc then Error "xv6fs: hole"
+  else
+    match balloc t with
+    | Ok blk ->
+        node.i_addrs.(i) <- blk;
+        write_dinode t node;
+        Ok blk
+    | Error e -> Error e
+
+(* entry [idx] of indirect block [ind], allocating on demand *)
+let ind_lookup t ind idx ~alloc =
+  let b = t.io.bread ind in
+  let blk = get32 b (4 * idx) in
+  if blk <> 0 then
+    if valid_addr t blk then Ok blk else Error "xv6fs: bad block address"
+  else if not alloc then Error "xv6fs: hole"
+  else
+    match balloc t with
+    | Ok fresh ->
+        put32 b (4 * idx) fresh;
+        dwrite t ind b;
+        Ok fresh
+    | Error e -> Error e
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
 (* Map file block [n] of [node] to a disk block, allocating if [alloc]. *)
 let bmap t node n ~alloc =
-  if n < 0 || n >= max_file_blocks then Error "xv6fs: file too large"
-  else if n < ndirect then begin
-    if node.i_addrs.(n) = 0 then
-      if alloc then
-        match balloc t with
-        | Ok blk ->
-            node.i_addrs.(n) <- blk;
-            write_dinode t node;
-            Ok blk
-        | Error e -> Error e
-      else Error "xv6fs: hole"
-    else Ok node.i_addrs.(n)
-  end
+  if n < 0 || n >= max_blocks_of t then Error "xv6fs: file too large"
+  else if not t.ext then
+    (* the paper's layout: 12 direct + 1 singly-indirect *)
+    if n < ndirect then addr_slot t node n ~alloc
+    else
+      let* ind = addr_slot t node ndirect ~alloc in
+      ind_lookup t ind (n - ndirect) ~alloc
+  else if n < ndirect_ext then addr_slot t node n ~alloc
+  else if n < ndirect_ext + nindirect then
+    let* ind = addr_slot t node ndirect_ext ~alloc in
+    ind_lookup t ind (n - ndirect_ext) ~alloc
   else begin
-    let get_indirect () =
-      if node.i_addrs.(ndirect) = 0 then
-        if alloc then
-          match balloc t with
-          | Ok blk ->
-              node.i_addrs.(ndirect) <- blk;
-              write_dinode t node;
-              Ok blk
-          | Error e -> Error e
-        else Error "xv6fs: hole"
-      else Ok node.i_addrs.(ndirect)
-    in
-    match get_indirect () with
-    | Error e -> Error e
-    | Ok ind ->
-        let b = t.io.bread ind in
-        let idx = n - ndirect in
-        let blk = get32 b (4 * idx) in
-        if blk = 0 then
-          if alloc then
-            match balloc t with
-            | Ok fresh ->
-                put32 b (4 * idx) fresh;
-                t.io.bwrite ind b;
-                Ok fresh
-            | Error e -> Error e
-          else Error "xv6fs: hole"
-        else Ok blk
+    let m = n - ndirect_ext - nindirect in
+    let* d1 = addr_slot t node (ndirect_ext + 1) ~alloc in
+    let* d2 = ind_lookup t d1 (m / nindirect) ~alloc in
+    ind_lookup t d2 (m mod nindirect) ~alloc
   end
 
-let truncate t node =
-  for i = 0 to ndirect - 1 do
+(* free the whole tree under indirect block [ind], then [ind] itself *)
+let rec free_indirect t ind ~depth =
+  let b = t.io.bread ind in
+  for idx = 0 to nindirect - 1 do
+    let blk = get32 b (4 * idx) in
+    if blk <> 0 then
+      if depth > 1 then free_indirect t blk ~depth:(depth - 1) else bfree t blk
+  done;
+  bfree t ind
+
+let truncate_raw t node =
+  let ndir = if t.ext then ndirect_ext else ndirect in
+  for i = 0 to ndir - 1 do
     if node.i_addrs.(i) <> 0 then begin
       bfree t node.i_addrs.(i);
       node.i_addrs.(i) <- 0
     end
   done;
-  if node.i_addrs.(ndirect) <> 0 then begin
-    let ind = node.i_addrs.(ndirect) in
-    let b = t.io.bread ind in
-    for idx = 0 to nindirect - 1 do
-      let blk = get32 b (4 * idx) in
-      if blk <> 0 then bfree t blk
-    done;
-    bfree t ind;
-    node.i_addrs.(ndirect) <- 0
+  if node.i_addrs.(ndir) <> 0 then begin
+    free_indirect t node.i_addrs.(ndir) ~depth:1;
+    node.i_addrs.(ndir) <- 0
+  end;
+  if t.ext && node.i_addrs.(ndir + 1) <> 0 then begin
+    free_indirect t node.i_addrs.(ndir + 1) ~depth:2;
+    node.i_addrs.(ndir + 1) <- 0
   end;
   node.i_size <- 0;
   write_dinode t node
+
+let truncate t node = with_op t (fun () -> truncate_raw t node)
 
 (* ---- file read/write ---- *)
 
@@ -346,32 +585,42 @@ let writei t node ~off ~data =
   | Some _ ->
       let len = Bytes.length data in
       if off < 0 then Error "xv6fs: bad write offset"
-      else if off + len > max_file_bytes then Error "xv6fs: file too large"
-      else begin
-        let written = ref 0 in
-        let err = ref None in
-        while !written < len && !err = None do
-          let pos = off + !written in
-          let bn = pos / block_bytes in
-          match bmap t node bn ~alloc:true with
-          | Ok blk ->
-              let b = t.io.bread blk in
-              let boff = pos mod block_bytes in
-              let n = min (len - !written) (block_bytes - boff) in
-              Bytes.blit data !written b boff n;
-              t.io.bwrite blk b;
-              written := !written + n
-          | Error e -> err := Some e
-        done;
-        match !err with
-        | Some e -> Error e
-        | None ->
-            if off + len > node.i_size then begin
-              node.i_size <- off + len;
-              write_dinode t node
-            end;
-            Ok len
-      end
+      else if off + len > max_bytes t then Error "xv6fs: file too large"
+      else
+        with_op t (fun () ->
+            let written = ref 0 in
+            let err = ref None in
+            while !written < len && !err = None do
+              let pos = off + !written in
+              let bn = pos / block_bytes in
+              match bmap t node bn ~alloc:true with
+              | Ok blk ->
+                  let b = t.io.bread blk in
+                  let boff = pos mod block_bytes in
+                  let n = min (len - !written) (block_bytes - boff) in
+                  Bytes.blit data !written b boff n;
+                  dwrite t blk b;
+                  written := !written + n;
+                  if t.log <> None then begin
+                    (* keep the inode's size in step with the data so
+                       every chunk commit is a consistent filesystem,
+                       then let a near-full transaction commit *)
+                    if off + !written > node.i_size then begin
+                      node.i_size <- off + !written;
+                      write_dinode t node
+                    end;
+                    log_breathe t
+                  end
+              | Error e -> err := Some e
+            done;
+            match !err with
+            | Some e -> Error e
+            | None ->
+                if off + len > node.i_size then begin
+                  node.i_size <- off + len;
+                  write_dinode t node
+                end;
+                Ok len)
 
 (* ---- directories ---- *)
 
@@ -380,6 +629,10 @@ let dirent_count node = node.i_size / dirent_bytes
 let read_dirent t node idx =
   match readi t node ~off:(idx * dirent_bytes) ~len:dirent_bytes with
   | Error e -> Error e
+  | Ok b when Bytes.length b < dirent_bytes ->
+      (* a corrupt directory size can leave a short tail; fsck must see
+         a finding, not an exception *)
+      Error "xv6fs: short dirent"
   | Ok b ->
       let inum = get16 b 0 in
       let raw = Bytes.sub_string b 2 max_name in
@@ -467,32 +720,33 @@ let create t path ftype =
     | Ok parent -> (
         match dirlookup t parent name with
         | Ok _ -> Error ("xv6fs: exists: " ^ path)
-        | Error _ -> (
-            match ialloc t ftype with
-            | Error e -> Error e
-            | Ok node -> (
-                node.i_nlink <- 1;
-                write_dinode t node;
-                let link_children () =
-                  match ftype with
-                  | Dir -> (
-                      match dirlink t node "." node.i_num with
-                      | Error e -> Error e
-                      | Ok () -> (
-                          match dirlink t node ".." parent.i_num with
-                          | Error e -> Error e
-                          | Ok () ->
-                              parent.i_nlink <- parent.i_nlink + 1;
-                              write_dinode t parent;
-                              Ok ()))
-                  | Reg | Dev -> Ok ()
-                in
-                match link_children () with
+        | Error _ ->
+            with_op t (fun () ->
+                match ialloc t ftype with
                 | Error e -> Error e
-                | Ok () -> (
-                    match dirlink t parent name node.i_num with
+                | Ok node -> (
+                    node.i_nlink <- 1;
+                    write_dinode t node;
+                    let link_children () =
+                      match ftype with
+                      | Dir -> (
+                          match dirlink t node "." node.i_num with
+                          | Error e -> Error e
+                          | Ok () -> (
+                              match dirlink t node ".." parent.i_num with
+                              | Error e -> Error e
+                              | Ok () ->
+                                  parent.i_nlink <- parent.i_nlink + 1;
+                                  write_dinode t parent;
+                                  Ok ()))
+                      | Reg | Dev -> Ok ()
+                    in
+                    match link_children () with
                     | Error e -> Error e
-                    | Ok () -> Ok node))))
+                    | Ok () -> (
+                        match dirlink t parent name node.i_num with
+                        | Error e -> Error e
+                        | Ok () -> Ok node))))
 
 let readdir t dir =
   match dir.i_type with
@@ -528,45 +782,76 @@ let unlink t path =
         | Ok (node, idx) ->
             if node.i_type = Some Dir && not (dir_is_empty t node) then
               Error "xv6fs: directory not empty"
-            else begin
-              (match write_dirent t parent idx "" 0 with
-              | Ok () -> ()
-              | Error e -> invalid_arg e);
-              if node.i_type = Some Dir then begin
-                parent.i_nlink <- parent.i_nlink - 1;
-                write_dinode t parent
-              end;
-              node.i_nlink <- node.i_nlink - 1;
-              if node.i_nlink <= 0 then begin
-                truncate t node;
-                node.i_type <- None;
-                Hashtbl.remove t.cache node.i_num
-              end;
-              write_dinode t node;
-              Ok ()
-            end)
+            else
+              with_op t (fun () ->
+                  match write_dirent t parent idx "" 0 with
+                  | Error e -> Error e
+                  | Ok () ->
+                      if node.i_type = Some Dir then begin
+                        parent.i_nlink <- parent.i_nlink - 1;
+                        write_dinode t parent
+                      end;
+                      node.i_nlink <- node.i_nlink - 1;
+                      if node.i_nlink <= 0 then begin
+                        truncate_raw t node;
+                        node.i_type <- None;
+                        Hashtbl.remove t.cache node.i_num
+                      end;
+                      write_dinode t node;
+                      Ok ()))
 
 let set_dev t node ~major ~minor =
-  node.i_major <- major;
-  node.i_minor <- minor;
-  write_dinode t node
+  with_op t (fun () ->
+      node.i_major <- major;
+      node.i_minor <- minor;
+      write_dinode t node)
 
 let dev_of _t node = (node.i_major, node.i_minor)
 
+(* ---- journal introspection ---- *)
+
+let journaled t = t.log <> None
+let log_commits t = match t.log with Some l -> l.l_commits | None -> 0
+let log_replayed t = match t.log with Some l -> l.l_replayed | None -> 0
+let log_absorbed t = match t.log with Some l -> l.l_absorbed | None -> 0
+let log_pending t = match t.log with Some l -> l.l_n | None -> 0
+
 (* ---- mkfs / mount ---- *)
 
-let mount io =
+let mount ?(journal_max_tx = 64) io =
   match read_superblock io with
   | Error e -> Error e
-  | Ok sb -> Ok { io; sb; cache = Hashtbl.create 64 }
+  | Ok sb ->
+      let replayed, seq = replay_log io sb in
+      let log =
+        if sb.sb_nlog = 0 then None
+        else
+          Some
+            {
+              l_start = sb.sb_logstart;
+              l_size = sb.sb_nlog;
+              l_max_tx = min sb.sb_nlog (min log_hdr_max (max 8 journal_max_tx));
+              l_replayed = replayed;
+              l_seq = seq;
+              l_queue = [];
+              l_n = 0;
+              l_depth = 0;
+              l_commits = 0;
+              l_absorbed = 0;
+            }
+      in
+      Ok { io; sb; cache = Hashtbl.create 64; ext = sb.sb_ext; log }
 
-let mkfs ~total_blocks ~ninodes =
+let mkfs ?(nlog = 0) ?(ext = false) ~total_blocks ~ninodes () =
   let image = Bytes.make (total_blocks * block_bytes) '\000' in
   let io = io_of_image image in
-  let sb = layout ~total_blocks ~ninodes in
+  let sb = { (layout ~nlog ~total_blocks ~ninodes ()) with sb_ext = ext } in
   write_superblock io sb;
-  let t = { io; sb; cache = Hashtbl.create 64 } in
-  (* mark meta blocks used in the bitmap *)
+  if nlog > 0 then write_log_header io ~logstart:sb.sb_logstart ~seq:0 ~blocks:[];
+  (* formatting writes straight through — the image only becomes a
+     crash-consistency domain once it is mounted *)
+  let t = { io; sb; cache = Hashtbl.create 64; ext; log = None } in
+  (* mark meta blocks (boot, superblock, inodes, bitmap, log) used *)
   for blk = 0 to sb.sb_datastart - 1 do
     let blockno = sb.sb_bmapstart + (blk / (block_bytes * 8)) in
     let bit = blk mod (block_bytes * 8) in
@@ -585,3 +870,239 @@ let mkfs ~total_blocks ~ninodes =
       (match dirlink t node ".." 1 with Ok () -> () | Error e -> invalid_arg e)
   | Error e -> invalid_arg e);
   image
+
+(* ---- fsck ---- *)
+
+type fsck_report = {
+  fsck_clean : bool;
+  fsck_errors : string list;
+  fsck_files : int;
+  fsck_dirs : int;
+  fsck_data_blocks : int;
+}
+
+(* Tolerant on-disk inode read for fsck: corruption becomes a finding,
+   never an exception. *)
+let fsck_dinode t inum =
+  let b = t.io.bread (inode_block t.sb inum) in
+  let off = inode_offset inum in
+  let code = get16 b off in
+  if code > 3 then Error (Printf.sprintf "inode %d: bad type code %d" inum code)
+  else
+    Ok
+      {
+        i_num = inum;
+        i_type =
+          (match code with
+          | 0 -> None
+          | 1 -> Some Dir
+          | 2 -> Some Reg
+          | _ -> Some Dev);
+        i_major = get16 b (off + 2);
+        i_minor = get16 b (off + 4);
+        i_nlink = get16 b (off + 6);
+        i_size = get32 b (off + 8);
+        i_addrs = Array.init (ndirect + 1) (fun i -> get32 b (off + 12 + (4 * i)));
+      }
+
+let bitmap_bit t blk =
+  let blockno = t.sb.sb_bmapstart + (blk / (block_bytes * 8)) in
+  let bit = blk mod (block_bytes * 8) in
+  let b = t.io.bread blockno in
+  Bytes.get_uint8 b (bit / 8) land (1 lsl (bit mod 8)) <> 0
+
+(* Full-image consistency check: superblock geometry, the directory tree
+   from the root, per-inode block maps vs. size, double allocation, the
+   free bitmap in both directions, link counts and orphans. Read-only;
+   all findings are reported, none thrown. *)
+let fsck t =
+  let sb = t.sb in
+  let nerr = ref 0 in
+  let errors = ref [] in
+  let err fmt =
+    Printf.ksprintf
+      (fun s ->
+        incr nerr;
+        if !nerr <= 64 then errors := s :: !errors
+        else if !nerr = 65 then errors := "... (more errors suppressed)" :: !errors)
+      fmt
+  in
+  let ninodeblocks = (sb.sb_ninodes + inodes_per_block - 1) / inodes_per_block in
+  if
+    sb.sb_inodestart <> 2
+    || sb.sb_bmapstart < sb.sb_inodestart + ninodeblocks
+    || sb.sb_datastart < sb.sb_bmapstart
+    || sb.sb_datastart > sb.sb_size
+    || (sb.sb_nlog > 0
+       && (sb.sb_logstart < sb.sb_bmapstart || sb.sb_logstart + sb.sb_nlog >= sb.sb_datastart))
+  then err "superblock: inconsistent geometry";
+  let n_inodes = max 1 sb.sb_ninodes in
+  let refs = Array.make n_inodes 0 in
+  let visited = Array.make n_inodes false in
+  let block_owner = Hashtbl.create 256 in
+  let files = ref 0 and dirs = ref 0 in
+  let claim inum what bno =
+    if bno < sb.sb_datastart || bno >= sb.sb_size then
+      err "inode %d: %s block %d outside the data area" inum what bno
+    else
+      match Hashtbl.find_opt block_owner bno with
+      | Some owner -> err "block %d claimed by inode %d and inode %d" bno owner inum
+      | None -> Hashtbl.replace block_owner bno inum
+  in
+  (* walk the block map of [node], claiming data + indirect blocks and
+     checking data blocks stay under the file size *)
+  let check_blocks node =
+    let inum = node.i_num in
+    let max_index = (node.i_size + block_bytes - 1) / block_bytes in
+    let data index bno =
+      if bno <> 0 then begin
+        claim inum "data" bno;
+        if index >= max_index then
+          err "inode %d: block mapped at index %d beyond size %d" inum index
+            node.i_size
+      end
+    in
+    let indirect_ok bno =
+      bno <> 0 && bno >= sb.sb_datastart && bno < sb.sb_size
+    in
+    let scan_single base ind =
+      claim inum "indirect" ind;
+      if indirect_ok ind then begin
+        let b = t.io.bread ind in
+        for idx = 0 to nindirect - 1 do
+          data (base + idx) (get32 b (4 * idx))
+        done
+      end
+    in
+    if not t.ext then begin
+      for i = 0 to ndirect - 1 do
+        data i node.i_addrs.(i)
+      done;
+      if node.i_addrs.(ndirect) <> 0 then
+        scan_single ndirect node.i_addrs.(ndirect)
+    end
+    else begin
+      for i = 0 to ndirect_ext - 1 do
+        data i node.i_addrs.(i)
+      done;
+      if node.i_addrs.(ndirect_ext) <> 0 then
+        scan_single ndirect_ext node.i_addrs.(ndirect_ext);
+      let d1 = node.i_addrs.(ndirect_ext + 1) in
+      if d1 <> 0 then begin
+        claim inum "double-indirect" d1;
+        if indirect_ok d1 then begin
+          let b = t.io.bread d1 in
+          for l1 = 0 to nindirect - 1 do
+            let ind = get32 b (4 * l1) in
+            if ind <> 0 then
+              scan_single (ndirect_ext + nindirect + (l1 * nindirect)) ind
+          done
+        end
+      end
+    end
+  in
+  (* recursive tree walk from the root *)
+  let rec walk_dir dir ~parent =
+    let n =
+      if dir.i_size < 0 || dir.i_size > max_bytes t then begin
+        err "dir inode %d: implausible size %d" dir.i_num dir.i_size;
+        0
+      end
+      else dirent_count dir
+    in
+    for idx = 0 to n - 1 do
+      match read_dirent t dir idx with
+      | Error e -> err "inode %d: unreadable dirent %d: %s" dir.i_num idx e
+      | Ok (_, 0) -> ()
+      | Ok (name, einum) ->
+          if einum < 1 || einum >= sb.sb_ninodes then
+            err "dir inode %d: entry %S points at bad inode %d" dir.i_num name
+              einum
+          else begin
+            refs.(einum) <- refs.(einum) + 1;
+            if String.equal name "." then begin
+              if einum <> dir.i_num then
+                err "dir inode %d: \".\" points at %d" dir.i_num einum
+            end
+            else if String.equal name ".." then begin
+              if einum <> parent then
+                err "dir inode %d: \"..\" points at %d, parent is %d" dir.i_num
+                  einum parent
+            end
+            else
+              match fsck_dinode t einum with
+              | Error e -> err "%s (via %S in inode %d)" e name dir.i_num
+              | Ok child -> (
+                  match child.i_type with
+                  | None ->
+                      err "dir inode %d: entry %S points at free inode %d"
+                        dir.i_num name einum
+                  | Some Dir ->
+                      if visited.(einum) then
+                        err "dir inode %d reachable twice (via %S)" einum name
+                      else begin
+                        visited.(einum) <- true;
+                        incr dirs;
+                        check_blocks child;
+                        walk_dir child ~parent:dir.i_num
+                      end
+                  | Some Reg | Some Dev ->
+                      if not visited.(einum) then begin
+                        visited.(einum) <- true;
+                        incr files;
+                        check_blocks child
+                      end)
+          end
+    done
+  in
+  (match fsck_dinode t 1 with
+  | Error e -> err "root: %s" e
+  | Ok root_node -> (
+      match root_node.i_type with
+      | Some Dir ->
+          visited.(1) <- true;
+          incr dirs;
+          check_blocks root_node;
+          walk_dir root_node ~parent:1
+      | Some _ | None -> err "root inode is not a directory"));
+  (* unreachable / free inodes and link counts *)
+  (match fsck_dinode t 0 with
+  | Ok n0 when n0.i_type <> None -> err "reserved inode 0 is in use"
+  | Ok _ | Error _ -> ());
+  for inum = 1 to sb.sb_ninodes - 1 do
+    match fsck_dinode t inum with
+    | Error e -> if not visited.(inum) then err "%s" e
+    | Ok node -> (
+        match node.i_type with
+        | None ->
+            if refs.(inum) > 0 then
+              err "free inode %d referenced by %d dirents" inum refs.(inum)
+        | Some ty ->
+            if not visited.(inum) then
+              err "inode %d allocated but unreachable (orphan)" inum
+            else
+              let expected =
+                match ty with Dir -> refs.(inum) - 1 | Reg | Dev -> refs.(inum)
+              in
+              if node.i_nlink <> expected then
+                err "inode %d: nlink %d, expected %d" inum node.i_nlink expected)
+  done;
+  (* the bitmap, in both directions *)
+  for blk = 0 to sb.sb_size - 1 do
+    let used = bitmap_bit t blk in
+    if blk < sb.sb_datastart then begin
+      if not used then err "meta block %d free in bitmap" blk
+    end
+    else
+      match (used, Hashtbl.mem block_owner blk) with
+      | true, false -> err "block %d marked used but unreachable (leak)" blk
+      | false, true -> err "block %d in use but free in bitmap" blk
+      | true, true | false, false -> ()
+  done;
+  {
+    fsck_clean = !nerr = 0;
+    fsck_errors = List.rev !errors;
+    fsck_files = !files;
+    fsck_dirs = !dirs;
+    fsck_data_blocks = Hashtbl.length block_owner;
+  }

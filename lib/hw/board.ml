@@ -48,10 +48,12 @@ type t = {
   pwm : Pwm_audio.t;
   sd : Sd.t;
   usb : Usb.t;
+  supply : Power.supply;
 }
 
 let create ?(platform = pi3) ?(seed = 42L) ?(sd_mib = 64) () =
   let engine = Sim.Engine.create () in
+  let supply = Power.supply () in
   let intc = Intc.create ~cores:platform.num_cores in
   let timer = Timer.create engine intc ~cores:platform.num_cores in
   let uart = Uart.create engine intc ~baud:115200 in
@@ -60,6 +62,7 @@ let create ?(platform = pi3) ?(seed = 42L) ?(sd_mib = 64) () =
   let dma = Dma.create engine intc ~channels:4 in
   let pwm = Pwm_audio.create engine ~rate:44100 in
   let sd = Sd.create engine ~size_mib:sd_mib in
+  Sd.set_supply sd supply;
   let usb = Usb.create engine intc in
   {
     platform;
@@ -74,6 +77,7 @@ let create ?(platform = pi3) ?(seed = 42L) ?(sd_mib = 64) () =
     pwm;
     sd;
     usb;
+    supply;
   }
 
 let cycles_to_ns t cycles =

@@ -33,6 +33,9 @@ type t = {
   pwm : Pwm_audio.t;
   sd : Sd.t;
   usb : Usb.t;
+  supply : Power.supply;
+      (** the power rail storage devices draw from; the crash-injection
+          harness schedules cuts on it *)
 }
 
 val create : ?platform:platform -> ?seed:int64 -> ?sd_mib:int -> unit -> t

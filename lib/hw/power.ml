@@ -27,3 +27,65 @@ let total_power p ~busy_cores ~io_fraction ~hat =
 let battery_hours p ~watts =
   assert (watts > 0.0);
   p.battery_wh /. watts
+
+(* ---- the supply rail: power-cut injection ---- *)
+
+type supply = {
+  mutable alive : bool;
+  mutable sector_budget : int option;
+      (* media sectors the rail will still power; [None] = unlimited *)
+  mutable media_sectors : int;
+  mutable dropped_sectors : int;
+  mutable cuts : int;
+}
+
+let supply () =
+  {
+    alive = true;
+    sector_budget = None;
+    media_sectors = 0;
+    dropped_sectors = 0;
+    cuts = 0;
+  }
+
+let alive s = s.alive
+
+let cut s =
+  if s.alive then begin
+    s.alive <- false;
+    s.sector_budget <- Some 0;
+    s.cuts <- s.cuts + 1
+  end
+
+let cut_at s engine ~ns = ignore (Sim.Engine.schedule_at engine ns (fun () -> cut s))
+
+let cut_after_media_writes s ~sectors =
+  assert (sectors >= 0);
+  if sectors = 0 then cut s else s.sector_budget <- Some sectors
+
+let media_budget s ~sectors =
+  if sectors <= 0 then 0
+  else if not s.alive then begin
+    s.dropped_sectors <- s.dropped_sectors + sectors;
+    0
+  end
+  else
+    match s.sector_budget with
+    | None ->
+        s.media_sectors <- s.media_sectors + sectors;
+        sectors
+    | Some budget ->
+        let granted = min budget sectors in
+        s.sector_budget <- Some (budget - granted);
+        s.media_sectors <- s.media_sectors + granted;
+        s.dropped_sectors <- s.dropped_sectors + (sectors - granted);
+        if budget - granted = 0 then cut s;
+        granted
+
+let revive s =
+  s.alive <- true;
+  s.sector_budget <- None
+
+let media_writes s = s.media_sectors
+let dropped_sectors s = s.dropped_sectors
+let cuts s = s.cuts

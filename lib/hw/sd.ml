@@ -15,6 +15,10 @@ type t = {
   mutable writes : int;
   mutable queue : pending list;  (** pending writes, most recent first *)
   mutable merged : int;  (** requests absorbed into a neighbour's command *)
+  mutable psu : Power.supply option;
+      (** when set, every media write asks the rail for a sector budget;
+          a power cut drops (or tears) the write *)
+  mutable barriers : int;
 }
 
 let create _engine ~size_mib =
@@ -25,7 +29,11 @@ let create _engine ~size_mib =
     writes = 0;
     queue = [];
     merged = 0;
+    psu = None;
+    barriers = 0;
   }
+
+let set_supply t supply = t.psu <- Some supply
 
 let sectors t = Bytes.length t.image / sector_bytes
 
@@ -50,7 +58,18 @@ let write t ~lba ~data =
     if lba < 0 || lba > sectors t - count then Error "sd: write out of range"
     else begin
       t.writes <- t.writes + 1;
-      Bytes.blit data 0 t.image (lba * sector_bytes) len;
+      (* The rail decides how many leading sectors the medium absorbs: all
+         of them while power is up, a torn prefix at the cut, none after.
+         The command itself still "completes" — a dying card does not
+         report the loss, which is exactly the hazard the journal's
+         commit barrier exists for. *)
+      let granted =
+        match t.psu with
+        | None -> count
+        | Some s -> Power.media_budget s ~sectors:count
+      in
+      if granted > 0 then
+        Bytes.blit data 0 t.image (lba * sector_bytes) (granted * sector_bytes);
       Ok (cost_ns ~count)
     end
   end
@@ -120,6 +139,16 @@ let flush_queue ?(coalesce = true) t =
   issue 0L 0 runs
 
 let merged_count t = t.merged
+
+(* Ordered-write barrier: everything queued before the barrier is on the
+   medium when it returns, and nothing issued after it can be reordered
+   ahead by the elevator (the queue is empty). An empty queue costs
+   nothing, so a barrier on an already-synced card is free. *)
+let barrier ?(coalesce = true) t =
+  t.barriers <- t.barriers + 1;
+  if t.queue = [] then Ok (0L, 0) else flush_queue ~coalesce t
+
+let barrier_count t = t.barriers
 
 let load t ~lba data =
   Bytes.blit data 0 t.image (lba * sector_bytes) (Bytes.length data)

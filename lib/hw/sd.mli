@@ -50,6 +50,20 @@ val flush_queue : ?coalesce:bool -> t -> (int64 * int, string) result
 val merged_count : t -> int
 (** Cumulative requests absorbed into a neighbour's command. *)
 
+val barrier : ?coalesce:bool -> t -> (int64 * int, string) result
+(** Ordered-write barrier: drain the request queue so every write issued
+    before the barrier is on the medium before any issued after it. Free
+    (zero cost, zero commands) when the queue is already empty. Returns
+    (cost, commands) like {!flush_queue}. *)
+
+val barrier_count : t -> int
+(** Barriers issued (host-side bookkeeping; charges nothing). *)
+
+val set_supply : t -> Power.supply -> unit
+(** Attach the board's power rail: every media write is budgeted through
+    {!Power.media_budget}, so a scheduled power cut drops — or tears at a
+    sector boundary — writes that race the cut. *)
+
 val load : t -> lba:int -> Bytes.t -> unit
 (** Stamp raw bytes onto the card with no cost (development-machine side,
     like dd-ing an image before inserting the card). *)

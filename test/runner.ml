@@ -9,6 +9,8 @@ let () =
       Test_fs.suite_vpath;
       Test_fs.suite_blockdev;
       Test_fs.suite_xv6fs;
+      Test_crash.suite_journal;
+      Test_crash.suite_kernel;
       Test_fs.suite_fat32;
       Test_kernel.suite_sched;
       Test_kernel.suite_sched_classes;

@@ -300,7 +300,7 @@ let uncached_fb_costs_more () =
 (* ---- xv6fs dirent slot reuse ---- *)
 
 let xv6_dirent_slot_reuse () =
-  let img = Fs.Xv6fs.mkfs ~total_blocks:1024 ~ninodes:32 in
+  let img = Fs.Xv6fs.mkfs ~total_blocks:1024 ~ninodes:32 () in
   let t = Result.get_ok (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
   ignore (check_ok "a" (Fs.Xv6fs.create t "/a" Fs.Xv6fs.Reg));
   ignore (check_ok "b" (Fs.Xv6fs.create t "/b" Fs.Xv6fs.Reg));

@@ -90,7 +90,7 @@ let suite_blockdev =
 (* ---- xv6fs ---- *)
 
 let mkfs_mounted () =
-  let img = Fs.Xv6fs.mkfs ~total_blocks:1024 ~ninodes:64 in
+  let img = Fs.Xv6fs.mkfs ~total_blocks:1024 ~ninodes:64 () in
   let t = check_ok "mount" (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
   (img, t)
 
@@ -116,7 +116,7 @@ let xv6_offsets_and_sparse () =
   check_string "tail content" "end" (Bytes.to_string tail)
 
 let xv6_max_file_size () =
-  let img = Fs.Xv6fs.mkfs ~total_blocks:2048 ~ninodes:32 in
+  let img = Fs.Xv6fs.mkfs ~total_blocks:2048 ~ninodes:32 () in
   let t = check_ok "mount" (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
   let f = check_ok "create" (Fs.Xv6fs.create t "/big" Fs.Xv6fs.Reg) in
   check_int "274432 bytes exactly" Fs.Xv6fs.max_file_bytes
@@ -177,7 +177,7 @@ let xv6_dev_nodes () =
 
 let xv6_out_of_inodes () =
   (* ninodes = 4: inode 0 reserved, 1 is the root -> two free inodes *)
-  let img = Fs.Xv6fs.mkfs ~total_blocks:512 ~ninodes:4 in
+  let img = Fs.Xv6fs.mkfs ~total_blocks:512 ~ninodes:4 () in
   let t = check_ok "mount" (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
   ignore (check_ok "1" (Fs.Xv6fs.create t "/a" Fs.Xv6fs.Reg));
   ignore (check_ok "2" (Fs.Xv6fs.create t "/b" Fs.Xv6fs.Reg));
@@ -187,7 +187,7 @@ let xv6_random_roundtrip =
   qcheck ~count:30 "xv6fs random chunked writes read back"
     QCheck.(list_of_size (Gen.int_range 1 12) (pair (int_bound 40_000) (int_bound 3_000)))
     (fun chunks ->
-      let img = Fs.Xv6fs.mkfs ~total_blocks:2048 ~ninodes:16 in
+      let img = Fs.Xv6fs.mkfs ~total_blocks:2048 ~ninodes:16 () in
       let t = Result.get_ok (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
       let f = Result.get_ok (Fs.Xv6fs.create t "/r" Fs.Xv6fs.Reg) in
       let shadow = Bytes.make Fs.Xv6fs.max_file_bytes '\000' in
@@ -213,6 +213,114 @@ let xv6_random_roundtrip =
       | Ok back -> Bytes.equal back (Bytes.sub shadow 0 !max_end)
       | Error _ -> false)
 
+(* ---- the extent (doubly-indirect) layout ---- *)
+
+let ext_mounted ?(total_blocks = 2200) () =
+  let img = Fs.Xv6fs.mkfs ~ext:true ~total_blocks ~ninodes:16 () in
+  (img, check_ok "mount" (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)))
+
+let xv6_ext_cap () =
+  let _, t = ext_mounted () in
+  check_int "ext cap" ((11 + 256 + (256 * 256)) * 1024) Fs.Xv6fs.max_file_bytes_ext;
+  check_int "instance cap" Fs.Xv6fs.max_file_bytes_ext (Fs.Xv6fs.max_bytes t);
+  (* the legacy constant the paper leans on is untouched *)
+  check_int "legacy cap" (268 * 1024) Fs.Xv6fs.max_file_bytes
+
+(* write/read/truncate/unlink across the old ~270 KB boundary: a 1.5 MB
+   file needs the doubly-indirect tree *)
+let xv6_ext_large_file () =
+  let img = Fs.Xv6fs.mkfs ~ext:true ~total_blocks:2200 ~ninodes:16 () in
+  let t = check_ok "mount" (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
+  let free0 = Fs.Xv6fs.free_data_blocks t in
+  let f = check_ok "create" (Fs.Xv6fs.create t "/big" Fs.Xv6fs.Reg) in
+  let size = 3 * 1024 * 1024 / 2 in
+  let data = Bytes.init size (fun i -> Char.chr ((i * 13) land 0xff)) in
+  check_int "1.5 MB written" size
+    (check_ok "write past the old cap" (Fs.Xv6fs.writei t f ~off:0 ~data));
+  check_bool "beyond legacy cap" true (size > Fs.Xv6fs.max_file_bytes);
+  let back = check_ok "read all" (Fs.Xv6fs.readi t f ~off:0 ~len:size) in
+  check_bool "roundtrip" true (Bytes.equal back data);
+  (* interior reads straddling the single/double indirect boundary *)
+  List.iter
+    (fun off ->
+      let b = check_ok "interior" (Fs.Xv6fs.readi t f ~off ~len:2048) in
+      check_bool
+        (Printf.sprintf "interior %d" off)
+        true
+        (Bytes.equal b (Bytes.sub data off 2048)))
+    [ 0; 10 * 1024; (11 + 256) * 1024 - 1024; 1_000_000 ];
+  (* a remount sees the same bytes *)
+  let t2 = check_ok "remount" (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
+  let f2 = check_ok "lookup" (Fs.Xv6fs.lookup t2 "/big") in
+  check_int "size survives" size (Fs.Xv6fs.stat_of t2 f2).Fs.Xv6fs.st_size;
+  (* truncate returns every block, including the indirect tree *)
+  Fs.Xv6fs.truncate t f;
+  check_int "truncate frees all" free0 (Fs.Xv6fs.free_data_blocks t);
+  ignore (check_ok "rewrite" (Fs.Xv6fs.writei t f ~off:0 ~data:(Bytes.make 500_000 'z')));
+  ignore (check_ok "unlink" (Fs.Xv6fs.unlink t "/big"));
+  check_int "unlink frees all" free0 (Fs.Xv6fs.free_data_blocks t);
+  let r = Fs.Xv6fs.fsck t in
+  check_bool "fsck clean after churn" true r.Fs.Xv6fs.fsck_clean
+
+let xv6_ext_cap_enforced () =
+  (* a sparse write just under the cap lands; at the cap it errors *)
+  let _, t = ext_mounted () in
+  let f = check_ok "create" (Fs.Xv6fs.create t "/edge" Fs.Xv6fs.Reg) in
+  ignore
+    (check_ok "last byte"
+       (Fs.Xv6fs.writei t f ~off:(Fs.Xv6fs.max_file_bytes_ext - 1)
+          ~data:(Bytes.of_string "x")));
+  ignore
+    (check_err "one past the cap"
+       (Fs.Xv6fs.writei t f ~off:Fs.Xv6fs.max_file_bytes_ext
+          ~data:(Bytes.of_string "y")))
+
+(* random write/truncate sequences vs an in-memory model, on the extent
+   layout, crossing the legacy boundary *)
+let xv6_ext_random_model =
+  qcheck ~count:20 "ext random write/truncate vs model"
+    QCheck.(
+      list_of_size (Gen.int_range 1 10)
+        (pair (int_bound 400_000) (int_bound 30_000)))
+    (fun ops ->
+      let img = Fs.Xv6fs.mkfs ~ext:true ~total_blocks:2048 ~ninodes:8 () in
+      let t = Result.get_ok (Fs.Xv6fs.mount (Fs.Xv6fs.io_of_image img)) in
+      let f = Result.get_ok (Fs.Xv6fs.create t "/m" Fs.Xv6fs.Reg) in
+      let cap = 450_000 in
+      let shadow = Bytes.make cap '\000' in
+      let size = ref 0 in
+      let ok =
+        List.for_all
+          (fun (off, len) ->
+            if len = 0 then begin
+              (* zero-length op doubles as a truncate probe *)
+              Fs.Xv6fs.truncate t f;
+              Bytes.fill shadow 0 cap '\000';
+              size := 0;
+              true
+            end
+            else begin
+              let len = min len (cap - off) in
+              if len <= 0 then true
+              else begin
+                let data =
+                  Bytes.init len (fun i -> Char.chr ((off + (i * 3)) land 0xff))
+                in
+                Bytes.blit data 0 shadow off len;
+                size := max !size (off + len);
+                match Fs.Xv6fs.writei t f ~off ~data with
+                | Ok n -> n = len
+                | Error _ -> false
+              end
+            end)
+          ops
+      in
+      ok
+      && (match Fs.Xv6fs.readi t f ~off:0 ~len:!size with
+         | Ok back -> Bytes.equal back (Bytes.sub shadow 0 !size)
+         | Error _ -> false)
+      && (Fs.Xv6fs.fsck t).Fs.Xv6fs.fsck_clean)
+
 let suite_xv6fs =
   ( "fs.xv6fs",
     [
@@ -226,6 +334,10 @@ let suite_xv6fs =
       quick "device nodes" xv6_dev_nodes;
       quick "out of inodes" xv6_out_of_inodes;
       xv6_random_roundtrip;
+      quick "ext: caps" xv6_ext_cap;
+      quick "ext: 1.5MB write/read/truncate/unlink" xv6_ext_large_file;
+      quick "ext: cap enforced" xv6_ext_cap_enforced;
+      xv6_ext_random_model;
     ] )
 
 (* ---- fat32 ---- *)
