@@ -115,6 +115,14 @@ let crashbench () =
      || s.Benchlib.Crashbench.s_invariant_failures > 0
   then exit 1
 
+let fuzzbench () =
+  section "fuzzbench: scenario-fuzzer throughput, cleanliness, shrink cost";
+  let s = Benchlib.Fuzzbench.run () in
+  print_string (Benchlib.Fuzzbench.render s);
+  Benchlib.Fuzzbench.write_json s "BENCH_fuzz.json";
+  print_endline "wrote BENCH_fuzz.json";
+  if s.Benchlib.Fuzzbench.f_failures > 0 then exit 1
+
 let simbench () =
   section "simbench: host-parallel engine — pop cost, speedup, determinism";
   let r = Benchlib.Simbench.run () in
@@ -149,6 +157,7 @@ let experiments =
     ("tracebench", tracebench);
     ("simbench", simbench);
     ("crashbench", crashbench);
+    ("fuzzbench", fuzzbench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

@@ -159,6 +159,10 @@ let observe_sd t ~op ~cost =
 
 let block_bytes t = t.block_sectors * Fs.Blockdev.sector_bytes
 
+(* Read commands issued for one block before a persistent error is
+   fatal; real SDHCI drivers carry the same small CRC-retry budget. *)
+let sd_read_attempts = 4
+
 (* raw device access in sectors *)
 let device_read t ~lba ~count =
   match t.backing with
@@ -166,13 +170,26 @@ let device_read t ~lba ~count =
       charge_cycles t (Kcost.copy_cycles ~bytes:(count * Fs.Blockdev.sector_bytes));
       Bytes.sub image (lba * Fs.Blockdev.sector_bytes)
         (count * Fs.Blockdev.sector_bytes)
-  | Card (sd, first) -> (
-      match Hw.Sd.read sd ~lba:(first + lba) ~count with
-      | Ok (data, cost) ->
-          charge_io t cost;
-          observe_sd t ~op:"sd:read" ~cost;
-          data
-      | Error e -> Kpanic.panicf "%s" e)
+  | Card (sd, first) ->
+      (* A failed read is retried like a real polled driver re-issues a
+         command after a CRC error — each attempt still pays the wire
+         time. Transient faults (the fuzzer's marginal-card injection)
+         clear within the budget; a persistent error is fatal as
+         before, just [sd_read_attempts] commands later. *)
+      let rec attempt n =
+        match Hw.Sd.read sd ~lba:(first + lba) ~count with
+        | Ok (data, cost) ->
+            charge_io t cost;
+            observe_sd t ~op:"sd:read" ~cost;
+            data
+        | Error e ->
+            let cost = Hw.Sd.cost_ns ~count in
+            charge_io t cost;
+            observe_sd t ~op:"sd:read-retry" ~cost;
+            if n + 1 < sd_read_attempts then attempt (n + 1)
+            else Kpanic.panicf "%s (after %d attempts)" e sd_read_attempts
+      in
+      attempt 0
   | Usb_msd usb -> (
       match Hw.Usb.msd_read usb ~lba ~count with
       | Ok (data, cost) ->
@@ -418,8 +435,19 @@ let stop_flush_daemon t =
 
 (* ---- reads ---- *)
 
+(* Block numbers arrive from on-disk metadata, which a hostile or
+   corrupt image controls; an out-of-range block must die as a clean
+   panic naming the block, not as Bytes.sub blowing up inside the
+   backing store. *)
+let check_block t n =
+  let blocks = device_sectors t / t.block_sectors in
+  if n < 0 || n >= blocks then
+    Kpanic.panicf "bufcache: block %d out of range (device has %d blocks)" n
+      blocks
+
 (* Single-block read through the cache (block number in cache units). *)
 let bread t n =
+  check_block t n;
   charge_cycles t Kcost.bufcache_hit;
   match Hashtbl.find_opt t.cache n with
   | Some e ->
@@ -470,6 +498,7 @@ let bread t n =
 
 let bwrite t n data =
   assert (Bytes.length data = block_bytes t);
+  check_block t n;
   charge_cycles t Kcost.bufcache_hit;
   if t.writeback then begin
     charge_cycles t Kcost.bufcache_dirty_mark;

@@ -118,6 +118,18 @@ type t = {
       (** seed for the power-cut crash-injection harness (crashbench):
           the same seed replays the identical schedule of workload ops
           and cut points, byte for byte *)
+  fuzz_ops : int;
+      (** vfuzz: operations per generated scenario session — syscalls,
+          app launches, keypresses and fault injections drawn from the
+          session's {!Sim.Rng} stream *)
+  fuzz_session_ms : int;
+      (** vfuzz: virtual-time budget per session; a session whose driver
+          has not finished (or died) by the deadline is reported as
+          wedged, which is the fuzzer's deadlock oracle *)
+  fuzz_faults : bool;
+      (** vfuzz: arm device-level hostility in the generator — SD read
+          faults, USB unplug/replug, IRQ storms and power blips; off
+          restricts sessions to syscall/keypress traffic *)
 }
 
 let full =
@@ -179,6 +191,11 @@ let full =
     journal = false;
     journal_max_tx_blocks = 64;
     crash_inject_seed = 7;
+    (* scenario-fuzzing defaults: short hostile sessions; the harness
+       and vos_fuzz override per campaign *)
+    fuzz_ops = 48;
+    fuzz_session_ms = 400;
+    fuzz_faults = true;
   }
 
 let rec prototype = function
@@ -222,6 +239,9 @@ let rec prototype = function
         journal = false;
         journal_max_tx_blocks = 64;
         crash_inject_seed = 7;
+        fuzz_ops = 48;
+        fuzz_session_ms = 400;
+        fuzz_faults = true;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

@@ -105,13 +105,23 @@ let sys_wait ctx t =
   in
   attempt ()
 
+(* kill(2), VOS dialect: there are no signals and no process groups, so
+   kill is always terminal and only positive pids address anything —
+   pid <= 0 (POSIX's group/broadcast forms) is EINVAL, not a wildcard
+   massacre. A zombie has already exited: a second kill reports ESRCH
+   rather than pretending to deliver. Self-kill is legal; the killed
+   flag is honored at the next preemption point, after this syscall
+   returns 0 to the (now doomed) caller. *)
 let sys_kill ctx t pid =
-  match Sched.task_by_pid t.sched pid with
-  | None -> err ctx Errno.esrch
-  | Some victim ->
-      Sched.charge ctx Kcost.wakeup;
-      Sched.force_kill t.sched victim;
-      Sched.finish ctx (Abi.R_int 0)
+  if pid <= 0 then err ctx Errno.einval
+  else
+    match Sched.task_by_pid t.sched pid with
+    | None -> err ctx Errno.esrch
+    | Some victim when victim.Task.state = Task.Zombie -> err ctx Errno.esrch
+    | Some victim ->
+        Sched.charge ctx Kcost.wakeup;
+        Sched.force_kill t.sched victim;
+        Sched.finish ctx (Abi.R_int 0)
 
 let sys_clone ctx t thread_main =
   if not t.config.Kconfig.syscalls_threads then err ctx Errno.enosys

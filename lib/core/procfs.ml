@@ -300,9 +300,11 @@ let snapshot_read t name ctx file ~len =
         Hashtbl.replace t.snapshots file.Fd.file_id c;
         c
   in
-  let off = file.Fd.off in
+  (* the offset is under user control via lseek and may sit past the end
+     of the snapshot; a read there is 0 bytes, not a String.sub crash *)
+  let off = min file.Fd.off (String.length content) in
   let n = max 0 (min len (String.length content - off)) in
-  file.Fd.off <- off + n;
+  file.Fd.off <- file.Fd.off + n;
   Sched.charge ctx (Kcost.copy_cycles ~bytes:n + 500);
   Sched.finish ctx (Abi.R_bytes (Bytes.of_string (String.sub content off n)))
 

@@ -80,10 +80,13 @@ let post ctx t id =
 
 let wait ctx t id =
   Sched.charge ctx Kcost.sem_op;
-  match find t id with
-  | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
-  | Some sem ->
-      let rec attempt () =
+  (* re-resolve the id on every wakeup, not just at entry: the semaphore
+     can be closed while we sleep, and holding on to the stale [sem]
+     would park us forever on a channel nothing will post to again *)
+  let rec attempt () =
+    match find t id with
+    | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
+    | Some sem ->
         if sem.value > 0 then begin
           sem.value <- sem.value - 1;
           Sched.finish ctx (Abi.R_int 0)
@@ -93,12 +96,17 @@ let wait ctx t id =
             (Ktrace.Sem_block (ctx.Sched.task.Task.pid, id));
           Sched.block ctx ~chan:sem.chan ~retry:attempt
         end
-      in
-      attempt ()
+  in
+  attempt ()
 
 let release t sem =
   sem.refs <- sem.refs - 1;
-  if sem.refs <= 0 then Hashtbl.remove t.sems sem.sem_id
+  if sem.refs <= 0 then begin
+    Hashtbl.remove t.sems sem.sem_id;
+    (* the id is dead: waiters must rescan and fail with EINVAL instead
+       of sleeping on the orphaned channel *)
+    Sched.wake_all t.sched sem.chan
+  end
 
 let close ctx t id =
   match find t id with

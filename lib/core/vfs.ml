@@ -77,6 +77,12 @@ let open_xv6 ctx t path flags =
       | Error e -> err ctx (Errno.of_fs_error e)
       | Ok node ->
           let st = Fs.Xv6fs.stat_of t.root node in
+          (* xv6 semantics: directories open read-only. A writable dir fd
+             would let write(2) scribble raw dirents over the directory
+             body — self-inflicted fs corruption via the syscall ABI. *)
+          if st.Fs.Xv6fs.st_type = Fs.Xv6fs.Dir && want_write flags then
+            err ctx Errno.eisdir
+          else begin
           if flags land Abi.o_trunc <> 0 && st.Fs.Xv6fs.st_type = Fs.Xv6fs.Reg
           then Fs.Xv6fs.truncate t.root node;
           let file =
@@ -87,7 +93,8 @@ let open_xv6 ctx t path flags =
           in
           (match Fd.alloc t.fdt ~pid:ctx.Sched.task.Task.pid file with
           | Ok fd -> Sched.finish ctx (Abi.R_int fd)
-          | Error e -> err ctx e))
+          | Error e -> err ctx e)
+          end)
 
 let open_fat ctx t fat bc sub flags =
   Bufcache.with_ctx bc ctx (fun () ->
@@ -103,6 +110,8 @@ let open_fat ctx t fat bc sub flags =
           in
           match ensure () with
           | Error e -> err ctx (Errno.of_fs_error e)
+          | Ok st when st.Fs.Fat32.st_dir && want_write flags ->
+              err ctx Errno.eisdir
           | Ok st ->
               let st =
                 if
@@ -179,6 +188,13 @@ let xv6_dir_listing fsys node =
   | Ok entries ->
       String.concat "" (List.map (fun (name, _) -> name ^ "\n") entries)
 
+(* Upper bound on one read(2) transfer. A hostile multi-GB [len] must
+   never size a host allocation: regular files clamp to the readable
+   span below, and this cap backstops every path (a sparse file's size
+   can far exceed the data present). Short reads are legal, and no VOS
+   program issues single transfers anywhere near this large. *)
+let max_read_bytes = 8 * 1024 * 1024
+
 let op_read ctx t fd len =
   charge_dispatch ctx;
   let pid = ctx.Sched.task.Task.pid in
@@ -188,6 +204,7 @@ let op_read ctx t fd len =
       if not file.Fd.readable then err ctx Errno.ebadf
       else if len < 0 then err ctx Errno.einval
       else begin
+        let len = min len max_read_bytes in
         match file.Fd.kind with
         | Fd.K_dev ops -> ops.Fd.dev_read ctx file ~len
         | Fd.K_pipe_read p -> Pipe.read ctx p ~len ~nonblock:file.Fd.nonblock
@@ -204,6 +221,11 @@ let op_read ctx t fd len =
                     Sched.finish ctx
                       (Abi.R_bytes (Bytes.of_string (String.sub text off n)))
                 | Fs.Xv6fs.Reg | Fs.Xv6fs.Dev -> (
+                    (* bound the allocation to the readable span before
+                       the fs layer sizes its output buffer *)
+                    let len =
+                      min len (max 0 (st.Fs.Xv6fs.st_size - file.Fd.off))
+                    in
                     match Fs.Xv6fs.readi fsys node ~off:file.Fd.off ~len with
                     | Error e -> err ctx (Errno.of_fs_error e)
                     | Ok data ->
@@ -229,7 +251,10 @@ let op_read ctx t fd len =
                         file.Fd.off <- off + n;
                         Sched.finish ctx
                           (Abi.R_bytes (Bytes.of_string (String.sub text off n))))
-                | Ok _ -> (
+                | Ok st -> (
+                    let len =
+                      min len (max 0 (st.Fs.Fat32.st_size - file.Fd.off))
+                    in
                     match
                       Fs.Fat32.read_file fat handle.Fd.fat_path ~off:file.Fd.off
                         ~len
@@ -299,16 +324,25 @@ let op_lseek ctx t fd offset whence =
       match file.Fd.kind with
       | Fd.K_pipe_read _ | Fd.K_pipe_write _ -> err ctx Errno.espipe
       | Fd.K_xv6 _ | Fd.K_fat _ | Fd.K_dev _ ->
-          let base =
-            if whence = Abi.seek_set then 0
-            else if whence = Abi.seek_cur then file.Fd.off
-            else file_size file
-          in
-          let pos = base + offset in
-          if pos < 0 then err ctx Errno.einval
+          (* whence is validated, not defaulted: anything outside the
+             three POSIX anchors used to fall through to SEEK_END
+             silently, so lseek(fd, 0, 7) "worked" *)
+          if
+            whence <> Abi.seek_set && whence <> Abi.seek_cur
+            && whence <> Abi.seek_end
+          then err ctx Errno.einval
           else begin
-            file.Fd.off <- pos;
-            Sched.finish ctx (Abi.R_int pos)
+            let base =
+              if whence = Abi.seek_set then 0
+              else if whence = Abi.seek_cur then file.Fd.off
+              else file_size file
+            in
+            let pos = base + offset in
+            if pos < 0 then err ctx Errno.einval
+            else begin
+              file.Fd.off <- pos;
+              Sched.finish ctx (Abi.R_int pos)
+            end
           end)
 
 let op_fstat ctx t fd =

@@ -635,6 +635,12 @@ let read_dirent t node idx =
       Error "xv6fs: short dirent"
   | Ok b ->
       let inum = get16 b 0 in
+      if inum >= t.sb.sb_ninodes then
+        (* an on-disk inum outside the inode table means the directory
+           block is trash; surfacing it as data keeps a corrupt image
+           from walking iget off the end of the device *)
+        Error "xv6fs: corrupt dirent (inum out of range)"
+      else begin
       let raw = Bytes.sub_string b 2 max_name in
       let name =
         match String.index_opt raw '\000' with
@@ -642,6 +648,7 @@ let read_dirent t node idx =
         | None -> raw
       in
       Ok (name, inum)
+      end
 
 let write_dirent t node idx name inum =
   let b = Bytes.make dirent_bytes '\000' in

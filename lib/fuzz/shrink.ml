@@ -1,0 +1,64 @@
+(** Delta-debugging shrinker for failing scenarios.
+
+    Classic ddmin over the op list: try deleting chunks (halving the
+    chunk size down to single ops) and keep any deletion under which the
+    session still fails {e with the same failure kind}. The seed and
+    config variant are pinned — only the op list shrinks — so the
+    minimized scenario replays on the exact kernel that broke.
+
+    Matching on failure *kind* rather than message matters: deleting a
+    [SemPost] can turn a Crash repro into a session that merely wedges,
+    and accepting that deletion would shrink toward a different bug.
+
+    Every candidate is a full kernel boot, so the run budget is capped;
+    determinism makes the budget safe (the same scenario always shrinks
+    through the same candidate sequence to the same minimum). *)
+
+type stats = {
+  sh_runs : int;  (** candidate sessions executed *)
+  sh_ops_before : int;
+  sh_ops_after : int;
+}
+
+let default_budget = 200
+
+(* [minimize ~run ~failure scen] returns the shrunk scenario plus stats.
+   [run] executes a candidate op list (typically [fun ops ->
+   (Session.run { scen with sc_ops = ops }).r_outcome]). *)
+let minimize ?(budget = default_budget) ~run ~failure scen =
+  let runs = ref 0 in
+  let still_fails ops =
+    if !runs >= budget then false
+    else begin
+      incr runs;
+      match run ops with
+      | Session.Fail f -> Session.same_kind f failure
+      | Session.Pass -> false
+    end
+  in
+  let remove l start len =
+    List.filteri (fun i _ -> i < start || i >= start + len) l
+  in
+  (* one left-to-right pass at a fixed chunk size; restarts the scan at
+     the same position after a successful deletion *)
+  let rec scan ops start size =
+    if start >= List.length ops then ops
+    else begin
+      let candidate = remove ops start size in
+      if still_fails candidate then scan candidate start size
+      else scan ops (start + size) size
+    end
+  in
+  let rec passes ops size =
+    if size < 1 then ops
+    else begin
+      let ops = scan ops 0 size in
+      passes ops (size / 2)
+    end
+  in
+  let ops0 = scen.Gen.sc_ops in
+  let n = List.length ops0 in
+  let minimal = passes ops0 (max 1 (n / 2)) in
+  ( { scen with Gen.sc_ops = minimal },
+    { sh_runs = !runs; sh_ops_before = n; sh_ops_after = List.length minimal }
+  )

@@ -19,6 +19,10 @@ type t = {
       (** when set, every media write asks the rail for a sector budget;
           a power cut drops (or tears) the write *)
   mutable barriers : int;
+  mutable read_faults : int;
+      (** pending injected transient read faults: each one makes the next
+          read command fail with a CRC-style error, then clears *)
+  mutable faulted_reads : int;
 }
 
 let create _engine ~size_mib =
@@ -31,9 +35,19 @@ let create _engine ~size_mib =
     merged = 0;
     psu = None;
     barriers = 0;
+    read_faults = 0;
+    faulted_reads = 0;
   }
 
 let set_supply t supply = t.psu <- Some supply
+
+(* Transient read-fault injection (the fuzz harness's device hostility):
+   the next [count] read commands fail the way a marginal card fails — a
+   CRC error on the wire, data intact on the medium — so a driver that
+   retries sees the original bytes on the next attempt. *)
+let inject_read_faults t ~count = t.read_faults <- t.read_faults + max 0 count
+let pending_read_faults t = t.read_faults
+let faulted_read_count t = t.faulted_reads
 
 let sectors t = Bytes.length t.image / sector_bytes
 
@@ -43,6 +57,13 @@ let cost_ns ~count =
 let read t ~lba ~count =
   if count <= 0 then Error "sd: zero-length read"
   else if lba < 0 || lba > sectors t - count then Error "sd: read out of range"
+  else if t.read_faults > 0 then begin
+    (* the command was issued and paid for, the reply failed its CRC *)
+    t.reads <- t.reads + 1;
+    t.read_faults <- t.read_faults - 1;
+    t.faulted_reads <- t.faulted_reads + 1;
+    Error "sd: transient read fault (CRC)"
+  end
   else begin
     t.reads <- t.reads + 1;
     let data = Bytes.sub t.image (lba * sector_bytes) (count * sector_bytes) in

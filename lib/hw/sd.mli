@@ -59,6 +59,18 @@ val barrier : ?coalesce:bool -> t -> (int64 * int, string) result
 val barrier_count : t -> int
 (** Barriers issued (host-side bookkeeping; charges nothing). *)
 
+val inject_read_faults : t -> count:int -> unit
+(** Arm [count] transient read faults: each of the next [count] read
+    commands fails with a CRC-style error (the data on the medium is
+    untouched, so a retrying driver succeeds once the burst is spent).
+    The fuzz harness's stand-in for a marginal card or connector. *)
+
+val pending_read_faults : t -> int
+(** Armed faults not yet consumed. *)
+
+val faulted_read_count : t -> int
+(** Cumulative read commands that failed due to injected faults. *)
+
 val set_supply : t -> Power.supply -> unit
 (** Attach the board's power rail: every media write is budgeted through
     {!Power.media_budget}, so a scheduled power cut drops — or tears at a

@@ -10,6 +10,7 @@ type t = {
   mutable dirty : bool;
   mutable latched : report list;  (* newest first *)
   mutable msd : Bytes.t option;  (* mass-storage backing image *)
+  mutable gen : int;  (* plug generation; stale poll fibers exit *)
 }
 
 let init_cost_ns = 1_100_000_000L
@@ -26,14 +27,15 @@ let create engine intc =
     dirty = false;
     latched = [];
     msd = None;
+    gen = 0;
   }
 
 (* The host-controller frame service loop, as a fiber: latch a report and
    raise the interrupt when keys changed, then park for one 8 ms frame.
    One engine event per frame, exactly like the closure chain it
    replaces. *)
-let poll_loop t () =
-  while t.ready do
+let poll_loop t gen () =
+  while t.ready && t.gen = gen do
     if t.dirty then begin
       t.dirty <- false;
       t.latched <- { modifiers = t.modifiers; keys = t.held } :: t.latched;
@@ -45,13 +47,36 @@ let poll_loop t () =
 let power_on t =
   if not t.powered then begin
     t.powered <- true;
+    let gen = t.gen in
     ignore
       (Sim.Engine.schedule_after t.engine init_cost_ns (fun () ->
-           t.ready <- true;
-           ignore (Sim.Fiber.run t.engine (poll_loop t))))
+           if t.powered && t.gen = gen then begin
+             t.ready <- true;
+             ignore (Sim.Fiber.run t.engine (poll_loop t gen))
+           end))
   end
 
 let ready t = t.ready
+
+(* Surprise removal of the keyboard function: the port drops, the frame
+   service loop stops, and any half-latched state is gone. The model
+   treats the mass-storage function as a separate port, so a mounted
+   /usb volume survives a keyboard unplug (losing it mid-session would
+   turn every fuzz run into a bufcache panic, which is a different
+   experiment). [replug] re-enumerates from scratch and pays the full
+   [init_cost_ns] again, exactly like a fresh [power_on]. *)
+let unplug t =
+  if t.powered || t.ready then begin
+    t.gen <- t.gen + 1;
+    t.ready <- false;
+    t.powered <- false;
+    t.modifiers <- 0;
+    t.held <- [];
+    t.dirty <- false;
+    t.latched <- []
+  end
+
+let replug t = power_on t
 
 let key_down t ?modifiers usage =
   (match modifiers with Some m -> t.modifiers <- m | None -> ());

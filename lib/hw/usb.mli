@@ -30,6 +30,16 @@ val power_on : t -> unit
 
 val ready : t -> bool
 
+val unplug : t -> unit
+(** Surprise-remove the keyboard function: polling stops, held keys and
+    latched reports are dropped. The mass-storage function is modeled as
+    a separate port and is unaffected. Fault injection for the fuzz
+    harness. *)
+
+val replug : t -> unit
+(** Re-attach after {!unplug}; enumeration pays {!init_cost_ns} again
+    before {!ready} flips back. *)
+
 val frame_interval_ns : int64
 (** The 8 ms interrupt-endpoint service interval. *)
 

@@ -31,4 +31,6 @@ let () =
       Test_apps.suite_integration;
       Test_proto.suite;
       Test_ext.suite;
+      Test_fuzz.suite_fuzz;
+      Test_fuzz.suite_regress;
     ]
