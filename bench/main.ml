@@ -123,6 +123,14 @@ let fuzzbench () =
   print_endline "wrote BENCH_fuzz.json";
   if s.Benchlib.Fuzzbench.f_failures > 0 then exit 1
 
+let lintbench () =
+  section "lintbench: vlint + vrace wall cost and coverage";
+  let r = Benchlib.Lintbench.run () in
+  print_string (Benchlib.Lintbench.render r);
+  Benchlib.Lintbench.write_json r "BENCH_lint.json";
+  print_endline "wrote BENCH_lint.json";
+  if not (Benchlib.Lintbench.clean r) then exit 1
+
 let simbench () =
   section "simbench: host-parallel engine — pop cost, speedup, determinism";
   let r = Benchlib.Simbench.run () in
@@ -158,6 +166,7 @@ let experiments =
     ("simbench", simbench);
     ("crashbench", crashbench);
     ("fuzzbench", fuzzbench);
+    ("lintbench", lintbench);
   ]
 
 (* ---- Bechamel: one Test.make per table/figure, timing that

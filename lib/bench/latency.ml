@@ -54,17 +54,16 @@ let kernel_time_ns kernel ~pid ~from_ns ~until_ns =
       if
         Int64.compare e.Core.Ktrace.ts_ns from_ns >= 0
         && Int64.compare e.Core.Ktrace.ts_ns until_ns <= 0
-      then
-        match e.Core.Ktrace.ev with
-        | Core.Ktrace.Syscall_enter (p, _) when p = pid ->
-            entered := Some e.Core.Ktrace.ts_ns
-        | Core.Ktrace.Syscall_exit (p, _) when p = pid -> (
-            match !entered with
-            | Some t0 ->
-                total := Int64.add !total (Int64.sub e.Core.Ktrace.ts_ns t0);
-                entered := None
-            | None -> ())
-        | _ -> ())
+      then begin
+        if Evsel.syscall_enter e.Core.Ktrace.ev = Some pid then
+          entered := Some e.Core.Ktrace.ts_ns
+        else if Evsel.syscall_exit e.Core.Ktrace.ev = Some pid then
+          match !entered with
+          | Some t0 ->
+              total := Int64.add !total (Int64.sub e.Core.Ktrace.ts_ns t0);
+              entered := None
+          | None -> ()
+      end)
     (events_of kernel);
   !total
 
@@ -122,38 +121,33 @@ let input_case ~prog ~argv ~name =
   let frame_stats = Sim.Stats.create () in
   let rec scan = function
     | [] -> ()
-    | e :: rest -> (
-        match e.Core.Ktrace.ev with
-        | Core.Ktrace.Kbd_report -> (
-            let delivery =
-              List.find_opt
-                (fun e2 ->
-                  match e2.Core.Ktrace.ev with
-                  | Core.Ktrace.Event_delivered _ -> true
-                  | _ -> false)
-                rest
-            in
-            match delivery with
-            | Some d ->
-                Sim.Stats.add deliver_stats
-                  (Sim.Engine.to_ms (Int64.sub d.Core.Ktrace.ts_ns e.Core.Ktrace.ts_ns));
-                let frame =
-                  List.find_opt
-                    (fun e2 ->
-                      (match e2.Core.Ktrace.ev with
-                      | Core.Ktrace.Frame_present _ -> true
-                      | _ -> false)
-                      && Int64.compare e2.Core.Ktrace.ts_ns d.Core.Ktrace.ts_ns > 0)
-                    rest
-                in
-                (match frame with
-                | Some f ->
-                    Sim.Stats.add frame_stats
-                      (Sim.Engine.to_ms (Int64.sub f.Core.Ktrace.ts_ns d.Core.Ktrace.ts_ns))
-                | None -> ());
-                scan rest
-            | None -> scan rest)
-        | _ -> scan rest)
+    | e :: rest ->
+        if not (Evsel.kbd_report e.Core.Ktrace.ev) then scan rest
+        else begin
+          let delivery =
+            List.find_opt
+              (fun e2 -> Evsel.event_delivered e2.Core.Ktrace.ev <> None)
+              rest
+          in
+          (match delivery with
+          | Some d ->
+              Sim.Stats.add deliver_stats
+                (Sim.Engine.to_ms (Int64.sub d.Core.Ktrace.ts_ns e.Core.Ktrace.ts_ns));
+              let frame =
+                List.find_opt
+                  (fun e2 ->
+                    Evsel.frame_present e2.Core.Ktrace.ev <> None
+                    && Int64.compare e2.Core.Ktrace.ts_ns d.Core.Ktrace.ts_ns > 0)
+                  rest
+              in
+              (match frame with
+              | Some f ->
+                  Sim.Stats.add frame_stats
+                    (Sim.Engine.to_ms (Int64.sub f.Core.Ktrace.ts_ns d.Core.Ktrace.ts_ns))
+              | None -> ())
+          | None -> ());
+          scan rest
+        end
   in
   scan events;
   let deliver = Sim.Stats.mean deliver_stats in

@@ -1,0 +1,104 @@
+(** lintbench — what does static checking cost on this codebase?
+
+    Both analyzers run in-process over the real tree: vlint parses the
+    surface syntax of lib/ bin/ tools/ktrace2perfetto, vrace loads the
+    [.cmt] typed ASTs of the four simulated-OS libraries. The point of
+    the numbers is CI budgeting — the analyzers gate every test run, so
+    their wall cost has to stay in the noise next to the 40-second test
+    suite — plus a regression guard on coverage: the file counts are
+    deterministic, and a clean tree must report zero findings and zero
+    stale allowlist entries. *)
+
+type side = {
+  l_files : int;
+  l_findings : int;
+  l_stale : int;
+  l_wall_s : float;
+}
+
+type t = { l_vlint : side; l_vrace : side }
+
+(* The bench can run from the workspace root (dune exec) or from inside
+   _build/default; resolve whichever spelling of a path exists. *)
+let resolve candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run () =
+  let vlint_res, vlint_wall =
+    timed (fun () ->
+        Vlint_core.run
+          ~allow_path:(resolve [ "tools/vlint/allow.txt" ])
+          ~design_path:(resolve [ "DESIGN.md" ])
+          ~dirs:[ "lib"; "bin"; "tools/ktrace2perfetto" ]
+          ())
+  in
+  (* vrace reads compiled artifacts: from the workspace root they live
+     under _build/default, from inside the build tree in place *)
+  let cmt_root d = resolve [ "_build/default/" ^ d; d ] in
+  let vrace_res, vrace_wall =
+    timed (fun () ->
+        Vrace_core.run
+          ~allow_path:(resolve [ "tools/vrace/allow.txt" ])
+          ~roots:
+            (List.map cmt_root
+               [ "lib/core"; "lib/sim"; "lib/user"; "lib/apps" ])
+          ())
+  in
+  {
+    l_vlint =
+      {
+        l_files = vlint_res.Vlint_core.res_files;
+        l_findings = vlint_res.Vlint_core.res_findings;
+        l_stale = vlint_res.Vlint_core.res_stale;
+        l_wall_s = vlint_wall;
+      };
+    l_vrace =
+      {
+        l_files = vrace_res.Vrace_core.res_files;
+        l_findings = vrace_res.Vrace_core.res_findings;
+        l_stale = vrace_res.Vrace_core.res_stale;
+        l_wall_s = vrace_wall;
+      };
+  }
+
+let clean t =
+  t.l_vlint.l_findings = 0
+  && t.l_vlint.l_stale = 0
+  && t.l_vrace.l_findings = 0
+  && t.l_vrace.l_stale = 0
+
+let render t =
+  let line name s unit_ =
+    Printf.sprintf "  %-6s %4d %s, %d findings, %d stale allows, %.3fs wall\n"
+      name s.l_files unit_ s.l_findings s.l_stale s.l_wall_s
+  in
+  line "vlint" t.l_vlint "source files"
+  ^ line "vrace" t.l_vrace "typed units"
+  ^ if clean t then "  clean tree\n" else "  NOT CLEAN\n"
+
+let json t =
+  let side name s unit_ =
+    Printf.sprintf
+      "  \"%s\": {\n\
+      \    \"%s\": %d,\n\
+      \    \"findings\": %d,\n\
+      \    \"stale_allows\": %d,\n\
+      \    \"wall_s\": %.3f\n\
+      \  }"
+      name unit_ s.l_files s.l_findings s.l_stale s.l_wall_s
+  in
+  Printf.sprintf "{\n  \"benchmark\": \"lintbench\",\n%s,\n%s\n}\n"
+    (side "vlint" t.l_vlint "source_files")
+    (side "vrace" t.l_vrace "typed_units")
+
+let write_json t file =
+  let oc = open_out file in
+  output_string oc (json t);
+  close_out oc

@@ -44,9 +44,7 @@ let fps_between kernel ~pid ~from_ns ~until_ns =
     List.length
       (List.filter
          (fun e ->
-           (match e.Core.Ktrace.ev with
-           | Core.Ktrace.Frame_present p -> p = pid
-           | _ -> false)
+           Evsel.frame_present e.Core.Ktrace.ev = Some pid
            && Int64.compare e.Core.Ktrace.ts_ns from_ns >= 0
            && Int64.compare e.Core.Ktrace.ts_ns until_ns <= 0)
          (Core.Ktrace.dump kernel.Core.Kernel.sched.Core.Sched.trace))

@@ -155,17 +155,20 @@ let wakeup_hist trace ~pids ~from_ns ~until_ns =
       if
         Int64.compare e.Core.Ktrace.ts_ns from_ns >= 0
         && Int64.compare e.Core.Ktrace.ts_ns until_ns <= 0
-      then
-        match e.Core.Ktrace.ev with
-        | Core.Ktrace.Sched_wakeup pid when List.mem pid interesting ->
+      then begin
+        (match Evsel.sched_wakeup e.Core.Ktrace.ev with
+        | Some pid when List.mem pid interesting ->
             Hashtbl.replace pending pid e.Core.Ktrace.ts_ns
-        | Core.Ktrace.Ctx_switch (_, pid) -> (
+        | Some _ | None -> ());
+        match Evsel.ctx_switch e.Core.Ktrace.ev with
+        | Some (_, pid) -> (
             match Hashtbl.find_opt pending pid with
             | Some woke ->
                 Hashtbl.remove pending pid;
                 Core.Kperf.Hist.record h (Int64.sub e.Core.Ktrace.ts_ns woke)
             | None -> ())
-        | _ -> ())
+        | None -> ()
+      end)
     (Core.Ktrace.dump trace);
   h
 

@@ -63,41 +63,36 @@ let mine_breakdown events =
   let respond = Sim.Stats.create () in
   let rec scan = function
     | [] -> ()
-    | e :: rest -> (
-        match e.Core.Ktrace.ev with
-        | Core.Ktrace.Kbd_report -> (
-            let delivery =
-              List.find_opt
-                (fun e2 ->
-                  match e2.Core.Ktrace.ev with
-                  | Core.Ktrace.Event_delivered _ -> true
-                  | _ -> false)
-                rest
-            in
-            match delivery with
-            | Some d ->
-                Sim.Stats.add deliver
-                  (Sim.Engine.to_ms
-                     (Int64.sub d.Core.Ktrace.ts_ns e.Core.Ktrace.ts_ns));
-                (match
-                   List.find_opt
-                     (fun e2 ->
-                       (match e2.Core.Ktrace.ev with
-                       | Core.Ktrace.Frame_present _ -> true
-                       | _ -> false)
-                       && Int64.compare e2.Core.Ktrace.ts_ns
-                            d.Core.Ktrace.ts_ns
-                          > 0)
-                     rest
-                 with
-                | Some f ->
-                    Sim.Stats.add respond
-                      (Sim.Engine.to_ms
-                         (Int64.sub f.Core.Ktrace.ts_ns d.Core.Ktrace.ts_ns))
-                | None -> ());
-                scan rest
-            | None -> scan rest)
-        | _ -> scan rest)
+    | e :: rest ->
+        if not (Evsel.kbd_report e.Core.Ktrace.ev) then scan rest
+        else begin
+          let delivery =
+            List.find_opt
+              (fun e2 -> Evsel.event_delivered e2.Core.Ktrace.ev <> None)
+              rest
+          in
+          (match delivery with
+          | Some d ->
+              Sim.Stats.add deliver
+                (Sim.Engine.to_ms
+                   (Int64.sub d.Core.Ktrace.ts_ns e.Core.Ktrace.ts_ns));
+              (match
+                 List.find_opt
+                   (fun e2 ->
+                     Evsel.frame_present e2.Core.Ktrace.ev <> None
+                     && Int64.compare e2.Core.Ktrace.ts_ns
+                          d.Core.Ktrace.ts_ns
+                        > 0)
+                   rest
+               with
+              | Some f ->
+                  Sim.Stats.add respond
+                    (Sim.Engine.to_ms
+                       (Int64.sub f.Core.Ktrace.ts_ns d.Core.Ktrace.ts_ns))
+              | None -> ())
+          | None -> ());
+          scan rest
+        end
   in
   scan events;
   {

@@ -39,12 +39,12 @@ type backing =
 type entry = {
   e_key : int;
   mutable e_data : Bytes.t;
-  mutable e_dirty : bool;
+  mutable e_dirty : bool; [@locked_by "bclock"]
   mutable e_pinned : bool;
       (** owned by an open journal transaction: must not be evicted or
           reach the device until the transaction commits and unpins it *)
-  mutable e_prev : entry option;
-  mutable e_next : entry option;
+  mutable e_prev : entry option; [@locked_by "bclock"]
+  mutable e_next : entry option; [@locked_by "bclock"]
 }
 
 type t = {
@@ -56,9 +56,15 @@ type t = {
   readahead : int;  (** blocks prefetched on a streaming miss; 0 = off *)
   coalesce : bool;  (** flushes use the SD queue's adjacent-merge *)
   cache : (int, entry) Hashtbl.t;
-  mutable mru : entry option;
-  mutable lru : entry option;  (** tail: next eviction victim *)
-  mutable dirty_count : int;
+  bclock : Spinlock.t;
+      (** discipline-only leaf lock (no [~kcheck], no trace events) over
+          the intrusive LRU links and the dirty accounting — the state a
+          mid-traversal re-entry would corrupt; vrace R101 enforces the
+          windows *)
+  mutable mru : entry option; [@locked_by "bclock"]
+  mutable lru : entry option; [@locked_by "bclock"]
+      (** tail: next eviction victim *)
+  mutable dirty_count : int; [@locked_by "bclock"]
   mutable next_expected : int;  (** streaming detector, miss-driven *)
   mutable ctx : Sched.ctx option;
   mutable daemon : Sim.Fiber.handle option;
@@ -94,6 +100,7 @@ let create ~board ~backing ~block_sectors ?(capacity = 30) ?(writeback = false)
     readahead;
     coalesce;
     cache = Hashtbl.create 64;
+    bclock = Spinlock.create "bclock";
     mru = None;
     lru = None;
     dirty_count = 0;
@@ -236,19 +243,23 @@ let device_sectors t =
 (* ---- the O(1) LRU list ---- *)
 
 let lru_unlink t e =
-  (match e.e_prev with
-  | Some p -> p.e_next <- e.e_next
-  | None -> t.mru <- e.e_next);
-  (match e.e_next with
-  | Some n -> n.e_prev <- e.e_prev
-  | None -> t.lru <- e.e_prev);
-  e.e_prev <- None;
-  e.e_next <- None
+  Spinlock.protect t.bclock (fun () ->
+      (match e.e_prev with
+      | Some p -> p.e_next <- e.e_next
+      | None -> t.mru <- e.e_next);
+      (match e.e_next with
+      | Some n -> n.e_prev <- e.e_prev
+      | None -> t.lru <- e.e_prev);
+      e.e_prev <- None;
+      e.e_next <- None)
 
 let lru_push_front t e =
-  e.e_next <- t.mru;
-  (match t.mru with Some m -> m.e_prev <- Some e | None -> t.lru <- Some e);
-  t.mru <- Some e
+  Spinlock.protect t.bclock (fun () ->
+      e.e_next <- t.mru;
+      (match t.mru with
+      | Some m -> m.e_prev <- Some e
+      | None -> t.lru <- Some e);
+      t.mru <- Some e)
 
 let lru_touch t e =
   match t.mru with
@@ -258,10 +269,10 @@ let lru_touch t e =
       lru_push_front t e
 
 let set_dirty t e d =
-  if e.e_dirty <> d then begin
-    e.e_dirty <- d;
-    t.dirty_count <- t.dirty_count + (if d then 1 else -1)
-  end
+  if e.e_dirty <> d then
+    Spinlock.protect t.bclock (fun () ->
+        e.e_dirty <- d;
+        t.dirty_count <- t.dirty_count + (if d then 1 else -1))
 
 (* Evict the LRU victim; a dirty victim pays its deferred device write
    synchronously (the honest backpressure path when the flush daemon has

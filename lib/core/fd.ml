@@ -33,7 +33,10 @@ and file = {
   readable : bool;
   writable : bool;
   nonblock : bool;
-  mutable refs : int;
+  mutable refs : int; [@locked_by "ftlock"]
+      (** table slots referencing this record; shared across the tables of
+          every process holding the file open, so counted under the
+          descriptor-table discipline lock *)
   mutable dev_cookie : int;  (** per-open device state, e.g. surface id *)
 }
 
@@ -56,11 +59,24 @@ let make_file ~kind ~readable ~writable ~nonblock =
 (** Descriptor tables, keyed by pid. CLONE_VM threads share one table
     (closing an fd in one thread closes it for all), processes get copies
     with bumped refcounts. *)
-type fd_table = { slots : file option array; mutable sharers : int }
+type fd_table = {
+  slots : file option array; [@locked_by "ftlock"]
+  mutable sharers : int; [@locked_by "ftlock"]
+}
 
-type t = { sched : Sched.t; tables : (int, fd_table) Hashtbl.t }
+(* [ftlock] is a discipline-only leaf lock (no [~kcheck], so it emits no
+   trace events): slot and refcount updates happen inside
+   [Spinlock.protect] windows, statically checked by vrace R101. Windows
+   never enclose [drop_ref]'s close path, which can wake blocked tasks
+   and re-enter the scheduler (R103 would flag that too). *)
+type t = {
+  sched : Sched.t;
+  tables : (int, fd_table) Hashtbl.t;
+  ftlock : Spinlock.t;
+}
 
-let create sched = { sched; tables = Hashtbl.create 32 }
+let create sched =
+  { sched; tables = Hashtbl.create 32; ftlock = Spinlock.create "ftlock" }
 
 let table t pid =
   match Hashtbl.find_opt t.tables pid with
@@ -75,19 +91,25 @@ let get t ~pid ~fd =
 
 let alloc t ~pid file =
   let arr = (table t pid).slots in
-  let rec scan fd =
-    if fd >= max_files then Error Errno.emfile
-    else if arr.(fd) = None then begin
-      arr.(fd) <- Some file;
-      Ok fd
-    end
-    else scan (fd + 1)
-  in
-  scan 0
+  Spinlock.protect t.ftlock (fun () ->
+      (* a plain loop, not a local rec function: vrace treats nested
+         lambdas as escaping callbacks with an empty lockset, so the
+         mutation must sit directly in the protect body *)
+      let fd = ref 0 in
+      while !fd < max_files && arr.(!fd) <> None do incr fd done;
+      if !fd >= max_files then Error Errno.emfile
+      else begin
+        arr.(!fd) <- Some file;
+        Ok !fd
+      end)
 
 let drop_ref t file =
-  file.refs <- file.refs - 1;
-  if file.refs = 0 then begin
+  let remaining =
+    Spinlock.protect t.ftlock (fun () ->
+        file.refs <- file.refs - 1;
+        file.refs)
+  in
+  if remaining = 0 then begin
     match file.kind with
     | K_pipe_read p -> Pipe.close_read t.sched p
     | K_pipe_write p -> Pipe.close_write t.sched p
@@ -99,7 +121,8 @@ let close t ~pid ~fd =
   match get t ~pid ~fd with
   | None -> Error Errno.ebadf
   | Some file ->
-      (table t pid).slots.(fd) <- None;
+      let arr = (table t pid).slots in
+      Spinlock.protect t.ftlock (fun () -> arr.(fd) <- None);
       drop_ref t file;
       Ok ()
 
@@ -115,7 +138,7 @@ let dup t ~pid ~fd =
       match alloc t ~pid file with
       | Error e -> Error e
       | Ok newfd ->
-          file.refs <- file.refs + 1;
+          Spinlock.protect t.ftlock (fun () -> file.refs <- file.refs + 1);
           Ok newfd)
 
 (* fork: the child inherits a copy of the parent's table with bumped
@@ -123,37 +146,45 @@ let dup t ~pid ~fd =
 let clone_table t ~parent ~child =
   let src = table t parent in
   let dst =
-    Array.map
-      (fun slot ->
-        match slot with
-        | None -> None
-        | Some file ->
-            file.refs <- file.refs + 1;
-            Some file)
-      src.slots
+    Spinlock.protect t.ftlock (fun () ->
+        Array.map
+          (fun slot ->
+            match slot with
+            | None -> None
+            | Some file ->
+                file.refs <- file.refs + 1;
+                Some file)
+          src.slots)
   in
   Hashtbl.replace t.tables child { slots = dst; sharers = 1 }
 
 (* clone(CLONE_VM): the thread shares the very same table. *)
 let share_table t ~parent ~child =
   let tbl = table t parent in
-  tbl.sharers <- tbl.sharers + 1;
+  Spinlock.protect t.ftlock (fun () -> tbl.sharers <- tbl.sharers + 1);
   Hashtbl.replace t.tables child tbl
 
 let close_all t ~pid =
   match Hashtbl.find_opt t.tables pid with
   | None -> ()
   | Some tbl ->
-      tbl.sharers <- tbl.sharers - 1;
-      if tbl.sharers <= 0 then
-        Array.iteri
-          (fun fd slot ->
-            match slot with
-            | None -> ()
-            | Some file ->
-                tbl.slots.(fd) <- None;
-                drop_ref t file)
-          tbl.slots;
+      (* clear the slots inside the window, collect the drops, and run
+         them after release: closing a pipe end wakes its peers. *)
+      let drops =
+        Spinlock.protect t.ftlock (fun () ->
+            tbl.sharers <- tbl.sharers - 1;
+            if tbl.sharers > 0 then []
+            else
+              Array.to_list tbl.slots
+              |> List.mapi (fun fd slot -> (fd, slot))
+              |> List.filter_map (fun (fd, slot) ->
+                     match slot with
+                     | None -> None
+                     | Some file ->
+                         tbl.slots.(fd) <- None;
+                         Some file))
+      in
+      List.iter (fun file -> drop_ref t file) drops;
       Hashtbl.remove t.tables pid
 
 let open_count t ~pid =

@@ -38,12 +38,17 @@ type t = {
   p : params;
   cap : int;  (** power of two, so positions are masked *)
   data : Bytes.t;
-  mutable rpos : int;
-  mutable wpos : int;  (** count of bytes ever read/written; w-r = fill *)
-  mutable readers : int;
-  mutable writers : int;
+  mutable rpos : int; [@locked_by "plock"]
+  mutable wpos : int; [@locked_by "plock"]
+      (** count of bytes ever read/written; w-r = fill *)
+  mutable readers : int; [@locked_by "plock"]
+  mutable writers : int; [@locked_by "plock"]
   rchan : string;
   wchan : string;
+  plock : Spinlock.t;
+      (** discipline-only leaf lock (no [~kcheck], no trace events) for the
+          ring positions and end counts; vrace R101 checks the windows,
+          R103 that nothing inside them can block *)
 }
 
 let next_id = ref 0
@@ -68,6 +73,7 @@ let create p =
     writers = 1;
     rchan = Printf.sprintf "pipe:%d:r" id;
     wchan = Printf.sprintf "pipe:%d:w" id;
+    plock = Spinlock.create "plock";
   }
 
 let fill t = t.wpos - t.rpos
@@ -75,23 +81,26 @@ let space t = t.cap - fill t
 let mask t pos = pos land (t.cap - 1)
 
 let push_byte t c =
-  Bytes.set t.data (mask t t.wpos) c;
-  t.wpos <- t.wpos + 1
+  Spinlock.protect t.plock (fun () ->
+      Bytes.set t.data (mask t t.wpos) c;
+      t.wpos <- t.wpos + 1)
 
 let pop_byte t =
-  let c = Bytes.get t.data (mask t t.rpos) in
-  t.rpos <- t.rpos + 1;
-  c
+  Spinlock.protect t.plock (fun () ->
+      let c = Bytes.get t.data (mask t t.rpos) in
+      t.rpos <- t.rpos + 1;
+      c)
 
 (* Ring fast path: move [n] bytes with at most two blits (one split at
    the wrap boundary), modeled at memmove speed instead of the byte
    loop's one-byte-per-iteration cost. *)
 let blit_in t src srcoff n =
-  let w = mask t t.wpos in
-  let first = min n (t.cap - w) in
-  Bytes.blit src srcoff t.data w first;
-  if n > first then Bytes.blit src (srcoff + first) t.data 0 (n - first);
-  t.wpos <- t.wpos + n
+  Spinlock.protect t.plock (fun () ->
+      let w = mask t t.wpos in
+      let first = min n (t.cap - w) in
+      Bytes.blit src srcoff t.data w first;
+      if n > first then Bytes.blit src (srcoff + first) t.data 0 (n - first);
+      t.wpos <- t.wpos + n)
 
 let copy_charge t n =
   if t.p.ring then Kcost.copy_cycles ~bytes:n else Kcost.pipe_per_byte * n
@@ -197,13 +206,13 @@ let read ctx t ~len ~nonblock =
       let n = min len (fill t) in
       let was_full = space t = 0 in
       let out = Bytes.create n in
-      (if t.p.ring then begin
-         let r = mask t t.rpos in
-         let first = min n (t.cap - r) in
-         Bytes.blit t.data r out 0 first;
-         if n > first then Bytes.blit t.data 0 out first (n - first);
-         t.rpos <- t.rpos + n
-       end
+      (if t.p.ring then
+         Spinlock.protect t.plock (fun () ->
+             let r = mask t t.rpos in
+             let first = min n (t.cap - r) in
+             Bytes.blit t.data r out 0 first;
+             if n > first then Bytes.blit t.data 0 out first (n - first);
+             t.rpos <- t.rpos + n)
        else
          for i = 0 to n - 1 do
            Bytes.set out i (pop_byte t)
@@ -228,16 +237,26 @@ let read ctx t ~len ~nonblock =
   in
   step ()
 
+(* The wakeups run after the window closes: waking can synchronously
+   resume a blocked reader/writer that re-enters the pipe. *)
 let close_read sched t =
-  t.readers <- t.readers - 1;
-  if t.readers = 0 then begin
+  let remaining =
+    Spinlock.protect t.plock (fun () ->
+        t.readers <- t.readers - 1;
+        t.readers)
+  in
+  if remaining = 0 then begin
     Sched.wake_all sched t.wchan;
     Sched.poll_wake sched
   end
 
 let close_write sched t =
-  t.writers <- t.writers - 1;
-  if t.writers = 0 then begin
+  let remaining =
+    Spinlock.protect t.plock (fun () ->
+        t.writers <- t.writers - 1;
+        t.writers)
+  in
+  if remaining = 0 then begin
     Sched.wake_all sched t.rchan;
     Sched.poll_wake sched
   end

@@ -12,25 +12,38 @@
 
 type sem = {
   sem_id : int;
-  mutable value : int;
-  mutable refs : int;
+  mutable value : int; [@locked_by "semlock"]
+  mutable refs : int; [@locked_by "semlock"]
   chan : string;
 }
 
 (** What a process holds open, shared by its CLONE_VM threads the way the
     fd table is (a thread's sem_close closes for all; the last sharer's
     exit releases the holds). *)
-type holds = { mutable ids : int list; mutable sharers : int }
+type holds = {
+  mutable ids : int list; [@locked_by "semlock"]
+  mutable sharers : int; [@locked_by "semlock"]
+}
 
+(* [semlock] is a discipline-only leaf lock (no [~kcheck], no trace
+   events) over values, refcounts and hold lists; windows never enclose
+   the wake paths, which resume blocked waiters synchronously. *)
 type t = {
   sched : Sched.t;
   sems : (int, sem) Hashtbl.t;
   held : (int, holds) Hashtbl.t;  (** pid -> held sem ids, multiplicity *)
   mutable next_id : int;
+  semlock : Spinlock.t;
 }
 
 let create sched =
-  { sched; sems = Hashtbl.create 16; held = Hashtbl.create 16; next_id = 1 }
+  {
+    sched;
+    sems = Hashtbl.create 16;
+    held = Hashtbl.create 16;
+    next_id = 1;
+    semlock = Spinlock.create "semlock";
+  }
 
 let holds_of t pid =
   match Hashtbl.find_opt t.held pid with
@@ -50,7 +63,7 @@ let drop_hold t ~pid id =
         | x :: rest when x = id -> rest
         | x :: rest -> x :: remove_first rest
       in
-      h.ids <- remove_first h.ids
+      Spinlock.protect t.semlock (fun () -> h.ids <- remove_first h.ids)
 
 let sem_open t ~pid ~value =
   if value < 0 then Error Errno.einval
@@ -60,7 +73,7 @@ let sem_open t ~pid ~value =
     Hashtbl.replace t.sems id
       { sem_id = id; value; refs = 1; chan = Printf.sprintf "sem:%d" id };
     let h = holds_of t pid in
-    h.ids <- id :: h.ids;
+    Spinlock.protect t.semlock (fun () -> h.ids <- id :: h.ids);
     Ok id
   end
 
@@ -71,7 +84,7 @@ let post ctx t id =
   match find t id with
   | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
   | Some sem ->
-      sem.value <- sem.value + 1;
+      Spinlock.protect t.semlock (fun () -> sem.value <- sem.value + 1);
       Sched.charge ctx Kcost.wakeup;
       let woken = Sched.wake_one t.sched sem.chan in
       Sched.trace_emit_task t.sched ctx.Sched.task
@@ -88,7 +101,7 @@ let wait ctx t id =
     | None -> Sched.finish ctx (Abi.R_int (-Errno.einval))
     | Some sem ->
         if sem.value > 0 then begin
-          sem.value <- sem.value - 1;
+          Spinlock.protect t.semlock (fun () -> sem.value <- sem.value - 1);
           Sched.finish ctx (Abi.R_int 0)
         end
         else begin
@@ -100,8 +113,12 @@ let wait ctx t id =
   attempt ()
 
 let release t sem =
-  sem.refs <- sem.refs - 1;
-  if sem.refs <= 0 then begin
+  let remaining =
+    Spinlock.protect t.semlock (fun () ->
+        sem.refs <- sem.refs - 1;
+        sem.refs)
+  in
+  if remaining <= 0 then begin
     Hashtbl.remove t.sems sem.sem_id;
     (* the id is dead: waiters must rescan and fail with EINVAL instead
        of sleeping on the orphaned channel *)
@@ -124,35 +141,45 @@ let fork t ~parent ~child =
   | None -> ()
   | Some h ->
       let live =
-        List.filter_map
-          (fun id ->
-            match find t id with
-            | Some sem ->
-                sem.refs <- sem.refs + 1;
-                Some id
-            | None -> None)
-          h.ids
+        Spinlock.protect t.semlock (fun () ->
+            List.filter_map
+              (fun id ->
+                match find t id with
+                | Some sem ->
+                    sem.refs <- sem.refs + 1;
+                    Some id
+                | None -> None)
+              h.ids)
       in
       Hashtbl.replace t.held child { ids = live; sharers = 1 }
 
 (* clone(CLONE_VM): threads share the process's holds. *)
 let share t ~parent ~child =
   let h = holds_of t parent in
-  h.sharers <- h.sharers + 1;
+  Spinlock.protect t.semlock (fun () -> h.sharers <- h.sharers + 1);
   Hashtbl.replace t.held child h
 
-(* Task exit: the last sharer releases everything still held. *)
+(* Task exit: the last sharer releases everything still held. The holds
+   are detached inside the window; the releases (which can wake waiters)
+   run after it. *)
 let task_exit t ~pid =
   match Hashtbl.find_opt t.held pid with
   | None -> ()
   | Some h ->
-      h.sharers <- h.sharers - 1;
-      if h.sharers <= 0 then begin
-        List.iter
-          (fun id -> match find t id with Some sem -> release t sem | None -> ())
-          h.ids;
-        h.ids <- []
-      end;
+      let to_release =
+        Spinlock.protect t.semlock (fun () ->
+            h.sharers <- h.sharers - 1;
+            if h.sharers > 0 then []
+            else begin
+              let ids = h.ids in
+              h.ids <- [];
+              ids
+            end)
+      in
+      List.iter
+        (fun id ->
+          match find t id with Some sem -> release t sem | None -> ())
+        to_release;
       Hashtbl.remove t.held pid
 
 let live_count t = Hashtbl.length t.sems

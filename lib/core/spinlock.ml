@@ -11,9 +11,10 @@
     [irq_guard] is the single-core reduction: reference-counted interrupt
     disable (xv6's pushcli/popcli), which is what Prototype 1 settles on.
 
-    This file is exempt from vlint's no-raise rule (R003): the
-    [invalid_arg]s here are the assertion layer locking protocols are
-    tested against. *)
+    Discipline violations (recursive acquisition, release-by-stranger,
+    release-when-free) die through {!Kpanic.panicf} like every other
+    broken kernel invariant, so vlint's no-raise rule (R003) covers this
+    file too. *)
 
 type t = {
   name : string;
@@ -52,9 +53,8 @@ let create ?kcheck name =
 let acquire t ~core ~now_ns =
   (match t.owner with
   | Some held_by ->
-      invalid_arg
-        (Printf.sprintf "spinlock %s: core %d acquiring while core %d holds"
-           t.name core held_by)
+      Kpanic.panicf "spinlock %s: core %d acquiring while core %d holds"
+        t.name core held_by
   | None -> ());
   (match t.kcheck with
   | Some kc -> Kcheck.lock_acquire kc ~name:t.name ~core
@@ -67,10 +67,9 @@ let release t ~core ~now_ns =
   (match t.owner with
   | Some held_by when held_by = core -> ()
   | Some held_by ->
-      invalid_arg
-        (Printf.sprintf "spinlock %s: core %d releasing core %d's lock" t.name
-           core held_by)
-  | None -> invalid_arg (Printf.sprintf "spinlock %s: release when free" t.name));
+      Kpanic.panicf "spinlock %s: core %d releasing core %d's lock" t.name
+        core held_by
+  | None -> Kpanic.panicf "spinlock %s: release when free" t.name);
   (match t.kcheck with
   | Some kc -> Kcheck.lock_release kc ~name:t.name ~core
   | None -> ());
@@ -83,6 +82,24 @@ let holding t ~core = t.owner = Some core
 let acquisitions t = t.acquisitions
 let total_held_ns t = t.total_held_ns
 let max_held_ns t = t.max_held_ns
+
+(* Leaf lock window: acquire, run the pure critical section, release.
+   For the discipline-only subsystem locks (fd table, pipes, semaphores,
+   buffer cache LRU): created without [~kcheck], so the window emits no
+   trace events and costs no virtual time — vrace (tools/vrace) is their
+   static checker, enforcing that [@locked_by]-annotated state is only
+   touched inside and that nothing inside can block (R103). The body must
+   not call the scheduler: wakeups resume other tasks synchronously and
+   would re-enter the window. *)
+let protect t f =
+  acquire t ~core:0 ~now_ns:0L;
+  match f () with
+  | v ->
+      release t ~core:0 ~now_ns:0L;
+      v
+  | exception e ->
+      release t ~core:0 ~now_ns:0L;
+      raise e
 
 (** Reference-counted interrupt on/off, the single-core substitute. *)
 module Irq_guard = struct
@@ -103,7 +120,7 @@ module Irq_guard = struct
     | None -> ()
 
   let pop g =
-    if g.depth <= 0 then invalid_arg "irq_guard: pop without push";
+    if g.depth <= 0 then Kpanic.panicf "irq_guard: pop without push";
     g.depth <- g.depth - 1;
     if g.depth = 0 then Hw.Intc.unmask g.intc ~core:g.core;
     match g.kcheck with

@@ -18,9 +18,14 @@ type t = {
   pid : int;
   mutable name : string;
   kind : kind;
-  mutable state : state;
+  mutable state : state; [@locked_by "ptable"]
+      (** the xv6 ptable discipline: block/wake transitions happen inside
+          the ptable window (vrace R101 checks this statically); the
+          scheduler's own pick/exit transitions are lock-free on the
+          simulation thread and individually grandfathered in
+          tools/vrace/allow.txt *)
   mutable vm : Vm.t option;  (** kernel tasks have none *)
-  mutable resume : (unit -> unit) option;
+  mutable resume : (unit -> unit) option; [@locked_by "ptable"]
   mutable parent : int;  (** pid; 0 = orphan/init *)
   mutable children : int list;
   mutable exit_code : int;

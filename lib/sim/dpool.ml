@@ -28,11 +28,16 @@ type task = unit -> unit
 type worker = { wq : task Spmc_queue.t }
 
 type t = {
-  mutable workers : worker array;
+  workers : worker array Atomic.t;
+      (* read by every worker while stealing; grown only between batches,
+         but a worker parked through several [ensure_workers] calls wakes
+         with no happens-before edge to the plain write a mutable field
+         would give it (vrace R102) *)
   own : task Spmc_queue.t; (* submitter's share of the current batch *)
   remaining : int Atomic.t;
   epoch : int Atomic.t; (* bumped per batch; workers spin then park on it *)
-  mutable failure : exn option; (* first task exception, re-raised by [run] *)
+  mutable failure : exn option; [@locked_by "lock"]
+      (* first task exception, re-raised by [run] *)
   lock : Mutex.t;
   cond : Condition.t;
 }
@@ -49,7 +54,7 @@ let min_minor_heap_words = 2 * 1024 * 1024
 
 let create () =
   {
-    workers = [||];
+    workers = Atomic.make [||];
     own = Spmc_queue.create ();
     remaining = Atomic.make 0;
     epoch = Atomic.make 0;
@@ -58,7 +63,7 @@ let create () =
     cond = Condition.create ();
   }
 
-let size t = Array.length t.workers
+let size t = Array.length (Atomic.get t.workers)
 
 let exec t task =
   (try task ()
@@ -74,10 +79,11 @@ let try_steal t ~into =
   if into != t.own && Spmc_queue.steal_half t.own ~into > 0 then true
   else begin
     let stole = ref false in
-    let n = Array.length t.workers in
+    let workers = Atomic.get t.workers in
+    let n = Array.length workers in
     let i = ref 0 in
     while (not !stole) && !i < n do
-      let victim = t.workers.(!i).wq in
+      let victim = workers.(!i).wq in
       if victim != into && Spmc_queue.steal_half victim ~into > 0 then
         stole := true;
       incr i
@@ -94,7 +100,7 @@ let rec drain t q =
 
 let rec worker_loop t w last_epoch =
   (* Spin on the epoch first; park only if no batch arrives in time. *)
-  let budget = spin_budget (Array.length t.workers) in
+  let budget = spin_budget (Array.length (Atomic.get t.workers)) in
   let spins = ref 0 in
   while Atomic.get t.epoch = last_epoch && !spins < budget do
     Domain.cpu_relax ();
@@ -112,7 +118,7 @@ let rec worker_loop t w last_epoch =
   worker_loop t w epoch
 
 let ensure_workers t n =
-  let have = Array.length t.workers in
+  let have = Array.length (Atomic.get t.workers) in
   if n > have then begin
     let gc = Gc.get () in
     if gc.Gc.minor_heap_size < min_minor_heap_words then
@@ -120,7 +126,7 @@ let ensure_workers t n =
     let fresh =
       Array.init (n - have) (fun _ -> { wq = Spmc_queue.create () })
     in
-    t.workers <- Array.append t.workers fresh;
+    Atomic.set t.workers (Array.append (Atomic.get t.workers) fresh);
     let epoch = Atomic.get t.epoch in
     Array.iter
       (fun w -> ignore (Domain.spawn (fun () -> worker_loop t w epoch)))
@@ -133,17 +139,20 @@ let run t tasks =
     (* With no workers — or no CPU for them to run on — execute inline:
        on a single-CPU host every wake is a futile context switch, and
        the batch semantics (all tasks done on return) hold either way. *)
-    if Array.length t.workers = 0 || Domain.recommended_domain_count () <= 1
-    then Array.iter (fun task -> task ()) tasks
+    if size t = 0 || Domain.recommended_domain_count () <= 1 then
+      Array.iter (fun task -> task ()) tasks
     else begin
+      Mutex.lock t.lock;
       t.failure <- None;
+      Mutex.unlock t.lock;
       Atomic.set t.remaining n;
-      let slots = Array.length t.workers + 1 in
+      let workers = Atomic.get t.workers in
+      let slots = Array.length workers + 1 in
       Array.iteri
         (fun i task ->
           let slot = i mod slots in
           if slot = 0 then Spmc_queue.push t.own task
-          else Spmc_queue.push t.workers.(slot - 1).wq task)
+          else Spmc_queue.push workers.(slot - 1).wq task)
         tasks;
       Atomic.incr t.epoch;
       Mutex.lock t.lock;
@@ -154,11 +163,11 @@ let run t tasks =
         if not (try_steal t ~into:t.own) then Domain.cpu_relax ()
         else drain t t.own
       done;
-      match t.failure with
-      | Some e ->
-          t.failure <- None;
-          raise e
-      | None -> ()
+      Mutex.lock t.lock;
+      let failed = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.lock;
+      match failed with Some e -> raise e | None -> ()
     end
   end
 

@@ -27,11 +27,17 @@
 
 type kind = Fn of (unit -> unit) | Par of par
 
-and par = {
-  par_affinity : int;
-  mutable par_compute : (unit -> unit -> unit) option;
-  mutable par_commit : (unit -> unit) option;
-}
+(* One atomic cell per Par, not two mutable fields: the compute→commit
+   transition is written by whichever pool domain ran the compute and read
+   by the simulation thread at fire time, and a single location can never
+   expose the torn "compute cleared, commit not yet stored" state (vrace
+   R102 flags the mutable-field version). *)
+and par_state =
+  | Pending of (unit -> unit -> unit)  (** compute not yet run *)
+  | Ready of (unit -> unit)  (** commit awaiting its (time, seq) slot *)
+  | Done
+
+and par = { par_affinity : int; par_state : par_state Atomic.t }
 
 and ev = { kind : kind; mutable dead : bool; mutable fired : bool }
 
@@ -86,8 +92,7 @@ let schedule_par t time ~affinity compute =
   push t time
     {
       kind =
-        Par
-          { par_affinity = affinity; par_compute = Some compute; par_commit = None };
+        Par { par_affinity = affinity; par_state = Atomic.make (Pending compute) };
       dead = false;
       fired = false;
     }
@@ -128,7 +133,10 @@ let precompute_batch t first =
   Heap.iter t.heap (fun _ _ ev ->
       if not ev.dead then
         match ev.kind with
-        | Par p when p.par_compute <> None -> add p
+        | Par p when (match Atomic.get p.par_state with
+                     | Pending _ -> true
+                     | Ready _ | Done -> false) ->
+            add p
         | Par _ | Fn _ -> ());
   let tasks =
     Hashtbl.fold
@@ -137,12 +145,11 @@ let precompute_batch t first =
         (fun () ->
           List.iter
             (fun p ->
-              match p.par_compute with
-              | Some compute ->
-                  p.par_compute <- None;
-                  p.par_commit <- Some (compute ())
-              | None -> ())
+              match Atomic.get p.par_state with
+              | Pending compute -> Atomic.set p.par_state (Ready (compute ()))
+              | Ready _ | Done -> ())
             ps)
+        [@vrace.worker]
         :: acc)
       groups []
   in
@@ -155,19 +162,16 @@ let fire t ev =
   match ev.kind with
   | Fn f -> f ()
   | Par p -> (
-      (match p.par_compute with
-      | Some compute ->
+      (match Atomic.get p.par_state with
+      | Pending compute ->
           if t.domains > 1 then precompute_batch t p
-          else begin
-            p.par_compute <- None;
-            p.par_commit <- Some (compute ())
-          end
-      | None -> ());
-      match p.par_commit with
-      | Some commit ->
-          p.par_commit <- None;
+          else Atomic.set p.par_state (Ready (compute ()))
+      | Ready _ | Done -> ());
+      match Atomic.get p.par_state with
+      | Ready commit ->
+          Atomic.set p.par_state Done;
           commit ()
-      | None -> invalid_arg "Engine: parallel event fired twice")
+      | Pending _ | Done -> invalid_arg "Engine: parallel event fired twice")
 
 let step t =
   match pop_live t with

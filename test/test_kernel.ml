@@ -1178,12 +1178,12 @@ let spinlock_discipline () =
   Core.Spinlock.acquire l ~core:0 ~now_ns:0L;
   check_bool "held" true (Core.Spinlock.holding l ~core:0);
   Alcotest.check_raises "recursive acquisition rejected"
-    (Invalid_argument "spinlock test: core 0 acquiring while core 0 holds")
+    (Core.Kpanic.Panic "spinlock test: core 0 acquiring while core 0 holds")
     (fun () -> Core.Spinlock.acquire l ~core:0 ~now_ns:1L);
   Core.Spinlock.release l ~core:0 ~now_ns:10L;
   check_bool "held time" true (Core.Spinlock.total_held_ns l = 10L);
   Alcotest.check_raises "release when free rejected"
-    (Invalid_argument "spinlock test: release when free") (fun () ->
+    (Core.Kpanic.Panic "spinlock test: release when free") (fun () ->
       Core.Spinlock.release l ~core:0 ~now_ns:11L)
 
 let boot_time_is_paper_shaped () =

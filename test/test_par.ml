@@ -313,6 +313,69 @@ let offload_charges_virtual_time () =
   (* offload bills the same cycle cost as a burn of equal length *)
   check_bool "offload and burn cost the same virtual time" true (t1 = t2)
 
+(* ---- steal-half under real contention ----
+
+   The vrace-adjacent dynamic check: hammer Spmc_queue.steal_half and
+   Dpool.run from as many domains as the host recommends and prove no
+   item is lost or executed twice. The static analyzer shows the types
+   are domain-safe; this shows the implementation is. *)
+
+let contention_domains =
+  max 1 (min 4 (Domain.recommended_domain_count () - 1))
+
+let spmc_no_lost_or_dup_items () =
+  qcheck ~count:15 "steal-half loses and duplicates nothing"
+    QCheck.(int_range 1 400)
+    (fun n ->
+      let victim = Sim.Spmc_queue.create () in
+      for i = 0 to n - 1 do
+        Sim.Spmc_queue.push victim i
+      done;
+      let total = Atomic.make 0 in
+      let thief () =
+        let own = Sim.Spmc_queue.create () in
+        let got = ref [] in
+        while Atomic.get total < n do
+          ignore (Sim.Spmc_queue.steal_half victim ~into:own);
+          let continue = ref true in
+          while !continue do
+            match Sim.Spmc_queue.pop own with
+            | Some v ->
+                got := v :: !got;
+                Atomic.incr total
+            | None -> continue := false
+          done;
+          Domain.cpu_relax ()
+        done;
+        !got
+      in
+      let thieves =
+        List.init contention_domains (fun _ -> Domain.spawn thief)
+      in
+      (* the owner pops its own queue concurrently with the steals *)
+      let owner_got = ref [] in
+      while Atomic.get total < n do
+        match Sim.Spmc_queue.pop victim with
+        | Some v ->
+            owner_got := v :: !owner_got;
+            Atomic.incr total
+        | None -> Domain.cpu_relax ()
+      done;
+      let stolen = List.concat_map Domain.join thieves in
+      let seen = List.sort compare (!owner_got @ stolen) in
+      seen = List.init n (fun i -> i))
+
+let dpool_runs_each_task_exactly_once () =
+  qcheck ~count:15 "dpool batch runs every task exactly once"
+    QCheck.(int_range 1 300)
+    (fun n ->
+      let pool = Sim.Dpool.global () in
+      Sim.Dpool.ensure_workers pool contention_domains;
+      let hits = Array.init n (fun _ -> Atomic.make 0) in
+      Sim.Dpool.run pool
+        (Array.init n (fun i () -> Atomic.incr hits.(i)));
+      Array.for_all (fun h -> Atomic.get h = 1) hits)
+
 (* ---- the determinism ladder ----
 
    Boot the same miner workload at sim_domains ∈ {1, 2, 4}; the merged
@@ -368,5 +431,7 @@ let suite =
       quick "cancelled par never computes" par_cancelled_never_computes;
       quick "offload returns the computed value" offload_returns_value;
       quick "offload charges burn-equivalent time" offload_charges_virtual_time;
+      spmc_no_lost_or_dup_items ();
+      dpool_runs_each_task_exactly_once ();
       slow "same seed, same trace at 1/2/4 domains" determinism_across_domains;
     ] )

@@ -1,0 +1,16 @@
+(* R101b: unannotated mutable kernel state (this file lives under a
+   core/ segment, so it counts as kernel scope) mutated under a lock at
+   some sites and with no lock at another. *)
+
+type t = {
+  lk : Spinlock.t;
+  mutable n : int;
+}
+
+let make () = { lk = Spinlock.create "lk"; n = 0 }
+
+let locked_incr t = Spinlock.protect t.lk (fun () -> t.n <- t.n + 1)
+let locked_reset t = Spinlock.protect t.lk (fun () -> t.n <- 0)
+
+(* finding: every other mutation of [n] holds 'lk' *)
+let unlocked_decr t = t.n <- t.n - 1

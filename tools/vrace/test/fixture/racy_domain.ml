@@ -1,0 +1,27 @@
+(* R102: non-atomic mutable state shared with worker domains. *)
+
+type cell = { mutable hits : int }
+
+let shared = { hits = 0 }
+
+(* findings: the spawned closure reads and writes [shared.hits] without
+   Atomic or a mutex *)
+let bad_spawn () =
+  let d = Domain.spawn (fun () -> shared.hits <- shared.hits + 1) in
+  Domain.join d
+
+(* finding: [@vrace.worker] marks a lambda that some pool will run on a
+   worker domain even though no spawn is visible here *)
+let bad_marked () =
+  let worker = (fun () -> shared.hits <- 0) [@vrace.worker] in
+  worker ()
+
+(* correct: domain-confined state allocated inside the closure *)
+let good_spawn () =
+  let d =
+    Domain.spawn (fun () ->
+        let local = { hits = 0 } in
+        local.hits <- 1;
+        local.hits)
+  in
+  Domain.join d

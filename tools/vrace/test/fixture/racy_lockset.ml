@@ -1,0 +1,26 @@
+(* R101: a [@locked_by]-annotated field mutated outside its window. *)
+
+type t = {
+  lk : Spinlock.t;
+  mutable count : int; [@locked_by "lk"]
+  mutable quiet : int; [@locked_by "lk"]
+      (* grandfathered by fixture/allow.txt, proving the allowlist
+         matches on rule + file suffix + message substring *)
+}
+
+let create () = { lk = Spinlock.create "lk"; count = 0; quiet = 0 }
+
+(* correct: the mutation runs inside the protect window *)
+let good t = Spinlock.protect t.lk (fun () -> t.count <- t.count + 1)
+
+(* also correct: explicit acquire/release bracket *)
+let good_bracket t =
+  Spinlock.acquire t.lk;
+  t.count <- t.count + 2;
+  Spinlock.release t.lk
+
+(* finding: no lock held *)
+let bad t = t.count <- t.count + 1
+
+(* finding, but allowlisted *)
+let allowed t = t.quiet <- 0

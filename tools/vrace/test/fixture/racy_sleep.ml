@@ -1,0 +1,24 @@
+(* R103: blocking while inside a spinlock window. *)
+
+type t = {
+  lk : Spinlock.t;
+  mutable v : int; [@locked_by "lk"]
+}
+
+(* finding: Sched.block may sleep; a real kernel deadlocks with the spin
+   lock held *)
+let bad t =
+  Spinlock.acquire t.lk;
+  t.v <- t.v + 1;
+  Sched.block ();
+  Spinlock.release t.lk
+
+(* finding via summary: the blocking call is one level down *)
+let sleeper () = Sched.block ()
+
+let bad_indirect t = Spinlock.protect t.lk (fun () -> sleeper ())
+
+(* correct: block after the window closes *)
+let good t =
+  Spinlock.protect t.lk (fun () -> t.v <- t.v + 1);
+  Sched.block ()

@@ -1,0 +1,17 @@
+(* Stand-in for Core.Spinlock: vrace resolves lock operations by
+   normalized name ("Spinlock.acquire", "Spinlock.protect"), so the
+   fixture only needs the shape, not the real implementation. *)
+
+type t = { name : string; mutable held : bool }
+
+let create name = { name; held = false }
+
+let acquire t =
+  if t.held then failwith ("spinlock recursion: " ^ t.name);
+  t.held <- true
+
+let release t = t.held <- false
+
+let protect t f =
+  acquire t;
+  Fun.protect ~finally:(fun () -> release t) f
