@@ -131,6 +131,14 @@ let lintbench () =
   print_endline "wrote BENCH_lint.json";
   if not (Benchlib.Lintbench.clean r) then exit 1
 
+let obsbench () =
+  section "obsbench: vprobe site cost, armed-vs-stock identity, delay accounting";
+  let r = Benchlib.Obsbench.run () in
+  print_string (Benchlib.Obsbench.render r);
+  Benchlib.Obsbench.write_json r "BENCH_obs.json";
+  print_endline "wrote BENCH_obs.json";
+  if not (Benchlib.Obsbench.clean r) then exit 1
+
 let simbench () =
   section "simbench: host-parallel engine — pop cost, speedup, determinism";
   let r = Benchlib.Simbench.run () in
@@ -163,6 +171,7 @@ let experiments =
     ("schedbench", schedbench);
     ("ipcbench", ipcbench);
     ("tracebench", tracebench);
+    ("obsbench", obsbench);
     ("simbench", simbench);
     ("crashbench", crashbench);
     ("fuzzbench", fuzzbench);

@@ -15,7 +15,7 @@ let frame_present = function
   | Irq_exit _ | Sched_wakeup _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _
   | Kbd_report | Event_delivered _ | Poll_return _ | Wm_composite
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ | Custom _
-  | Span_begin _ | Span_end _ ->
+  | Span_begin _ | Span_end _ | Task_state _ | Runq_depth _ ->
       None
 
 let syscall_enter = function
@@ -24,7 +24,7 @@ let syscall_enter = function
   | Sched_wakeup _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _ | Kbd_report
   | Event_delivered _ | Poll_return _ | Frame_present _ | Wm_composite
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ | Custom _
-  | Span_begin _ | Span_end _ ->
+  | Span_begin _ | Span_end _ | Task_state _ | Runq_depth _ ->
       None
 
 let syscall_exit = function
@@ -33,7 +33,7 @@ let syscall_exit = function
   | Sched_wakeup _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _ | Kbd_report
   | Event_delivered _ | Poll_return _ | Frame_present _ | Wm_composite
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ | Custom _
-  | Span_begin _ | Span_end _ ->
+  | Span_begin _ | Span_end _ | Task_state _ | Runq_depth _ ->
       None
 
 let sched_wakeup = function
@@ -42,7 +42,7 @@ let sched_wakeup = function
   | Irq_exit _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _ | Kbd_report
   | Event_delivered _ | Poll_return _ | Frame_present _ | Wm_composite
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ | Custom _
-  | Span_begin _ | Span_end _ ->
+  | Span_begin _ | Span_end _ | Task_state _ | Runq_depth _ ->
       None
 
 let ctx_switch = function
@@ -51,7 +51,7 @@ let ctx_switch = function
   | Sched_wakeup _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _ | Kbd_report
   | Event_delivered _ | Poll_return _ | Frame_present _ | Wm_composite
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ | Custom _
-  | Span_begin _ | Span_end _ ->
+  | Span_begin _ | Span_end _ | Task_state _ | Runq_depth _ ->
       None
 
 let kbd_report = function
@@ -60,7 +60,7 @@ let kbd_report = function
   | Irq_exit _ | Sched_wakeup _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _
   | Event_delivered _ | Poll_return _ | Frame_present _ | Wm_composite
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ | Custom _
-  | Span_begin _ | Span_end _ ->
+  | Span_begin _ | Span_end _ | Task_state _ | Runq_depth _ ->
       false
 
 let event_delivered = function
@@ -69,5 +69,5 @@ let event_delivered = function
   | Irq_exit _ | Sched_wakeup _ | Sched_migrate _ | Ipi_send _ | Ipi_recv _
   | Kbd_report | Poll_return _ | Frame_present _ | Wm_composite
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ | Custom _
-  | Span_begin _ | Span_end _ ->
+  | Span_begin _ | Span_end _ | Task_state _ | Runq_depth _ ->
       None

@@ -133,6 +133,98 @@ let syscall_name = function
   | Sem_wait _ -> "sem_wait"
   | Sem_close _ -> "sem_close"
 
+(* Stable dense numbering for the syscall ctors, in declaration order.
+   Vprobe keys its per-syscall probe points off these indices; keep
+   [syscall_names] aligned with [syscall_index] (a mismatch shows up as
+   a probe firing under the wrong name in /proc/vprobe). *)
+let syscall_names =
+  [
+    "fork"; "exec"; "exit"; "wait"; "kill"; "getpid"; "sleep"; "uptime";
+    "nice"; "sbrk"; "cacheflush"; "open"; "close"; "read"; "write";
+    "lseek"; "dup"; "pipe"; "fstat"; "mkdir"; "unlink"; "chdir"; "mmap";
+    "fsync"; "poll"; "clone"; "join"; "sem_open"; "sem_post"; "sem_wait";
+    "sem_close";
+  ]
+
+let syscall_index = function
+  | Fork _ -> 0
+  | Exec _ -> 1
+  | Exit _ -> 2
+  | Wait -> 3
+  | Kill _ -> 4
+  | Getpid -> 5
+  | Sleep _ -> 6
+  | Uptime -> 7
+  | Nice _ -> 8
+  | Sbrk _ -> 9
+  | Cacheflush -> 10
+  | Open _ -> 11
+  | Close _ -> 12
+  | Read _ -> 13
+  | Write _ -> 14
+  | Lseek _ -> 15
+  | Dup _ -> 16
+  | Pipe _ -> 17
+  | Fstat _ -> 18
+  | Mkdir _ -> 19
+  | Unlink _ -> 20
+  | Chdir _ -> 21
+  | Mmap _ -> 22
+  | Fsync _ -> 23
+  | Poll _ -> 24
+  | Clone _ -> 25
+  | Join _ -> 26
+  | Sem_open _ -> 27
+  | Sem_post _ -> 28
+  | Sem_wait _ -> 29
+  | Sem_close _ -> 30
+
+(* The first user-visible argument of a syscall, as an integer, for
+   vprobe's [arg0] predicate: the fd for file calls, the pid/tid for
+   task calls, the count/value otherwise; 0 where no integer argument
+   exists (fork, exec, wait, ...). *)
+let syscall_arg0 = function
+  | Fork _ | Exec _ | Wait | Getpid | Uptime | Cacheflush | Clone _ -> 0
+  | Exit code -> code
+  | Kill pid -> pid
+  | Sleep ms -> ms
+  | Nice n -> n
+  | Sbrk n -> n
+  | Open (_, flags) -> flags
+  | Close fd
+  | Read (fd, _)
+  | Write (fd, _)
+  | Lseek (fd, _, _)
+  | Dup fd
+  | Fstat fd
+  | Mmap fd
+  | Fsync fd ->
+      fd
+  | Pipe flags -> flags
+  | Mkdir _ | Unlink _ | Chdir _ -> 0
+  | Poll (fds, _) -> List.length fds
+  | Join tid -> tid
+  | Sem_open v -> v
+  | Sem_post id | Sem_wait id | Sem_close id -> id
+
+(* The fd a syscall operates on, when it has one, for vprobe's [fd]
+   predicate. *)
+let syscall_fd = function
+  | Close fd
+  | Read (fd, _)
+  | Write (fd, _)
+  | Lseek (fd, _, _)
+  | Dup fd
+  | Fstat fd
+  | Mmap fd
+  | Fsync fd ->
+      Some fd
+  | Fork _ | Exec _ | Exit _ | Wait | Kill _ | Getpid | Sleep _ | Uptime
+  | Nice _ | Sbrk _ | Cacheflush | Open _ | Pipe _ | Mkdir _ | Unlink _
+  | Chdir _ | Poll _ | Clone _ | Join _ | Sem_open _ | Sem_post _
+  | Sem_wait _ | Sem_close _ ->
+      None
+
 type _ Effect.t +=
   | Sys : syscall -> ret Effect.t
         (** the trap: user → kernel *)

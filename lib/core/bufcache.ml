@@ -162,7 +162,31 @@ let observe_sd t ~op ~cost =
       let span = Ktrace.new_span tr in
       let now = Sched.now sched in
       Ktrace.emit tr ~ts_ns:now ~core:0 (Ktrace.Span_begin (span, pid, op));
-      Ktrace.emit tr ~ts_ns:(Int64.add now io_ns) ~core:0 (Ktrace.Span_end span)
+      Ktrace.emit tr ~ts_ns:(Int64.add now io_ns) ~core:0 (Ktrace.Span_end span);
+      (* sd:issue fires at request submission, sd:complete carries the
+         modeled device latency — both host-side, stamped now *)
+      let vp = sched.Sched.vprobe in
+      if Vprobe.armed vp Vprobe.pt_sd_issue then
+        Vprobe.fire vp Vprobe.pt_sd_issue
+          { Vprobe.no_args with Vprobe.a_pid = pid };
+      if Vprobe.armed vp Vprobe.pt_sd_complete then
+        Vprobe.fire vp Vprobe.pt_sd_complete
+          { Vprobe.no_args with Vprobe.a_pid = pid;
+            Vprobe.a_latency_ns = io_ns }
+
+(* bufcache:hit / bufcache:miss, with the block number as arg0. *)
+let fire_cache_probe t ~hit ~block =
+  match t.obs with
+  | None -> ()
+  | Some sched ->
+      let vp = sched.Sched.vprobe in
+      let pt = if hit then Vprobe.pt_bufcache_hit else Vprobe.pt_bufcache_miss in
+      if Vprobe.armed vp pt then
+        let pid =
+          match t.ctx with Some c -> c.Sched.task.Task.pid | None -> 0
+        in
+        Vprobe.fire vp pt
+          { Vprobe.no_args with Vprobe.a_pid = pid; Vprobe.a_arg0 = block }
 
 let block_bytes t = t.block_sectors * Fs.Blockdev.sector_bytes
 
@@ -463,10 +487,12 @@ let bread t n =
   match Hashtbl.find_opt t.cache n with
   | Some e ->
       t.hits <- t.hits + 1;
+      fire_cache_probe t ~hit:true ~block:n;
       lru_touch t e;
       Bytes.copy e.e_data
   | None ->
       t.misses <- t.misses + 1;
+      fire_cache_probe t ~hit:false ~block:n;
       charge_cycles t Kcost.bufcache_miss_extra;
       let streaming = n = t.next_expected in
       let ra =

@@ -130,6 +130,24 @@ type t = {
       (** vfuzz: arm device-level hostility in the generator — SD read
           faults, USB unplug/replug, IRQ storms and power blips; off
           restricts sessions to syscall/keypress traffic *)
+  vprobe : bool;
+      (** dynamic tracing ({!Vprobe}): the probe-point registry, the
+          /proc/vprobe_ctl spec language and /proc/vprobe aggregates.
+          Host-side only — an unattached probe point is a single array
+          read, an attached one updates host counters; zero virtual
+          cycles either way *)
+  delayacct : bool;
+      (** per-task delay accounting: every [Task.state] transition
+          buckets the elapsed ns into oncpu / runnable / sleep /
+          blocked-io / blocked-lock / blocked-pipe, surfaced at
+          /proc/delays. Host-side bookkeeping only; the optional
+          [dstate] trace events are a separate ktrace_ctl toggle so
+          armed traces stay byte-identical *)
+  flight_recorder_events : int;
+      (** panic flight recorder: on {!Kpanic} dump the last N trace
+          events, all attached vprobe aggregates and the per-task delay
+          table to the UART before halting; 0 = off. Always-on in
+          [full] — a kernel that panics silently teaches nothing *)
 }
 
 let full =
@@ -196,6 +214,13 @@ let full =
     fuzz_ops = 48;
     fuzz_session_ms = 400;
     fuzz_faults = true;
+    (* the query layer over kperf/ktrace follows the PR-5 discipline:
+       free in virtual time, so vprobe and delayacct can ship armed; the
+       flight recorder is always-on because a panic is exactly when you
+       want the data *)
+    vprobe = true;
+    delayacct = true;
+    flight_recorder_events = 64;
   }
 
 let rec prototype = function
@@ -242,6 +267,9 @@ let rec prototype = function
         fuzz_ops = 48;
         fuzz_session_ms = 400;
         fuzz_faults = true;
+        vprobe = false;
+        delayacct = false;
+        flight_recorder_events = 0;
       }
   | 2 -> { (prototype 1) with stage = 2; multitasking = true }
   | 3 ->

@@ -521,7 +521,56 @@ let boot spec =
            bc.Bufcache.hits);
        Kperf.register_counter kp ~label:l "vos_bufcache_misses_total"
          (fun () -> bc.Bufcache.misses))
-     (Vfs.fat_caches vfs));
+     (Vfs.fat_caches vfs);
+   (* journal, domain-pool and sanitizer counters, so one /proc/metrics
+      scrape covers the storage, host-parallelism and kcheck subsystems *)
+   Kperf.register_counter kp ~help:"Journal transactions committed"
+     "vos_journal_commits_total" (fun () -> Fs.Xv6fs.log_commits rootfs);
+   Kperf.register_counter kp
+     ~help:"Journal blocks installed by recovery at mount"
+     "vos_journal_replayed_total" (fun () -> Fs.Xv6fs.log_replayed rootfs);
+   Kperf.register_counter kp
+     ~help:"Writes absorbed into an already-queued journal block"
+     "vos_journal_absorbed_total" (fun () -> Fs.Xv6fs.log_absorbed rootfs);
+   (let pool = Sim.Dpool.global () in
+    Kperf.register_counter kp
+      ~help:"Host work-stealing pool: successful steal-half transfers"
+      "vos_dpool_steals_total" (fun () -> Sim.Dpool.steals pool);
+    Kperf.register_counter kp
+      ~help:"Host work-stealing pool: workers parked after spinning"
+      "vos_dpool_parks_total" (fun () -> Sim.Dpool.parks pool));
+   Kperf.register_counter kp ~help:"Kernel sanitizer violations detected"
+     "vos_kcheck_violations_total" (fun () ->
+       match sched.Sched.kcheck with
+       | Some kc -> List.length kc.Kcheck.violations
+       | None -> 0));
+  (* vprobe hook installation. Spinlock's observer and the panic hook
+     are module globals (locks and panics exist below the layer where a
+     kernel instance is visible), so the last-booted kernel wins — the
+     right answer for a host process that boots throwaway kernels in
+     sequence. Everything fired here is host-side bookkeeping: no cycles
+     are charged and no engine events are scheduled. *)
+  if spec.sp_config.Kconfig.vprobe then begin
+    let vp = sched.Sched.vprobe in
+    Spinlock.set_observer (fun ~name:_ ~core ~contended ->
+        let pt =
+          if contended then Vprobe.pt_lock_contended else Vprobe.pt_lock_acquire
+        in
+        if Vprobe.armed vp pt then
+          Vprobe.fire vp pt { Vprobe.no_args with Vprobe.a_core = core });
+    Fs.Xv6fs.set_on_commit rootfs (fun blocks ->
+        if Vprobe.armed vp Vprobe.pt_journal_commit then
+          Vprobe.fire vp Vprobe.pt_journal_commit
+            { Vprobe.no_args with Vprobe.a_arg0 = blocks })
+  end
+  else Spinlock.clear_observer ();
+  (* the flight recorder arms through Kpanic so it sees every panic path,
+     not just the FIQ button *)
+  if spec.sp_config.Kconfig.flight_recorder_events > 0 then
+    Kpanic.set_on_panic (fun msg ->
+        Panic.flight_record sched console
+          ~events:spec.sp_config.Kconfig.flight_recorder_events msg)
+  else Kpanic.clear_on_panic ();
   (* task teardown hooks *)
   sched.Sched.on_task_exit <-
     [

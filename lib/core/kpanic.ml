@@ -9,4 +9,19 @@
 
 exception Panic of string
 
-let panicf fmt = Printf.ksprintf (fun msg -> raise (Panic msg)) fmt
+(* The flight recorder's attachment point: the kernel installs a dump
+   hook at boot ({!Panic.flight_record}) and every death that funnels
+   through [panicf] fires it before raising. The hook must never turn a
+   panic into a different failure, so anything it raises is swallowed. *)
+let on_panic : (string -> unit) option ref = ref None
+let set_on_panic f = on_panic := Some f
+let clear_on_panic () = on_panic := None
+
+let panicf fmt =
+  Printf.ksprintf
+    (fun msg ->
+      (match !on_panic with
+      | Some f -> ( try f msg with _ -> ())
+      | None -> ());
+      raise (Panic msg))
+    fmt

@@ -97,7 +97,13 @@ module Hist = struct
   (* Rank interpolation: walk the cumulative counts to the bucket holding
      the q-quantile rank, then interpolate linearly inside it. The result
      is clamped into [min_ns, max_ns], which also pins the invariants the
-     tests lean on: min <= p50 <= p99 <= max. *)
+     tests lean on: min <= p50 <= p99 <= max.
+
+     An empty histogram returns 0.0 for every quantile — the clamp path
+     must never run with the sentinel min/max of a fresh histogram
+     (min_ns = Int64.max_int), so the guard below is load-bearing, not
+     cosmetic. Callers can rely on percentile_ns/percentile_us = 0 as
+     the "no samples yet" reading. *)
   let percentile_ns t q =
     if t.total = 0 then 0.0
     else begin
@@ -145,12 +151,14 @@ end
 type metric = {
   m_name : string;  (** Prometheus metric name, e.g. [vos_syscall_service_ns] *)
   m_label : (string * string) option;  (** e.g. [("core", "0")] *)
+  m_help : string;  (** # HELP text; "" elides the line *)
   m_hist : Hist.t;
 }
 
 type counter = {
   c_name : string;
   c_label : (string * string) option;
+  c_help : string;
   c_read : unit -> int;
 }
 
@@ -174,17 +182,21 @@ let create () =
 
 (* Find-or-create: recording sites grab their histogram once at init and
    hold the [Hist.t] directly, so lookup cost never rides a hot path. *)
-let hist t ?label name =
+let hist t ?label ?(help = "") name =
   let same m = String.equal m.m_name name && m.m_label = label in
   match List.find_opt same t.metrics with
   | Some m -> m.m_hist
   | None ->
       let h = Hist.create () in
-      t.metrics <- { m_name = name; m_label = label; m_hist = h } :: t.metrics;
+      t.metrics <-
+        { m_name = name; m_label = label; m_help = help; m_hist = h }
+        :: t.metrics;
       h
 
-let register_counter t ?label name read =
-  t.counters <- { c_name = name; c_label = label; c_read = read } :: t.counters
+let register_counter t ?label ?(help = "") name read =
+  t.counters <-
+    { c_name = name; c_label = label; c_help = help; c_read = read }
+    :: t.counters
 
 (* ---- the sampling profiler ---- *)
 
@@ -223,39 +235,83 @@ let bucket_label extra le =
   | None -> Printf.sprintf "{le=%S}" le
   | Some (k, v) -> Printf.sprintf "{%s=%S,le=%S}" k v le
 
+(* Group registry entries by metric name, preserving first-registration
+   order. The exposition format requires all samples of one family to be
+   contiguous under a single # TYPE line — the per-core labeled
+   histograms register one entry per core under the same name, so
+   rendering entry-by-entry would emit duplicate metadata lines (a
+   format violation the test suite's exposition parser rejects). *)
+let group_by_name entries name_of =
+  let order = ref [] and tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let name = name_of e in
+      if not (Hashtbl.mem tbl name) then begin
+        Hashtbl.add tbl name (ref []);
+        order := name :: !order
+      end;
+      let cell = Hashtbl.find tbl name in
+      cell := e :: !cell)
+    entries;
+  List.rev_map (fun name -> (name, List.rev !(Hashtbl.find tbl name))) !order
+
+let add_meta buf ~name ~kind ~help =
+  if not (String.equal help "") then
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
 let render_metrics t =
   let buf = Buffer.create 4096 in
   List.iter
-    (fun c ->
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
-      Buffer.add_string buf
-        (Printf.sprintf "%s%s %d\n" c.c_name (label_str c.c_label) (c.c_read ())))
-    (List.rev t.counters);
+    (fun (name, cs) ->
+      let help =
+        match List.find_opt (fun c -> c.c_help <> "") cs with
+        | Some c -> c.c_help
+        | None -> ""
+      in
+      add_meta buf ~name ~kind:"counter" ~help;
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" c.c_name (label_str c.c_label)
+               (c.c_read ())))
+        cs)
+    (group_by_name (List.rev t.counters) (fun c -> c.c_name));
   List.iter
-    (fun m ->
-      let h = m.m_hist in
-      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m.m_name);
-      let cum = ref 0 in
-      Array.iteri
-        (fun i n ->
-          cum := !cum + n;
-          (* elide empty interior buckets to keep the page readable; the
-             cumulative-count semantics survive because each emitted
-             bucket carries the running total *)
-          if n > 0 || i = Hist.buckets - 1 then begin
-            let le =
-              match Hist.upper_bound_ns i with
-              | Some b -> string_of_int b
-              | None -> "+Inf"
-            in
-            Buffer.add_string buf
-              (Printf.sprintf "%s_bucket%s %d\n" m.m_name
-                 (bucket_label m.m_label le) !cum)
-          end)
-        h.Hist.counts;
-      Buffer.add_string buf
-        (Printf.sprintf "%s_sum%s %Ld\n" m.m_name (label_str m.m_label) h.Hist.sum_ns);
-      Buffer.add_string buf
-        (Printf.sprintf "%s_count%s %d\n" m.m_name (label_str m.m_label) h.Hist.total))
-    (List.rev t.metrics);
+    (fun (name, ms) ->
+      let help =
+        match List.find_opt (fun m -> m.m_help <> "") ms with
+        | Some m -> m.m_help
+        | None -> ""
+      in
+      add_meta buf ~name ~kind:"histogram" ~help;
+      List.iter
+        (fun m ->
+          let h = m.m_hist in
+          let cum = ref 0 in
+          Array.iteri
+            (fun i n ->
+              cum := !cum + n;
+              (* elide empty interior buckets to keep the page readable;
+                 the cumulative-count semantics survive because each
+                 emitted bucket carries the running total *)
+              if n > 0 || i = Hist.buckets - 1 then begin
+                let le =
+                  match Hist.upper_bound_ns i with
+                  | Some b -> string_of_int b
+                  | None -> "+Inf"
+                in
+                Buffer.add_string buf
+                  (Printf.sprintf "%s_bucket%s %d\n" m.m_name
+                     (bucket_label m.m_label le) !cum)
+              end)
+            h.Hist.counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %Ld\n" m.m_name (label_str m.m_label)
+               h.Hist.sum_ns);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" m.m_name (label_str m.m_label)
+               h.Hist.total))
+        ms)
+    (group_by_name (List.rev t.metrics) (fun m -> m.m_name));
   Buffer.contents buf

@@ -34,6 +34,11 @@ type event =
   | Custom of string
   | Span_begin of int * int * string  (** span id, pid, operation name *)
   | Span_end of int  (** span id *)
+  | Task_state of int * int
+      (** pid, new state code (0 runnable, 1 running, 2 blocked, 3
+          zombie) — the delay-accounting transition stream; Perfetto
+          renders it as a per-task thread-state counter track *)
+  | Runq_depth of int * int  (** core, runnable-queue depth after the change *)
 
 type entry = {
   ts_ns : int64;
@@ -57,6 +62,7 @@ let class_of ev =
   | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _ -> 5
   | Span_begin _ | Span_end _ -> 6
   | Custom _ -> 7
+  | Task_state _ | Runq_depth _ -> 8
 
 let class_names =
   [
@@ -68,6 +74,7 @@ let class_names =
     ("lock", 5);
     ("span", 6);
     ("custom", 7);
+    ("dstate", 8);
   ]
 
 let filter_all = -1
@@ -104,6 +111,12 @@ type t = {
           default), set to "now" by [clock=rel] in /proc/ktrace_ctl *)
   mutable written : int;  (** total emitted across all rings *)
   mutable readers_open : int;  (** open /proc/ktrace handles (wake gate) *)
+  mutable dstate : bool;
+      (** opt-in for the delay-accounting event stream (Task_state /
+          Runq_depth): [dstate=1] in /proc/ktrace_ctl. A separate gate
+          from the class filter because [filter_all] would otherwise
+          flood armed traces the moment delayacct is on, breaking the
+          byte-identity of every existing capture *)
   mutable on_data : (unit -> unit) option;
       (** poked after each emit while a trace-pipe reader is open; the
           kernel wires this to a deferred [Sched.poll_wake] *)
@@ -130,10 +143,12 @@ let create ?(capacity = 262144) ?(per_core = false) ?(cores = 1) () =
     clock_base = 0L;
     written = 0;
     readers_open = 0;
+    dstate = false;
     on_data = None;
   }
 
 let set_enabled t on = t.enabled <- on
+let set_dstate t on = t.dstate <- on
 let set_filter t mask = t.filter <- mask
 let set_clock_base t base = t.clock_base <- base
 let new_span t =
@@ -267,7 +282,7 @@ let pair_spans entries =
                 | Ipi_send _ | Ipi_recv _ | Kbd_report | Event_delivered _
                 | Poll_return _ | Frame_present _ | Wm_composite
                 | Lock_acquire _ | Lock_release _ | Sem_block _ | Sem_wake _
-                | Custom _ | Span_end _ ->
+                | Custom _ | Span_end _ | Task_state _ | Runq_depth _ ->
                     (0, "?")
               in
               matched :=
@@ -285,7 +300,8 @@ let pair_spans entries =
       | Irq_exit _ | Sched_wakeup _ | Sched_migrate _ | Ipi_send _
       | Ipi_recv _ | Kbd_report | Event_delivered _ | Poll_return _
       | Frame_present _ | Wm_composite | Lock_acquire _ | Lock_release _
-      | Sem_block _ | Sem_wake _ | Custom _ -> ())
+      | Sem_block _ | Sem_wake _ | Custom _ | Task_state _ | Runq_depth _ ->
+          ())
     entries;
   let unmatched = Hashtbl.fold (fun _ e acc -> e :: acc) open_spans [] in
   ( List.sort (fun a b -> compare a.sp_id b.sp_id) !matched,
@@ -321,6 +337,9 @@ let describe ev =
   | Span_begin (id, pid, name) ->
       Printf.sprintf "span_begin id=%d pid=%d %s" id pid name
   | Span_end id -> Printf.sprintf "span_end id=%d" id
+  | Task_state (pid, st) -> Printf.sprintf "task_state pid=%d state=%d" pid st
+  | Runq_depth (core, depth) ->
+      Printf.sprintf "runq_depth core%d depth=%d" core depth
 
 let format_entry e =
   Printf.sprintf "[%10.3f us] core%d %s" (Int64.to_float e.ts_ns /. 1e3) e.core
@@ -353,6 +372,8 @@ let machine_payload ev =
   | Custom s -> "custom " ^ s
   | Span_begin (id, pid, name) -> Printf.sprintf "span_begin %d %d %s" id pid name
   | Span_end id -> Printf.sprintf "span_end %d" id
+  | Task_state (pid, st) -> Printf.sprintf "task_state %d %d" pid st
+  | Runq_depth (core, depth) -> Printf.sprintf "runq_depth %d %d" core depth
 
 let machine_line e =
   Printf.sprintf "%Ld %d %d %s" e.ts_ns e.seq e.core (machine_payload e.ev)
@@ -477,6 +498,14 @@ let parse_machine_line line =
               | "span_end" -> (
                   match ints 1 with
                   | Some [ id ] -> Some (Span_end id)
+                  | Some _ | None -> None)
+              | "task_state" -> (
+                  match ints 2 with
+                  | Some [ pid; st ] -> Some (Task_state (pid, st))
+                  | Some _ | None -> None)
+              | "runq_depth" -> (
+                  match ints 2 with
+                  | Some [ core; depth ] -> Some (Runq_depth (core, depth))
                   | Some _ | None -> None)
               | _ -> None
             in

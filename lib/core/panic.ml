@@ -41,6 +41,35 @@ let render t ~fiq_core =
   Buffer.add_string buf "=== END PANIC DUMP ===\n";
   Buffer.contents buf
 
+(* Flight recorder: the always-on black box, fired from {!Kpanic.panicf}
+   via the hook the kernel installs at boot. Where the panic button above
+   needs an operator pressing the GPIO line, this runs on the way down —
+   after the panic message is formatted but before the exception
+   propagates — so the UART carries the last [events] trace entries, any
+   attached vprobe aggregates, and the per-task delay table alongside
+   the panic itself. Pure host-side rendering: no charges, no engine
+   events, safe to run with the kernel in an arbitrary broken state. *)
+let flight_record sched console ~events msg =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "\n=== FLIGHT RECORDER (t=%.3f ms) ===\npanic: %s\n"
+       (Sim.Engine.to_ms (Hw.Board.now sched.Sched.board))
+       msg);
+  let recent = Ktrace.dump sched.Sched.trace in
+  let n = List.length recent in
+  let tail = List.filteri (fun i _ -> i >= n - events) recent in
+  Buffer.add_string buf
+    (Printf.sprintf "trace tail (last %d of %d):\n" (List.length tail) n);
+  List.iter
+    (fun e -> Buffer.add_string buf ("  " ^ Ktrace.format_entry e ^ "\n"))
+    tail;
+  Buffer.add_string buf "vprobe aggregates:\n";
+  Buffer.add_string buf (Vprobe.render sched.Sched.vprobe);
+  Buffer.add_string buf "delay accounting:\n";
+  Buffer.add_string buf (Sched.render_delays sched);
+  Buffer.add_string buf "=== END FLIGHT RECORD ===\n";
+  Console.printk console (Buffer.contents buf)
+
 let install sched console =
   let t = { sched; console; dumps = 0 } in
   sched.Sched.on_panic <-

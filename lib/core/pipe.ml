@@ -148,6 +148,13 @@ let write ctx t data ~nonblock =
   let len = Bytes.length data in
   let sent = ref 0 in
   t.p.stats.Ipcstats.pipe_writes <- t.p.stats.Ipcstats.pipe_writes + 1;
+  (let vp = sched.Sched.vprobe in
+   if Vprobe.armed vp Vprobe.pt_pipe_write then
+     Vprobe.fire vp Vprobe.pt_pipe_write
+       { Vprobe.no_args with
+         Vprobe.a_pid = ctx.Sched.task.Task.pid;
+         Vprobe.a_core = max 0 ctx.Sched.task.Task.last_core;
+         Vprobe.a_arg0 = len });
   let rec step () =
     if t.readers = 0 then
       Sched.finish ctx
@@ -229,6 +236,14 @@ let read ctx t ~len ~nonblock =
         Sched.wake_all sched t.wchan
       end;
       Sched.poll_wake sched;
+      (let vp = sched.Sched.vprobe in
+       if Vprobe.armed vp Vprobe.pt_pipe_read then
+         Vprobe.fire vp Vprobe.pt_pipe_read
+           { Vprobe.no_args with
+             Vprobe.a_pid = ctx.Sched.task.Task.pid;
+             Vprobe.a_core = max 0 ctx.Sched.task.Task.last_core;
+             Vprobe.a_arg0 = n;
+             Vprobe.a_latency_ns = Int64.sub (Sched.now sched) entered_ns });
       Sched.finish ctx (Abi.R_bytes out)
     end
     else if t.writers = 0 then Sched.finish ctx (Abi.R_bytes Bytes.empty)

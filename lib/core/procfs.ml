@@ -133,11 +133,30 @@ let render_kcheck t =
   | None -> "kcheck\t\t: disabled\n"
 
 (* Prometheus text exposition of every kperf counter and histogram; the
-   page exists only when the [metrics] knob is armed. *)
+   page exists only when the [metrics] knob is armed. Attached vprobe
+   aggregates fold in as vos_vprobe_* series so one scrape covers both. *)
 let render_metrics t =
   if t.sched.Sched.config.Kconfig.metrics then
-    Some (Kperf.render_metrics t.sched.Sched.kperf)
+    Some
+      (Kperf.render_metrics t.sched.Sched.kperf
+      ^
+      if t.sched.Sched.config.Kconfig.vprobe then
+        Vprobe.render_metrics t.sched.Sched.vprobe
+      else "")
   else None
+
+(* Dynamic-probe surfaces, armed by the [vprobe] knob: /proc/vprobe is
+   the aggregate dump, /proc/vprobe_ctl accepts probe-spec writes (see
+   {!Vprobe.ctl_write}) and mirrors the registry state back on read. *)
+let render_vprobe t =
+  if t.sched.Sched.config.Kconfig.vprobe then
+    Some (Vprobe.render t.sched.Sched.vprobe)
+  else None
+
+(* Per-task delay accounting. Renders even when the knob is off (a
+   self-describing "disabled" line, like /proc/kcheck) so sysmon can
+   always open it. *)
+let render_delays t = Sched.render_delays t.sched
 
 let render_profile t = Kperf.render_profile t.sched.Sched.kperf
 
@@ -152,11 +171,12 @@ let render_ktrace_ctl t =
       |> List.map fst |> String.concat ","
   in
   Printf.sprintf
-    "enable\t\t: %d\nclock\t\t: %s\nfilter\t\t: %s\nper_core_rings\t: \
-     %b\nevents_written\t: %d\n"
+    "enable\t\t: %d\nclock\t\t: %s\nfilter\t\t: %s\ndstate\t\t: \
+     %d\nper_core_rings\t: %b\nevents_written\t: %d\n"
     (if tr.Ktrace.enabled then 1 else 0)
     (if Int64.equal tr.Ktrace.clock_base 0L then "abs" else "rel")
     filter_names
+    (if tr.Ktrace.dstate then 1 else 0)
     t.sched.Sched.config.Kconfig.trace_per_core_rings
     (Ktrace.written tr)
 
@@ -173,12 +193,16 @@ let render t name =
   | "metrics" -> render_metrics t
   | "profile" -> Some (render_profile t)
   | "ktrace_ctl" -> Some (render_ktrace_ctl t)
+  | "vprobe" -> render_vprobe t
+  | "vprobe_ctl" -> render_vprobe t
+  | "delays" -> Some (render_delays t)
   | _ -> None
 
 let names =
   [
     "cpuinfo"; "meminfo"; "uptime"; "tasks"; "sched"; "ipc"; "locks"; "kcheck";
-    "metrics"; "profile"; "ktrace"; "ktrace_ctl";
+    "metrics"; "profile"; "ktrace"; "ktrace_ctl"; "vprobe"; "vprobe_ctl";
+    "delays";
   ]
 
 (* ---- /proc/ktrace: the consuming trace-pipe ---- *)
@@ -276,6 +300,15 @@ let ktrace_ctl_write t ctx bytes =
             match Ktrace.filter_of_string value with
             | Some mask -> Ktrace.set_filter tr mask; true
             | None -> false)
+        | "dstate" -> (
+            (* delay-accounting trace events (Task_state / Runq_depth)
+               are double-gated: the Kconfig.delayacct knob AND this
+               runtime switch, off by default so armed-vs-stock traces
+               stay byte-identical *)
+            match value with
+            | "0" -> Ktrace.set_dstate tr false; true
+            | "1" -> Ktrace.set_dstate tr true; true
+            | _ -> false)
         | _ -> false)
   in
   let lines =
@@ -288,6 +321,19 @@ let ktrace_ctl_write t ctx bytes =
     Sched.finish ctx (Abi.R_int (Bytes.length bytes))
   end
   else Sched.finish ctx (Abi.R_int (-Errno.einval))
+
+(* ---- /proc/vprobe_ctl: probe attach/detach ---- *)
+
+(* Probe-spec writes ("probe syscall:read / pid==2 / hist(latency_us)",
+   "detach <id>", "clear"), one command per line; Vprobe validates the
+   whole write before applying any of it, so a bad line is EINVAL with
+   no partial attach. *)
+let vprobe_ctl_write t ctx bytes =
+  match Vprobe.ctl_write t.sched.Sched.vprobe (Bytes.to_string bytes) with
+  | Ok () ->
+      Sched.charge ctx 500;
+      Sched.finish ctx (Abi.R_int (Bytes.length bytes))
+  | Error _ -> Sched.finish ctx (Abi.R_int (-Errno.einval))
 
 (* ---- dev_ops ---- *)
 
@@ -328,6 +374,16 @@ let ops t name =
           Fd.dev_name = "proc:ktrace_ctl";
           dev_read = (fun ctx file ~len -> snapshot_read t name ctx file ~len);
           dev_write = (fun ctx _ bytes -> ktrace_ctl_write t ctx bytes);
+          dev_mmap = None;
+          dev_close = (fun file -> Hashtbl.remove t.snapshots file.Fd.file_id);
+          dev_poll = None;
+        }
+  | "vprobe_ctl" when t.sched.Sched.config.Kconfig.vprobe ->
+      Some
+        {
+          Fd.dev_name = "proc:vprobe_ctl";
+          dev_read = (fun ctx file ~len -> snapshot_read t name ctx file ~len);
+          dev_write = (fun ctx _ bytes -> vprobe_ctl_write t ctx bytes);
           dev_mmap = None;
           dev_close = (fun file -> Hashtbl.remove t.snapshots file.Fd.file_id);
           dev_poll = None;

@@ -96,6 +96,9 @@ and t = {
   h_poll_wait : Kperf.Hist.t;  (** poll(2) entry to wake (vfs records) *)
   h_pipe_wait : Kperf.Hist.t;  (** blocked pipe read round-trip (pipe.ml) *)
   h_sd_req : Kperf.Hist.t;  (** SD request latency (bufcache records) *)
+  vprobe : Vprobe.t;
+      (** the dynamic-probe registry; fire sites guard with
+          {!Vprobe.armed} so a disarmed point costs one array read *)
   cls : sched_class;
   cores : core_state array;
   active_cores : int;
@@ -266,6 +269,7 @@ let create board config kalloc =
       h_poll_wait = Kperf.hist kperf "vos_poll_wait_ns";
       h_pipe_wait = Kperf.hist kperf "vos_pipe_read_wait_ns";
       h_sd_req = Kperf.hist kperf "vos_sd_request_ns";
+      vprobe = Vprobe.create ();
       cls;
       cores =
         Array.init board.Hw.Board.platform.Hw.Board.num_cores (fun core_id ->
@@ -342,7 +346,8 @@ let bump_frames t ev =
   | Ktrace.Kbd_report | Ktrace.Event_delivered _ | Ktrace.Poll_return _
   | Ktrace.Wm_composite | Ktrace.Lock_acquire _ | Ktrace.Lock_release _
   | Ktrace.Sem_block _ | Ktrace.Sem_wake _ | Ktrace.Custom _
-  | Ktrace.Span_begin _ | Ktrace.Span_end _ -> ()
+  | Ktrace.Span_begin _ | Ktrace.Span_end _ | Ktrace.Task_state _
+  | Ktrace.Runq_depth _ -> ()
 
 (* Events with no task context (device IRQs routed to core 0, kernel
    daemons): attributed to core 0. Task-attributed events go through
@@ -361,6 +366,75 @@ let trace_emit_task t task ev =
     | Task.Runnable | Task.Blocked _ | Task.Zombie -> max 0 task.Task.last_core
   in
   Ktrace.emit t.trace ~ts_ns:(now t) ~core ev
+
+(* ---- delay accounting ---- *)
+
+(* Which delay bucket time spent blocked on [chan] belongs to. The
+   channel namespace is the kernel's own: pipes block on "pipe:<id>:r/w",
+   semaphores on "sem:<id>", device waits on their driver's channel.
+   Anything unrecognized counts as sleep — a voluntary wait. *)
+let delay_class_of_chan chan =
+  let has_prefix p =
+    String.length chan >= String.length p
+    && String.equal (String.sub chan 0 (String.length p)) p
+  in
+  if has_prefix "pipe:" then `Pipe
+  else if has_prefix "sem:" then `Lock
+  else if
+    has_prefix "sd" || has_prefix "bio" || String.equal chan "uart:rx"
+    || String.equal chan "kbd:events"
+    || String.equal chan "audio:space"
+    || has_prefix "wm:ev"
+  then `Io
+  else `Sleep
+
+let state_code = function
+  | Task.Runnable -> 0
+  | Task.Running _ -> 1
+  | Task.Blocked _ -> 2
+  | Task.Zombie -> 3
+
+(* Close the open delay segment: bucket [now - d_state_since] by the
+   state being left. Zombie time accrues to sleep (zombies are parked
+   waiting for a reaper); /proc/delays lists live tasks only. *)
+let delay_fold task ~now_ns =
+  let dt = Int64.sub now_ns task.Task.d_state_since in
+  let dt = if Int64.compare dt 0L > 0 then dt else 0L in
+  (match task.Task.state with
+  | Task.Runnable ->
+      task.Task.d_runnable_ns <- Int64.add task.Task.d_runnable_ns dt
+  | Task.Running _ ->
+      task.Task.d_oncpu_ns <- Int64.add task.Task.d_oncpu_ns dt
+  | Task.Blocked chan -> (
+      match delay_class_of_chan chan with
+      | `Pipe -> task.Task.d_blk_pipe_ns <- Int64.add task.Task.d_blk_pipe_ns dt
+      | `Lock -> task.Task.d_blk_lock_ns <- Int64.add task.Task.d_blk_lock_ns dt
+      | `Io -> task.Task.d_blk_io_ns <- Int64.add task.Task.d_blk_io_ns dt
+      | `Sleep -> task.Task.d_sleep_ns <- Int64.add task.Task.d_sleep_ns dt)
+  | Task.Zombie -> task.Task.d_sleep_ns <- Int64.add task.Task.d_sleep_ns dt);
+  task.Task.d_state_since <- now_ns
+
+(* The single gateway for task-state transitions: every assignment of
+   [Task.state] in this file goes through here so delay accounting can
+   never miss an edge. Pure host-side bookkeeping — nothing is charged —
+   and the optional Task_state event is double-gated (delayacct knob AND
+   the tracer's dstate toggle) so armed traces stay byte-identical. *)
+let set_state t task new_state =
+  if t.config.Kconfig.delayacct then begin
+    delay_fold task ~now_ns:(now t);
+    if t.trace.Ktrace.dstate then
+      Ktrace.emit t.trace ~ts_ns:(now t)
+        ~core:(max 0 task.Task.last_core)
+        (Ktrace.Task_state (task.Task.pid, state_code new_state))
+  end;
+  task.Task.state <- new_state
+
+(* Runnable-queue depth after a queue change, for the Perfetto counter
+   track. Same double gate as Task_state. *)
+let emit_runq_depth t core =
+  if t.config.Kconfig.delayacct && t.trace.Ktrace.dstate then
+    Ktrace.emit t.trace ~ts_ns:(now t) ~core:core.core_id
+      (Ktrace.Runq_depth (core.core_id, rq_len core.rq))
 
 (* ---- kcheck / ptable plumbing ---- *)
 
@@ -510,6 +584,11 @@ and enqueue_task t task =
   task.Task.runnable_since <- now t;
   t.cls.sc_enqueue core.rq task;
   trace_emit_core t ~core:core.core_id (Ktrace.Sched_wakeup task.Task.pid);
+  emit_runq_depth t core;
+  if Vprobe.armed t.vprobe Vprobe.pt_sched_wakeup then
+    Vprobe.fire t.vprobe Vprobe.pt_sched_wakeup
+      { Vprobe.no_args with Vprobe.a_pid = task.Task.pid;
+        Vprobe.a_core = core.core_id };
   kick_core t core task
 
 (* The woken core learns about the new arrival per the wake model: the
@@ -573,7 +652,12 @@ and schedule_core t core =
             core.stats.migrations <- core.stats.migrations + 1;
             trace_emit_core t ~core:core.core_id
               (Ktrace.Sched_migrate
-                 (task.Task.pid, task.Task.last_core, core.core_id))
+                 (task.Task.pid, task.Task.last_core, core.core_id));
+            if Vprobe.armed t.vprobe Vprobe.pt_sched_migrate then
+              Vprobe.fire t.vprobe Vprobe.pt_sched_migrate
+                { Vprobe.no_args with Vprobe.a_pid = task.Task.pid;
+                  Vprobe.a_core = core.core_id;
+                  Vprobe.a_arg0 = task.Task.last_core }
           end;
           (if Int64.compare task.Task.runnable_since 0L >= 0 then begin
              record_run_delay core
@@ -581,12 +665,18 @@ and schedule_core t core =
              task.Task.runnable_since <- (-1L)
            end);
           task.Task.last_core <- core.core_id;
-          task.Task.state <- Task.Running core.core_id;
+          set_state t task (Task.Running core.core_id);
           task.Task.quantum_left <- t.cls.sc_quantum task;
           let resume = Option.get task.Task.resume in
           task.Task.resume <- None;
           trace_emit_core t ~core:core.core_id
             (Ktrace.Ctx_switch (core.last_pid, task.Task.pid));
+          emit_runq_depth t core;
+          if Vprobe.armed t.vprobe Vprobe.pt_sched_ctx_switch then
+            Vprobe.fire t.vprobe Vprobe.pt_sched_ctx_switch
+              { Vprobe.no_args with Vprobe.a_pid = task.Task.pid;
+                Vprobe.a_core = core.core_id;
+                Vprobe.a_arg0 = core.last_pid };
           core.last_pid <- task.Task.pid;
           (* the context-switch cost precedes the task's first instruction;
              a migrated task also refills its caches when the affinity
@@ -659,14 +749,14 @@ and do_exit t task code =
         (match task.Task.state with
         | Task.Running c ->
             t.cores.(c).current <- None;
-            task.Task.state <- Task.Zombie;
+            set_state t task Task.Zombie;
             wake_all t (Printf.sprintf "exit:%d" task.Task.pid);
             wake_all t (Printf.sprintf "children:%d" task.Task.parent);
             schedule_core t t.cores.(c)
         | Task.Runnable | Task.Blocked _ | Task.Zombie -> ())
       end
       else begin
-        task.Task.state <- Task.Zombie;
+        set_state t task Task.Zombie;
         wake_all t (Printf.sprintf "exit:%d" task.Task.pid);
         wake_all t (Printf.sprintf "children:%d" task.Task.parent)
       end
@@ -698,7 +788,7 @@ and wake_all t chan =
         (fun (task, retry) ->
           if not (is_zombie task) then begin
             ptable_acquire t ~core:0;
-            task.Task.state <- Task.Runnable;
+            set_state t task Task.Runnable;
             task.Task.resume <- Some retry;
             ptable_release t ~core:0;
             t.cls.sc_on_block_wake task;
@@ -718,7 +808,7 @@ let wake_one t chan =
           if is_zombie task then None
           else begin
             ptable_acquire t ~core:0;
-            task.Task.state <- Task.Runnable;
+            set_state t task Task.Runnable;
             task.Task.resume <- Some retry;
             ptable_release t ~core:0;
             t.cls.sc_on_block_wake task;
@@ -766,6 +856,22 @@ let finish ctx ret =
       trace_emit_task t task
         (Ktrace.Syscall_exit (task.Task.pid, Abi.syscall_name ctx.call));
       trace_emit_task t task (Ktrace.Span_end ctx.span);
+      if Vprobe.syscall_armed t.vprobe then begin
+        let errno =
+          match ret with
+          | Abi.R_int v when v < 0 -> -v
+          | Abi.R_int _ | Abi.R_bytes _ | Abi.R_pair _ | Abi.R_stat _
+          | Abi.R_mmap _ ->
+              0
+        in
+        Vprobe.fire_sysexit t.vprobe
+          ~idx:(Abi.syscall_index ctx.call)
+          ~pid:task.Task.pid
+          ~core:(max 0 task.Task.last_core)
+          ~fd:(Option.value ~default:(-1) (Abi.syscall_fd ctx.call))
+          ~arg0:(Abi.syscall_arg0 ctx.call) ~errno
+          ~latency_ns:(Int64.sub (now t) ctx.entry_ns)
+      end;
       Effect.Deep.continue ctx.kont ret)
 
 (* Block the calling task on [chan]; [retry] re-enters the syscall path
@@ -782,7 +888,7 @@ let block ctx ~chan ~retry =
   let q = chan_queue t chan in
   release_core t task;
   ptable_acquire t ~core;
-  task.Task.state <- Task.Blocked chan;
+  set_state t task (Task.Blocked chan);
   Queue.add (task, retry) q;
   ptable_release t ~core;
   kcheck_blocked t ~pid:task.Task.pid ~chan ~core
@@ -797,12 +903,12 @@ let finish_after ctx ~delay_ns ret =
     | Task.Runnable | Task.Blocked _ | Task.Zombie -> max 0 task.Task.last_core
   in
   release_core t task;
-  task.Task.state <- Task.Blocked "sleep";
+  set_state t task (Task.Blocked "sleep");
   kcheck_blocked t ~pid:task.Task.pid ~chan:"sleep" ~core;
   ignore
     (Sim.Engine.schedule_after (engine t) delay_ns (fun () ->
          if not (is_zombie task) then begin
-           task.Task.state <- Task.Runnable;
+           set_state t task Task.Runnable;
            task.Task.resume <- Some (fun () -> finish ctx ret);
            t.cls.sc_on_block_wake task;
            enqueue_task t task
@@ -821,7 +927,7 @@ let park_for_debug t task thunk =
   in
   let q = chan_queue t chan in
   release_core t task;
-  task.Task.state <- Task.Blocked chan;
+  set_state t task (Task.Blocked chan);
   Queue.add (task, thunk) q;
   kcheck_blocked t ~pid:task.Task.pid ~chan ~core
 
@@ -912,6 +1018,13 @@ and handle_trap t task call k =
   let name = Abi.syscall_name call in
   task.Task.cur_syscall <- Some name;
   trace_emit_task t task (Ktrace.Syscall_enter (task.Task.pid, name));
+  if Vprobe.syscall_armed t.vprobe then
+    Vprobe.fire_sysenter t.vprobe
+      ~idx:(Abi.syscall_index call)
+      ~pid:task.Task.pid
+      ~core:(max 0 task.Task.last_core)
+      ~fd:(Option.value ~default:(-1) (Abi.syscall_fd call))
+      ~arg0:(Abi.syscall_arg0 call);
   let span = Ktrace.new_span t.trace in
   trace_emit_task t task (Ktrace.Span_begin (span, task.Task.pid, "sys:" ^ name));
   let entry_cycles =
@@ -941,6 +1054,8 @@ and handle_trap t task call k =
 
 let spawn t ~name ~kind ?vm ?(parent = 0) ?(nice = 0) main =
   let task = Task.create ~name ~kind ?vm ~parent () in
+  task.Task.d_spawned_ns <- now t;
+  task.Task.d_state_since <- now t;
   task.Task.nice <- max (-20) (min 19 nice);
   Hashtbl.replace t.tasks task.Task.pid task;
   (match Hashtbl.find_opt t.tasks parent with
@@ -954,7 +1069,7 @@ let spawn t ~name ~kind ?vm ?(parent = 0) ?(nice = 0) main =
    abandoned; the new main starts when the task is next scheduled. *)
 let replace_computation t task main =
   task.Task.resume <- Some (run_computation t task main);
-  task.Task.state <- Task.Runnable;
+  set_state t task Task.Runnable;
   enqueue_task t task
 
 (* exec(2): burn the accumulated syscall charge, abandon the trapping
@@ -972,7 +1087,7 @@ let exec_replace ctx main =
       match task.Task.state with
       | Task.Running c ->
           t.cores.(c).current <- None;
-          task.Task.state <- Task.Runnable;
+          set_state t task Task.Runnable;
           task.Task.resume <- Some (run_computation t task main);
           task.Task.shadow_stack <- [];
           enqueue_task t task;
@@ -1025,12 +1140,13 @@ let preempt t core =
       core.burn_event <- None;
       core.burn_after <- None;
       core.current <- None;
-      task.Task.state <- Task.Runnable;
+      set_state t task Task.Runnable;
       task.Task.runnable_since <- now t;
       task.Task.resume <-
         Some (fun () -> start_burn t task remaining after);
       (* go to the back of this core's own queue (its own level in MLFQ) *)
       t.cls.sc_requeue core.rq task;
+      emit_runq_depth t core;
       schedule_core t core
   | Some _, None | None, _ -> ()
 
@@ -1230,6 +1346,64 @@ let reap t task =
 
 let frames_presented t ~pid =
   Option.value ~default:0 (Hashtbl.find_opt t.frame_counts pid)
+
+(* ---- /proc/delays ---- *)
+
+(* One row per live task, the open segment folded in as of [now], so the
+   six buckets sum to (now - spawned) exactly. Folding mutates the task
+   record (cheap, idempotent per instant), which also keeps the panic
+   flight recorder's view current without a separate snapshot type. *)
+type delay_row = {
+  dr_pid : int;
+  dr_name : string;
+  dr_state : string;
+  dr_oncpu : int64;
+  dr_runnable : int64;
+  dr_sleep : int64;
+  dr_blk_io : int64;
+  dr_blk_lock : int64;
+  dr_blk_pipe : int64;
+  dr_lifetime : int64;
+}
+
+let delay_rows t =
+  let now_ns = now t in
+  all_tasks t
+  |> List.filter (fun task -> not (is_zombie task))
+  |> List.map (fun task ->
+         if t.config.Kconfig.delayacct then delay_fold task ~now_ns;
+         {
+           dr_pid = task.Task.pid;
+           dr_name = task.Task.name;
+           dr_state = Task.state_name task;
+           dr_oncpu = task.Task.d_oncpu_ns;
+           dr_runnable = task.Task.d_runnable_ns;
+           dr_sleep = task.Task.d_sleep_ns;
+           dr_blk_io = task.Task.d_blk_io_ns;
+           dr_blk_lock = task.Task.d_blk_lock_ns;
+           dr_blk_pipe = task.Task.d_blk_pipe_ns;
+           dr_lifetime = Int64.sub now_ns task.Task.d_spawned_ns;
+         })
+
+let render_delays t =
+  if not t.config.Kconfig.delayacct then
+    "delayacct\t: disabled (Kconfig.delayacct = false)\n"
+  else begin
+    let buf = Buffer.create 512 in
+    Buffer.add_string buf
+      (Printf.sprintf "%-5s %-12s %-14s %12s %12s %12s %12s %12s %12s %12s\n"
+         "PID" "NAME" "STATE" "ONCPU" "RUNNABLE" "SLEEP" "BLK_IO" "BLK_LOCK"
+         "BLK_PIPE" "LIFETIME");
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "%-5d %-12s %-14s %12Ld %12Ld %12Ld %12Ld %12Ld %12Ld %12Ld\n"
+             r.dr_pid r.dr_name r.dr_state r.dr_oncpu r.dr_runnable r.dr_sleep
+             r.dr_blk_io r.dr_blk_lock r.dr_blk_pipe r.dr_lifetime))
+      (delay_rows t);
+    Buffer.contents buf
+  end
 
 let core_busy_ns t core_id = t.cores.(core_id).busy_ns
 let core_io_ns t core_id = t.cores.(core_id).io_busy_ns

@@ -50,12 +50,32 @@ let create ?kcheck name =
   | None -> ());
   t
 
+(* vprobe's lock:acquire / lock:contended hook. A module-global rather
+   than a per-lock field because locks are created all over the kernel
+   (and by [protect] call sites) long before the probe registry exists;
+   the kernel installs the observer at boot. Spinlock cannot depend on
+   Vprobe (layering), so the closure carries the typed fire. *)
+let observer : (name:string -> core:int -> contended:bool -> unit) option ref =
+  ref None
+
+let set_observer f = observer := Some f
+let clear_observer () = observer := None
+
+let observe ~name ~core ~contended =
+  match !observer with
+  | Some f -> f ~name ~core ~contended
+  | None -> ()
+
 let acquire t ~core ~now_ns =
   (match t.owner with
   | Some held_by ->
+      (* unreachable while the simulation is single-threaded, but the
+         probe fires before the panic so an SMP future (or a test that
+         forges contention) sees the event *)
+      observe ~name:t.name ~core ~contended:true;
       Kpanic.panicf "spinlock %s: core %d acquiring while core %d holds"
         t.name core held_by
-  | None -> ());
+  | None -> observe ~name:t.name ~core ~contended:false);
   (match t.kcheck with
   | Some kc -> Kcheck.lock_acquire kc ~name:t.name ~core
   | None -> ());

@@ -38,6 +38,19 @@ type t = {
   mutable runnable_since : int64;
       (** when the task last became runnable; -1 = not waiting. Feeds the
           run-delay histogram. *)
+  (* delay accounting ({!Kconfig.delayacct}): cumulative ns this task has
+     spent in each scheduler state, maintained at every [state]
+     transition in sched.ml. The open segment (state entered at
+     [d_state_since], not yet left) is folded in at render time so the
+     six buckets always sum to lifetime exactly. Host-side only. *)
+  mutable d_spawned_ns : int64;  (** when the task was created *)
+  mutable d_state_since : int64;  (** when the current state was entered *)
+  mutable d_oncpu_ns : int64;
+  mutable d_runnable_ns : int64;
+  mutable d_sleep_ns : int64;  (** voluntary sleep + misc waits *)
+  mutable d_blk_io_ns : int64;  (** blocked on device I/O channels *)
+  mutable d_blk_lock_ns : int64;  (** blocked on semaphores *)
+  mutable d_blk_pipe_ns : int64;  (** blocked on pipe read/write space *)
   (* accounting *)
   mutable cpu_ns : int64;
   mutable quantum_left : int;  (** scheduler ticks until preemption *)
@@ -73,6 +86,14 @@ let create ~name ~kind ?vm ?(parent = 0) () =
     last_core = -1;
     mlfq_level = 0;
     runnable_since = -1L;
+    d_spawned_ns = 0L;
+    d_state_since = 0L;
+    d_oncpu_ns = 0L;
+    d_runnable_ns = 0L;
+    d_sleep_ns = 0L;
+    d_blk_io_ns = 0L;
+    d_blk_lock_ns = 0L;
+    d_blk_pipe_ns = 0L;
     cpu_ns = 0L;
     quantum_left = default_quantum;
     syscall_count = 0;

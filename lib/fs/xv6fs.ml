@@ -90,6 +90,10 @@ type t = {
   cache : (int, inode) Hashtbl.t;
   ext : bool;
   log : log option;
+  mutable on_commit : (int -> unit) option;
+      (** observability hook, called with the block count after each
+          group commit actually reaches the medium; the kernel wires it
+          to vprobe's journal:commit point. Must not touch the fs *)
 }
 
 (* ---- little-endian accessors ---- *)
@@ -275,6 +279,7 @@ let commit t =
         l.l_queue <- [];
         l.l_n <- 0;
         l.l_commits <- l.l_commits + 1;
+        (match t.on_commit with Some f -> f n | None -> ());
         n
       end
 
@@ -818,6 +823,7 @@ let dev_of _t node = (node.i_major, node.i_minor)
 (* ---- journal introspection ---- *)
 
 let journaled t = t.log <> None
+let set_on_commit t f = t.on_commit <- Some f
 let log_commits t = match t.log with Some l -> l.l_commits | None -> 0
 let log_replayed t = match t.log with Some l -> l.l_replayed | None -> 0
 let log_absorbed t = match t.log with Some l -> l.l_absorbed | None -> 0
@@ -847,7 +853,15 @@ let mount ?(journal_max_tx = 64) io =
               l_absorbed = 0;
             }
       in
-      Ok { io; sb; cache = Hashtbl.create 64; ext = sb.sb_ext; log }
+      Ok
+        {
+          io;
+          sb;
+          cache = Hashtbl.create 64;
+          ext = sb.sb_ext;
+          log;
+          on_commit = None;
+        }
 
 let mkfs ?(nlog = 0) ?(ext = false) ~total_blocks ~ninodes () =
   let image = Bytes.make (total_blocks * block_bytes) '\000' in
@@ -857,7 +871,9 @@ let mkfs ?(nlog = 0) ?(ext = false) ~total_blocks ~ninodes () =
   if nlog > 0 then write_log_header io ~logstart:sb.sb_logstart ~seq:0 ~blocks:[];
   (* formatting writes straight through — the image only becomes a
      crash-consistency domain once it is mounted *)
-  let t = { io; sb; cache = Hashtbl.create 64; ext; log = None } in
+  let t =
+    { io; sb; cache = Hashtbl.create 64; ext; log = None; on_commit = None }
+  in
   (* mark meta blocks (boot, superblock, inodes, bitmap, log) used *)
   for blk = 0 to sb.sb_datastart - 1 do
     let blockno = sb.sb_bmapstart + (blk / (block_bytes * 8)) in

@@ -98,6 +98,11 @@ val commit : t -> int
     daemon calls this opportunistically, so it refuses rather than
     committing a half-finished operation). *)
 
+val set_on_commit : t -> (int -> unit) -> unit
+(** Install an observability hook fired after every successful journal
+    commit with the number of blocks written. Host-side bookkeeping only
+    (vprobe's journal:commit point); charges no virtual cycles. *)
+
 val log_commits : t -> int
 (** Transactions committed since mount. *)
 

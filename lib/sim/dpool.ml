@@ -36,6 +36,8 @@ type t = {
   own : task Spmc_queue.t; (* submitter's share of the current batch *)
   remaining : int Atomic.t;
   epoch : int Atomic.t; (* bumped per batch; workers spin then park on it *)
+  steals : int Atomic.t; (* successful steal_half transfers, any thread *)
+  parks : int Atomic.t; (* times a worker gave up spinning and parked *)
   mutable failure : exn option; [@locked_by "lock"]
       (* first task exception, re-raised by [run] *)
   lock : Mutex.t;
@@ -58,6 +60,8 @@ let create () =
     own = Spmc_queue.create ();
     remaining = Atomic.make 0;
     epoch = Atomic.make 0;
+    steals = Atomic.make 0;
+    parks = Atomic.make 0;
     failure = None;
     lock = Mutex.create ();
     cond = Condition.create ();
@@ -76,20 +80,24 @@ let exec t task =
 (* Steal half of the first non-empty queue into [into]. The submitter's
    queue is scanned first, then the workers'. *)
 let try_steal t ~into =
-  if into != t.own && Spmc_queue.steal_half t.own ~into > 0 then true
-  else begin
-    let stole = ref false in
-    let workers = Atomic.get t.workers in
-    let n = Array.length workers in
-    let i = ref 0 in
-    while (not !stole) && !i < n do
-      let victim = workers.(!i).wq in
-      if victim != into && Spmc_queue.steal_half victim ~into > 0 then
-        stole := true;
-      incr i
-    done;
-    !stole
-  end
+  let stole =
+    if into != t.own && Spmc_queue.steal_half t.own ~into > 0 then true
+    else begin
+      let stole = ref false in
+      let workers = Atomic.get t.workers in
+      let n = Array.length workers in
+      let i = ref 0 in
+      while (not !stole) && !i < n do
+        let victim = workers.(!i).wq in
+        if victim != into && Spmc_queue.steal_half victim ~into > 0 then
+          stole := true;
+        incr i
+      done;
+      !stole
+    end
+  in
+  if stole then Atomic.incr t.steals;
+  stole
 
 let rec drain t q =
   match Spmc_queue.pop q with
@@ -107,6 +115,7 @@ let rec worker_loop t w last_epoch =
     incr spins
   done;
   if Atomic.get t.epoch = last_epoch then begin
+    Atomic.incr t.parks;
     Mutex.lock t.lock;
     while Atomic.get t.epoch = last_epoch do
       Condition.wait t.cond t.lock
@@ -176,3 +185,6 @@ let run t tasks =
 let global_pool = lazy (create ())
 
 let global () = Lazy.force global_pool
+
+let steals t = Atomic.get t.steals
+let parks t = Atomic.get t.parks

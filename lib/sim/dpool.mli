@@ -23,3 +23,10 @@ val run : t -> (unit -> unit) array -> unit
 
 val global : unit -> t
 (** The process-wide pool shared by every engine. *)
+
+val steals : t -> int
+(** Successful steal-half transfers since creation (any thread). *)
+
+val parks : t -> int
+(** Times a worker exhausted its spin budget and parked on the condition
+    variable. *)

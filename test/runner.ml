@@ -23,6 +23,7 @@ let () =
       Test_kernel.suite_debug;
       Test_kernel.suite_kcheck;
       Test_kperf.suite;
+      Test_obs.suite;
       Test_user.suite_alloc;
       Test_user.suite_codecs;
       Test_user.suite_crypto;

@@ -65,6 +65,23 @@ let hist_render_empty () =
   check_string "empty histogram renders" "no samples" (Hist.render_line h);
   check_int "empty count" 0 (Hist.count h)
 
+(* Regression: every quantile of an empty histogram is 0, never the
+   Int64.max_int min-sentinel leaking through the clamp path. Callers
+   (vprobe renders, the benches) rely on 0 as "no samples yet". *)
+let hist_empty_percentile_zero () =
+  let h = Hist.create () in
+  List.iter
+    (fun q ->
+      check_close (Printf.sprintf "empty p%g is 0" (q *. 100.)) 0.0
+        (Hist.percentile_ns h q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  check_close "empty percentile_us is 0 too" 0.0 (Hist.percentile_us h 0.99);
+  check_close "empty mean is 0" 0.0 (Hist.mean_ns h);
+  (* one sample flips every quantile to that sample's bucket, so the
+     empty-case 0 cannot be confused with a real reading *)
+  Hist.record h 5_000L;
+  check_bool "non-empty p50 leaves 0" true (Hist.percentile_ns h 0.5 > 0.0)
+
 (* ---- histogram: qcheck invariants ---- *)
 
 let gen_samples =
@@ -302,6 +319,177 @@ let metrics_exposes_histograms () =
       "vos_trace_events_total";
     ]
 
+(* ---- Prometheus exposition validity, parser-level ----
+
+   Not substring spot-checks: an actual line parser for the text
+   exposition format. Every line must be empty, a # HELP / # TYPE
+   comment, or a syntactically valid sample
+   [name[{label="escaped",...}] value]; metadata must be unique per
+   family and precede that family's samples; histogram families must
+   ship the full _bucket/_sum/_count shape. *)
+
+exception Bad_exposition of string
+
+let expo_name_char strict_label c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | ':' -> not strict_label
+  | _ -> false
+
+let expo_valid_name ?(label = false) s =
+  String.length s > 0
+  && (match s.[0] with '0' .. '9' -> false | _ -> true)
+  && String.for_all (expo_name_char label) s
+
+(* Parse one sample line; returns the metric name or raises. *)
+let expo_parse_sample line =
+  let l = String.length line in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad_exposition m)) fmt in
+  let i = ref 0 in
+  while !i < l && expo_name_char false line.[!i] do incr i done;
+  let name = String.sub line 0 !i in
+  if not (expo_valid_name name) then fail "bad metric name in %S" line;
+  (if !i < l && Char.equal line.[!i] '{' then begin
+     incr i;
+     let parsing = ref true in
+     while !parsing do
+       let s = !i in
+       while !i < l && expo_name_char true line.[!i] do incr i done;
+       if not (expo_valid_name ~label:true (String.sub line s (!i - s))) then
+         fail "bad label name in %S" line;
+       if !i >= l || not (Char.equal line.[!i] '=') then
+         fail "label without '=' in %S" line;
+       incr i;
+       if !i >= l || not (Char.equal line.[!i] '"') then
+         fail "unquoted label value in %S" line;
+       incr i;
+       while !i < l && not (Char.equal line.[!i] '"') do
+         if Char.equal line.[!i] '\\' then
+           if
+             !i + 1 < l
+             && (match line.[!i + 1] with '\\' | '"' | 'n' -> true | _ -> false)
+           then i := !i + 2
+           else fail "bad escape in label value of %S" line
+         else incr i
+       done;
+       if !i >= l then fail "unterminated label value in %S" line;
+       incr i;
+       if !i < l && Char.equal line.[!i] ',' then incr i
+       else if !i < l && Char.equal line.[!i] '}' then begin
+         incr i;
+         parsing := false
+       end
+       else fail "label block not ',' or '}' terminated in %S" line
+     done
+   end);
+  if !i >= l || not (Char.equal line.[!i] ' ') then
+    fail "no space before value in %S" line;
+  let v = String.sub line (!i + 1) (l - !i - 1) in
+  (match v with
+  | "+Inf" | "-Inf" | "NaN" -> ()
+  | _ -> (
+      match float_of_string_opt v with
+      | Some _ -> ()
+      | None -> fail "non-numeric value %S in %S" v line));
+  name
+
+(* The family a sample belongs to: histogram series strip their
+   _bucket/_sum/_count suffix iff that base family is declared. *)
+let expo_family declared name =
+  let strip suf =
+    let n = String.length name and s = String.length suf in
+    if n > s && String.equal (String.sub name (n - s) s) suf then
+      let base = String.sub name 0 (n - s) in
+      if Hashtbl.mem declared base then Some base else None
+    else None
+  in
+  match strip "_bucket" with
+  | Some b -> b
+  | None -> (
+      match strip "_sum" with
+      | Some b -> b
+      | None -> ( match strip "_count" with Some b -> b | None -> name))
+
+let metrics_exposition_wellformed () =
+  let text =
+    in_kernel ~config:(armed test_config) (fun _ ->
+        (* a vprobe series adds labels built from arbitrary spec text,
+           the worst case for label-value escaping *)
+        let fd = User.Usys.open_ "/proc/vprobe_ctl" Core.Abi.o_wronly in
+        ignore
+          (User.Usys.write fd
+             (Bytes.of_string "probe syscall:getpid / pid>=1 / count\n"));
+        ignore (User.Usys.close fd);
+        (match User.Usys.pipe () with
+        | Ok (r, w) ->
+            ignore (User.Usys.write w (Bytes.make 32 'x'));
+            ignore (User.Usys.read r 32);
+            ignore (User.Usys.close r);
+            ignore (User.Usys.close w)
+        | Error _ -> ());
+        ignore (User.Usys.sleep 5);
+        Bytes.to_string (Result.get_ok (User.Usys.slurp "/proc/metrics")))
+  in
+  let declared_type = Hashtbl.create 32 in
+  let declared_help = Hashtbl.create 32 in
+  let sampled = Hashtbl.create 64 in
+  let meta_of line =
+    (* "# HELP <name> <text>" / "# TYPE <name> <type>" *)
+    match String.split_on_char ' ' line with
+    | "#" :: kind :: name :: rest -> (kind, name, String.concat " " rest)
+    | _ -> raise (Bad_exposition ("malformed comment " ^ line))
+  in
+  (try
+     List.iter
+       (fun line ->
+         if String.equal line "" then ()
+         else if String.length line > 0 && Char.equal line.[0] '#' then begin
+           let kind, name, rest = meta_of line in
+           if not (expo_valid_name name) then
+             raise (Bad_exposition ("metadata for bad name " ^ line));
+           match kind with
+           | "HELP" ->
+               if Hashtbl.mem declared_help name then
+                 raise (Bad_exposition ("duplicate HELP for " ^ name));
+               Hashtbl.replace declared_help name ()
+           | "TYPE" ->
+               (match rest with
+               | "counter" | "gauge" | "histogram" | "summary" | "untyped" ->
+                   ()
+               | t -> raise (Bad_exposition ("unknown TYPE " ^ t)));
+               if Hashtbl.mem declared_type name then
+                 raise (Bad_exposition ("duplicate TYPE for " ^ name));
+               if Hashtbl.mem sampled name then
+                 raise
+                   (Bad_exposition ("TYPE after samples of " ^ name));
+               Hashtbl.replace declared_type name rest
+           | k -> raise (Bad_exposition ("unknown comment kind " ^ k))
+         end
+         else begin
+           let name = expo_parse_sample line in
+           Hashtbl.replace sampled (expo_family declared_type name) ()
+         end)
+       (String.split_on_char '\n' text)
+   with Bad_exposition m -> Alcotest.fail m);
+  (* every declared family produced samples, and histogram families
+     shipped the full shape *)
+  Hashtbl.iter
+    (fun name ty ->
+      if not (Hashtbl.mem sampled name) then
+        Alcotest.failf "family %s declared but never sampled" name;
+      if String.equal ty "histogram" then
+        List.iter
+          (fun suf ->
+            if not (contains text (name ^ suf)) then
+              Alcotest.failf "histogram %s missing %s series" name suf)
+          [ "_bucket{"; "_sum"; "_count" ])
+    declared_type;
+  check_bool "at least one histogram family checked" true
+    (Hashtbl.fold (fun _ ty n -> n || String.equal ty "histogram")
+       declared_type false);
+  check_bool "the vprobe label block parsed" true
+    (contains text "vos_vprobe_fired_total{probe=")
+
 let metrics_gated_by_knob () =
   (* test_config leaves metrics off: the page must not exist *)
   in_kernel (fun _ ->
@@ -439,6 +627,7 @@ let suite =
     [
       quick "histogram bucket boundaries are exact" hist_bucket_boundaries;
       quick "empty histogram renders" hist_render_empty;
+      quick "empty histogram quantiles are all 0" hist_empty_percentile_zero;
       hist_percentile_order;
       hist_merge_is_concat;
       quick "per-core rings merge (ts, seq)-sorted" trace_per_core_merge_sorted;
@@ -452,6 +641,8 @@ let suite =
       slow "/proc/metrics exposes the kernel histograms"
         metrics_exposes_histograms;
       quick "/proc/metrics gated by the knob" metrics_gated_by_knob;
+      slow "/proc/metrics is valid Prometheus exposition"
+        metrics_exposition_wellformed;
       slow "/proc/profile attributes samples" profile_attributes_samples;
       quick "/proc/profile reports disabled when off" profile_disabled_renders;
       slow "/proc/ktrace streams and drains to EAGAIN" trace_pipe_streams;

@@ -93,8 +93,11 @@ let instant_of (ev : Core.Ktrace.event) =
       Some ("sem_wake", Printf.sprintf "\"pid\":%d,\"sem\":%d" pid id)
   | Core.Ktrace.Custom s ->
       Some ("custom", Printf.sprintf "\"msg\":\"%s\"" (json_escape s))
-  (* spans are rendered as ph:"X" durations by the pairing pass *)
-  | Core.Ktrace.Span_begin _ | Core.Ktrace.Span_end _ -> None
+  (* spans are rendered as ph:"X" durations by the pairing pass;
+     delay-accounting events become ph:"C" counter tracks below *)
+  | Core.Ktrace.Span_begin _ | Core.Ktrace.Span_end _
+  | Core.Ktrace.Task_state _ | Core.Ktrace.Runq_depth _ ->
+      None
 
 let () =
   let ic =
@@ -193,8 +196,41 @@ let () =
       | Core.Ktrace.Frame_present _ | Core.Ktrace.Wm_composite
       | Core.Ktrace.Lock_acquire _ | Core.Ktrace.Lock_release _
       | Core.Ktrace.Sem_block _ | Core.Ktrace.Sem_wake _
-      | Core.Ktrace.Custom _ | Core.Ktrace.Span_end _ -> ())
+      | Core.Ktrace.Custom _ | Core.Ktrace.Span_end _
+      | Core.Ktrace.Task_state _ | Core.Ktrace.Runq_depth _ -> ())
     unmatched;
+  (* counter tracks from the delay-accounting events (ktrace class
+     "dstate"): one runnable-queue-depth series per core under the
+     "cores" process, and one thread-state series per pid (0 runnable,
+     1 running, 2 blocked, 3 zombie) so Perfetto renders them as
+     step-function lanes *)
+  List.iter
+    (fun (e : Core.Ktrace.entry) ->
+      match e.Core.Ktrace.ev with
+      | Core.Ktrace.Runq_depth (core, depth) ->
+          emit
+            "{\"ph\":\"C\",\"name\":\"runq core %d\",\"pid\":%d,\"ts\":%s,\"args\":{\"depth\":%d}}"
+            core cores_pid
+            (us_of_ns e.Core.Ktrace.ts_ns)
+            depth
+      | Core.Ktrace.Task_state (pid, st) ->
+          emit
+            "{\"ph\":\"C\",\"name\":\"thread_state\",\"pid\":%d,\"ts\":%s,\"args\":{\"state\":%d}}"
+            pid
+            (us_of_ns e.Core.Ktrace.ts_ns)
+            st
+      | Core.Ktrace.Syscall_enter _ | Core.Ktrace.Syscall_exit _
+      | Core.Ktrace.Ctx_switch _ | Core.Ktrace.Irq_enter _
+      | Core.Ktrace.Irq_exit _ | Core.Ktrace.Sched_wakeup _
+      | Core.Ktrace.Sched_migrate _ | Core.Ktrace.Ipi_send _
+      | Core.Ktrace.Ipi_recv _ | Core.Ktrace.Kbd_report
+      | Core.Ktrace.Event_delivered _ | Core.Ktrace.Poll_return _
+      | Core.Ktrace.Frame_present _ | Core.Ktrace.Wm_composite
+      | Core.Ktrace.Lock_acquire _ | Core.Ktrace.Lock_release _
+      | Core.Ktrace.Sem_block _ | Core.Ktrace.Sem_wake _
+      | Core.Ktrace.Custom _ | Core.Ktrace.Span_begin _
+      | Core.Ktrace.Span_end _ -> ())
+    entries;
   (* instants for everything that is not a span *)
   List.iter
     (fun (e : Core.Ktrace.entry) ->

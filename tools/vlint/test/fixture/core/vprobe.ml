@@ -1,0 +1,12 @@
+(* seeded R007 violations: "dup:point" is registered twice and
+   "undoc:point" is absent from the fixture DESIGN.md; "ok:point" is
+   unique and documented *)
+let static_points =
+  [
+    "ok:point";
+    "dup:point";
+    "dup:point";
+    "undoc:point";
+  ]
+
+let _ = List.length static_points

@@ -21,6 +21,10 @@
             ktrace2perfetto converter (a "ktrace2perfetto" path
             segment): a new trace event must not silently vanish from
             the exported Perfetto view
+    - R007  every vprobe static probe-point name is registered exactly
+            once in vprobe.ml's [static_points] catalog and mentioned in
+            DESIGN.md — a probe a user cannot look up might as well not
+            exist
 
     Findings print as [file:line: rule-id message] and fail the build.
     [--allow FILE] grandfathers existing cases; an allow entry matching
@@ -379,6 +383,87 @@ let r006 ~files =
           (variant_ctors ~type_name:"event" kt_str)
     | _ -> ()
 
+(* String constants inside the expression bound to [let <name> = ...],
+   with their lines — how R007 reads vprobe's probe-point catalog without
+   evaluating it. *)
+let string_list_binding ~name structure =
+  List.concat_map
+    (fun (item : Parsetree.structure_item) ->
+      match item.Parsetree.pstr_desc with
+      | Parsetree.Pstr_value (_, bindings) ->
+          List.concat_map
+            (fun (vb : Parsetree.value_binding) ->
+              match vb.Parsetree.pvb_pat.Parsetree.ppat_desc with
+              | Parsetree.Ppat_var v when v.Asttypes.txt = name ->
+                  let acc = ref [] in
+                  let open Ast_iterator in
+                  let iter =
+                    {
+                      default_iterator with
+                      expr =
+                        (fun self e ->
+                          (match e.Parsetree.pexp_desc with
+                          | Parsetree.Pexp_constant
+                              (Parsetree.Pconst_string (s, _, _)) ->
+                              acc :=
+                                (s, line_of e.Parsetree.pexp_loc) :: !acc
+                          | _ -> ());
+                          default_iterator.expr self e);
+                    }
+                  in
+                  iter.expr iter vb.Parsetree.pvb_expr;
+                  List.rev !acc
+              | _ -> [])
+            bindings
+      | _ -> [])
+    structure
+
+let str_contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+let r007 ~files ~design =
+  match List.filter (fun (p, _, _) -> basename_is "vprobe.ml" p) files with
+  | [ (vp_path, vp_str, _) ] ->
+      let points = string_list_binding ~name:"static_points" vp_str in
+      if points = [] then
+        report ~file:vp_path ~line:1 ~rule:"R007"
+          "no [static_points] probe catalog found in vprobe.ml"
+      else begin
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun (name, line) ->
+            if not (Hashtbl.mem seen name) then begin
+              Hashtbl.add seen name ();
+              let count =
+                List.length (List.filter (fun (n, _) -> n = name) points)
+              in
+              if count > 1 then
+                report ~file:vp_path ~line ~rule:"R007"
+                  "probe point %s is registered %d times in static_points"
+                  name count
+            end)
+          points;
+        match design with
+        | None -> ()
+        | Some dpath ->
+            let ic = open_in_bin dpath in
+            let text = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let documented = Hashtbl.create 16 in
+            List.iter
+              (fun (name, line) ->
+                if not (Hashtbl.mem documented name) then begin
+                  Hashtbl.add documented name ();
+                  if not (str_contains text name) then
+                    report ~file:vp_path ~line ~rule:"R007"
+                      "probe point %s is not documented in %s" name dpath
+                end)
+              points
+      end
+  | _ -> ()
+
 let r005 ~files =
   List.iter
     (fun (path, _, s) ->
@@ -466,6 +551,7 @@ let run ?allow_path ?design_path ~dirs () =
   r004 ~files;
   r005 ~files;
   r006 ~files;
+  r007 ~files ~design:design_path;
   let allows =
     match allow_path with None -> [] | Some p -> load_allow p
   in
